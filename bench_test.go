@@ -1,0 +1,259 @@
+// Benchmark harness for the reproduction. The paper itself reports no
+// performance numbers (it is a semantics paper); these benchmarks answer
+// the systems question its design leaves open — what the revised,
+// atomic/deterministic semantics costs relative to the legacy pipeline —
+// and exercise every strategy of Section 6 at scale. EXPERIMENTS.md
+// records a captured run; the B-ids below are indexed in DESIGN.md.
+//
+//	B1  bulk import (Example 5 at scale): legacy MERGE vs MERGE ALL vs MERGE SAME
+//	B2  all five Section 6 strategies on the same import
+//	B3  SET: legacy immediate writes vs revised two-phase change sets
+//	B4  DELETE: legacy unchecked vs revised strict (collect+check+null)
+//	B5  pattern matching (Query 1 shape) on marketplace graphs
+//	B6  CREATE throughput
+//	B7  isomorphism checking (the determinism-verification primitive)
+//	B8  relationship-isomorphic vs homomorphic matching
+//	B9  collapse strategies on the Example 7 clickstream shape
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/parser"
+	"repro/internal/table"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+func execBench(b *testing.B, cfg core.Config, g *graph.Graph, src string, t0 *table.Table) *core.Result {
+	b.Helper()
+	stmt, err := parser.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.NewEngine(cfg).ExecuteWithTable(g, stmt, nil, t0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+const importQueryLegacy = `MERGE (:User{id:cid})-[:ORDERED]->(:Product{id:pid})`
+const importQueryAll = `MERGE ALL (:User{id:cid})-[:ORDERED]->(:Product{id:pid})`
+const importQuerySame = `MERGE SAME (:User{id:cid})-[:ORDERED]->(:Product{id:pid})`
+
+// B1: bulk import under the three surface forms.
+func BenchmarkB1BulkImport(b *testing.B) {
+	for _, rows := range []int{100, 1000} {
+		tbl := workload.DefaultOrderImport(rows).Build()
+		cases := []struct {
+			name  string
+			cfg   core.Config
+			query string
+		}{
+			{"legacy-merge", core.Config{Dialect: core.DialectCypher9}, importQueryLegacy},
+			{"merge-all", core.Config{Dialect: core.DialectRevised}, importQueryAll},
+			{"merge-same", core.Config{Dialect: core.DialectRevised}, importQuerySame},
+		}
+		for _, c := range cases {
+			b.Run(fmt.Sprintf("%s/rows=%d", c.name, rows), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					g := graph.New()
+					execBench(b, c.cfg, g, c.query, tbl.Clone())
+				}
+			})
+		}
+	}
+}
+
+// B2: the five Section 6 strategies on the same import table.
+func BenchmarkB2MergeStrategies(b *testing.B) {
+	tbl := workload.DefaultOrderImport(1000).Build()
+	for _, s := range []core.MergeStrategy{
+		core.StrategyAtomic, core.StrategyGrouping, core.StrategyWeakCollapse,
+		core.StrategyCollapse, core.StrategyStrongCollapse,
+	} {
+		cfg := core.Config{Dialect: core.DialectRevised, MergeStrategy: s}
+		b.Run(s.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g := graph.New()
+				execBench(b, cfg, g, importQueryAll, tbl.Clone())
+			}
+		})
+	}
+}
+
+// B3: SET over every product — legacy immediate vs revised two-phase.
+func BenchmarkB3Set(b *testing.B) {
+	base := workload.DefaultMarketplace().Build()
+	query := `MATCH (p:Product) SET p.flag = true, p.score = p.id * 2`
+	for _, c := range []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"legacy", core.Config{Dialect: core.DialectCypher9}},
+		{"revised-atomic", core.Config{Dialect: core.DialectRevised}},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				g := base.Clone()
+				b.StartTimer()
+				execBench(b, c.cfg, g, query, nil)
+			}
+		})
+	}
+}
+
+// B4: DETACH DELETE of all users — legacy unchecked vs revised strict.
+func BenchmarkB4Delete(b *testing.B) {
+	base := workload.DefaultMarketplace().Build()
+	query := `MATCH (u:User) DETACH DELETE u`
+	for _, c := range []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"legacy", core.Config{Dialect: core.DialectCypher9}},
+		{"revised-strict", core.Config{Dialect: core.DialectRevised}},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				g := base.Clone()
+				b.StartTimer()
+				execBench(b, c.cfg, g, query, nil)
+			}
+		})
+	}
+}
+
+// B5: read-only pattern matching (the Query 1 shape) at two scales.
+func BenchmarkB5Match(b *testing.B) {
+	for _, scale := range []int{1, 4} {
+		m := workload.DefaultMarketplace()
+		m.Products *= scale
+		m.Users *= scale
+		m.Vendors *= scale
+		g := m.Build()
+		query := `
+			MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(q:Product)
+			WHERE p.id < 10
+			RETURN count(*) AS c`
+		cfg := core.Config{Dialect: core.DialectRevised}
+		b.Run(fmt.Sprintf("scale=%d", scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				execBench(b, cfg, g, query, nil)
+			}
+		})
+	}
+}
+
+// B6: CREATE throughput (nodes+relationships per statement).
+func BenchmarkB6Create(b *testing.B) {
+	cfg := core.Config{Dialect: core.DialectRevised}
+	query := `UNWIND range(1, 1000) AS i CREATE (:A{id:i})-[:T]->(:B{id:i})`
+	b.Run("rows=1000", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g := graph.New()
+			execBench(b, cfg, g, query, nil)
+		}
+	})
+}
+
+// B7: the isomorphism checker used by the determinism experiments.
+func BenchmarkB7Isomorphism(b *testing.B) {
+	m := workload.DefaultMarketplace()
+	m.Seed = 1
+	g1 := m.Build()
+	g2 := m.Build()
+	b.Run("marketplace", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !graph.Isomorphic(g1, g2) {
+				b.Fatal("equal builds must be isomorphic")
+			}
+		}
+	})
+}
+
+// B8: relationship-isomorphic vs homomorphic matching (the Example 7
+// matching-mode dimension) on a dense pattern.
+func BenchmarkB8MatchModes(b *testing.B) {
+	m := workload.DefaultMarketplace()
+	g := m.Build()
+	query := `
+		MATCH (a:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(bp:Product)
+		WHERE a.id < 5
+		RETURN count(*) AS c`
+	for _, c := range []struct {
+		name string
+		mode match.Mode
+	}{
+		{"isomorphism", match.Isomorphism},
+		{"homomorphism", match.Homomorphism},
+	} {
+		cfg := core.Config{Dialect: core.DialectRevised, MatchMode: c.mode}
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				execBench(b, cfg, g, query, nil)
+			}
+		})
+	}
+}
+
+// B9: the collapse strategies on the Example 7 clickstream shape, where
+// long paths with repeated endpoints stress the collapse pass.
+func BenchmarkB9ClickstreamCollapse(b *testing.B) {
+	c := workload.Clickstream{Sessions: 300, PathLen: 5, Products: 40, Seed: 3}
+	query := `MERGE ALL ` + c.PathQuery()
+	for _, s := range []core.MergeStrategy{
+		core.StrategyAtomic, core.StrategyCollapse, core.StrategyStrongCollapse,
+	} {
+		cfg := core.Config{Dialect: core.DialectRevised, MergeStrategy: s}
+		b.Run(s.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				g, tbl := c.Build()
+				b.StartTimer()
+				execBench(b, cfg, g, query, tbl)
+			}
+		})
+	}
+}
+
+// Sanity checks keep the benchmark inputs honest (run under `go test`).
+func TestBenchWorkloadsAreValid(t *testing.T) {
+	tbl := workload.DefaultOrderImport(100).Build()
+	if tbl.Len() != 100 {
+		t.Fatal("order import rows")
+	}
+	g := graph.New()
+	stmt, err := parser.Parse(importQuerySame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.NewEngine(core.Config{Dialect: core.DialectRevised}).
+		ExecuteWithTable(g, stmt, nil, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.NodesCreated == 0 {
+		t.Fatal("import created nothing")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Imported ids must be unique per label under MERGE SAME.
+	seen := map[string]bool{}
+	for _, id := range g.NodeIDs() {
+		n := g.Node(id)
+		key := fmt.Sprint(n.SortedLabels(), value.MapKey(n.PropMap()))
+		if seen[key] {
+			t.Fatalf("duplicate collapsed node %s", key)
+		}
+		seen[key] = true
+	}
+}

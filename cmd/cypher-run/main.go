@@ -1,0 +1,81 @@
+// Command cypher-run executes a Cypher script file (statements separated
+// by semicolons) against a fresh database and prints the result of each
+// statement.
+//
+// Usage:
+//
+//	cypher-run [-dialect revised|cypher9] [-merge strategy] script.cypher
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/cypher"
+	"repro/internal/script"
+)
+
+func main() {
+	dialect := flag.String("dialect", "revised", "update dialect: revised or cypher9")
+	mergeStrategy := flag.String("merge", "from-form",
+		"MERGE strategy: from-form, legacy, atomic, grouping, weak-collapse, collapse, strong-collapse")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cypher-run [-dialect d] [-merge s] script.cypher")
+		os.Exit(2)
+	}
+
+	var opts []cypher.Option
+	switch *dialect {
+	case "revised":
+		opts = append(opts, cypher.WithDialect(cypher.Revised))
+	case "cypher9":
+		opts = append(opts, cypher.WithDialect(cypher.Cypher9))
+	default:
+		fmt.Fprintln(os.Stderr, "unknown dialect:", *dialect)
+		os.Exit(2)
+	}
+	strategies := map[string]cypher.MergeStrategy{
+		"from-form": cypher.MergeFromForm, "legacy": cypher.MergeLegacy,
+		"atomic": cypher.MergeAtomic, "grouping": cypher.MergeGrouping,
+		"weak-collapse": cypher.MergeWeakCollapse, "collapse": cypher.MergeCollapse,
+		"strong-collapse": cypher.MergeStrongCollapse,
+	}
+	s, ok := strategies[*mergeStrategy]
+	if !ok {
+		fmt.Fprintln(os.Stderr, "unknown merge strategy:", *mergeStrategy)
+		os.Exit(2)
+	}
+	opts = append(opts, cypher.WithMergeStrategy(s))
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	db := cypher.Open(opts...)
+	for i, stmt := range script.Split(string(src)) {
+		fmt.Printf("-- statement %d\n%s\n", i+1, stmt)
+		res, err := db.Exec(stmt, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		cols := res.Columns()
+		if len(cols) > 0 {
+			fmt.Println(strings.Join(cols, " | "))
+			for r := 0; r < res.NumRows(); r++ {
+				var parts []string
+				for _, v := range res.Values(r) {
+					parts = append(parts, v.String())
+				}
+				fmt.Println(strings.Join(parts, " | "))
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("final graph:", db.Stats())
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/script"
+)
+
+func TestSplitStatements(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []string
+	}{
+		{"CREATE (n); MATCH (n) RETURN n", []string{"CREATE (n)", "MATCH (n) RETURN n"}},
+		{"RETURN 1", []string{"RETURN 1"}},
+		{"RETURN ';'; RETURN 2", []string{"RETURN ';'", "RETURN 2"}},
+		{`RETURN "a;b"; RETURN 'c\';d'`, []string{`RETURN "a;b"`, `RETURN 'c\';d'`}},
+		{"// comment; with semicolon\nRETURN 1;", []string{"RETURN 1"}},
+		{"; ;;", nil},
+		{"", nil},
+		{"RETURN 1;\n\nRETURN 2;\n", []string{"RETURN 1", "RETURN 2"}},
+	}
+	for _, c := range cases {
+		got := script.Split(c.src)
+		if len(got) != len(c.want) {
+			t.Errorf("split(%q) = %v, want %v", c.src, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("split(%q)[%d] = %q, want %q", c.src, i, got[i], c.want[i])
+			}
+		}
+	}
+}

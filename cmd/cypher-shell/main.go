@@ -1,0 +1,147 @@
+// Command cypher-shell is an interactive REPL over the embedded graph
+// database. Statements end with a semicolon; meta commands start with
+// a colon:
+//
+//	:help                 show help
+//	:dialect cypher9      switch to the legacy Cypher 9 semantics
+//	:dialect revised      switch to the revised (Section 7) semantics
+//	:merge <strategy>     force a MERGE strategy (legacy, atomic,
+//	                      grouping, weak-collapse, collapse,
+//	                      strong-collapse, from-form)
+//	:stats                print graph statistics
+//	:clear                reset the database
+//	:quit                 exit
+//
+// Switching dialects preserves the graph contents.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/cypher"
+)
+
+func main() {
+	fmt.Println("cypher-shell — graph updates per Green et al., PVLDB 2019")
+	fmt.Println("dialect: revised (use :dialect cypher9 for the legacy semantics); :help for help")
+
+	db := cypher.Open()
+	dialect := "revised"
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Printf("%s> ", dialect)
+		} else {
+			fmt.Print("   ... ")
+		}
+	}
+
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, ":") {
+			var quit bool
+			db, dialect, quit = meta(db, dialect, trimmed)
+			if quit {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if strings.HasSuffix(trimmed, ";") {
+			execute(db, buf.String())
+			buf.Reset()
+		}
+		prompt()
+	}
+}
+
+func meta(db *cypher.DB, dialect, cmd string) (*cypher.DB, string, bool) {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case ":quit", ":exit", ":q":
+		return db, dialect, true
+	case ":help":
+		fmt.Println("statements end with ';'. Meta: :dialect cypher9|revised, :merge <strategy>, :stats, :clear, :quit")
+	case ":stats":
+		fmt.Println(db.Stats())
+	case ":clear":
+		opt := cypher.WithDialect(cypher.Revised)
+		if dialect == "cypher9" {
+			opt = cypher.WithDialect(cypher.Cypher9)
+		}
+		return cypher.Open(opt), dialect, false
+	case ":dialect":
+		if len(fields) != 2 {
+			fmt.Println("usage: :dialect cypher9|revised")
+			break
+		}
+		switch fields[1] {
+		case "cypher9":
+			return db.Snapshot(cypher.WithDialect(cypher.Cypher9)), "cypher9", false
+		case "revised":
+			return db.Snapshot(cypher.WithDialect(cypher.Revised)), "revised", false
+		default:
+			fmt.Println("unknown dialect:", fields[1])
+		}
+	case ":merge":
+		if len(fields) != 2 {
+			fmt.Println("usage: :merge legacy|atomic|grouping|weak-collapse|collapse|strong-collapse|from-form")
+			break
+		}
+		strategies := map[string]cypher.MergeStrategy{
+			"legacy": cypher.MergeLegacy, "atomic": cypher.MergeAtomic,
+			"grouping": cypher.MergeGrouping, "weak-collapse": cypher.MergeWeakCollapse,
+			"collapse": cypher.MergeCollapse, "strong-collapse": cypher.MergeStrongCollapse,
+			"from-form": cypher.MergeFromForm,
+		}
+		s, ok := strategies[fields[1]]
+		if !ok {
+			fmt.Println("unknown strategy:", fields[1])
+			break
+		}
+		return db.Snapshot(cypher.WithMergeStrategy(s)), dialect, false
+	default:
+		fmt.Println("unknown meta command:", fields[0])
+	}
+	return db, dialect, false
+}
+
+func execute(db *cypher.DB, query string) {
+	query = strings.TrimSpace(query)
+	query = strings.TrimSuffix(query, ";")
+	if query == "" {
+		return
+	}
+	res, err := db.Exec(query, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	cols := res.Columns()
+	if len(cols) > 0 {
+		fmt.Println(strings.Join(cols, " | "))
+		for i := 0; i < res.NumRows(); i++ {
+			var parts []string
+			for _, v := range res.Values(i) {
+				parts = append(parts, v.String())
+			}
+			fmt.Println(strings.Join(parts, " | "))
+		}
+	}
+	st := res.Stats()
+	if st != (cypher.UpdateStats{}) {
+		fmt.Printf("(nodes +%d -%d, rels +%d -%d, props %d, labels +%d -%d)\n",
+			st.NodesCreated, st.NodesDeleted, st.RelsCreated, st.RelsDeleted,
+			st.PropsSet, st.LabelsAdded, st.LabelsRemoved)
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"testing"
+
+	"repro/cypher"
+)
+
+func TestMetaCommands(t *testing.T) {
+	db := cypher.Open()
+
+	// Dialect switch preserves data.
+	db.Exec(`CREATE (:Keep)`, nil)
+	db2, dialect, quit := meta(db, "revised", ":dialect cypher9")
+	if quit || dialect != "cypher9" {
+		t.Fatalf("dialect switch: %q quit=%v", dialect, quit)
+	}
+	if db2.NumNodes() != 1 {
+		t.Error("dialect switch lost data")
+	}
+	if db2.Dialect() != cypher.Cypher9 {
+		t.Error("dialect not applied")
+	}
+	// And back.
+	db3, dialect, _ := meta(db2, "cypher9", ":dialect revised")
+	if dialect != "revised" || db3.Dialect() != cypher.Revised {
+		t.Error("switch back failed")
+	}
+
+	// Merge strategy switch.
+	db4, _, _ := meta(db3, "revised", ":merge collapse")
+	if db4.NumNodes() != 1 {
+		t.Error("merge switch lost data")
+	}
+
+	// Clear resets.
+	db5, _, _ := meta(db4, "revised", ":clear")
+	if db5.NumNodes() != 0 {
+		t.Error("clear did not reset")
+	}
+
+	// Quit.
+	if _, _, quit := meta(db5, "revised", ":quit"); !quit {
+		t.Error(":quit should quit")
+	}
+	if _, _, quit := meta(db5, "revised", ":q"); !quit {
+		t.Error(":q should quit")
+	}
+
+	// Unknown commands and malformed args do not crash or quit.
+	for _, cmd := range []string{":frob", ":dialect", ":dialect marsian", ":merge", ":merge bogus", ":help", ":stats"} {
+		if _, _, quit := meta(db5, "revised", cmd); quit {
+			t.Errorf("%q should not quit", cmd)
+		}
+	}
+}
+
+func TestExecuteRendersAndRecovers(t *testing.T) {
+	db := cypher.Open()
+	// Successful statement with rows.
+	execute(db, "RETURN 1 AS x;")
+	// Update-only statement (stats path).
+	execute(db, "CREATE (:N)")
+	// Error path must not panic.
+	execute(db, "MATCH (")
+	// Empty statement is a no-op.
+	execute(db, "  ;")
+	if db.NumNodes() != 1 {
+		t.Errorf("nodes = %d", db.NumNodes())
+	}
+}

@@ -1,0 +1,103 @@
+// Command experiments regenerates every figure and worked example of
+// "Updating Graph Databases with Cypher" (Green et al., PVLDB 2019) and
+// prints paper-expected versus measured outcomes.
+//
+// Usage:
+//
+//	experiments            # run all experiments (E01..E11)
+//	experiments -run E05   # run one experiment
+//	experiments -list      # list experiment ids and titles
+//	experiments -dot DIR   # write Graphviz renderings of every figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	runID := flag.String("run", "", "run a single experiment by id (e.g. E05)")
+	list := flag.Bool("list", false, "list experiments")
+	dotDir := flag.String("dot", "", "write figure graphs as Graphviz .dot files into this directory")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%s  %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+
+	if *dotDir != "" {
+		if err := writeFigures(*dotDir); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var reports []*experiments.Report
+	if *runID != "" {
+		r, err := experiments.Run(*runID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		reports = append(reports, r)
+	} else {
+		var err error
+		reports, err = experiments.RunAll()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+
+	failed := 0
+	for _, r := range reports {
+		fmt.Printf("=== %s: %s\n", r.ID, r.Title)
+		for _, line := range r.Lines {
+			fmt.Println("  " + line)
+		}
+		if !r.Pass {
+			failed++
+		}
+		fmt.Println()
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) FAILED\n", failed)
+		os.Exit(1)
+	}
+	fmt.Printf("all %d experiment(s) passed\n", len(reports))
+}
+
+// writeFigures regenerates each paper figure and writes a .dot file.
+func writeFigures(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	graphs, err := experiments.FigureGraphs()
+	if err != nil {
+		return err
+	}
+	for _, name := range experiments.FigureNames() {
+		path := filepath.Join(dir, name+".dot")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := graphs[name].WriteDOT(f, name); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	return nil
+}

@@ -1,0 +1,424 @@
+// Package cypher is the public API of the graph database: an embedded,
+// in-memory property graph store queried and updated with Cypher, as
+// described in "Updating Graph Databases with Cypher" (Green et al.,
+// PVLDB 12(12), 2019).
+//
+// The database supports two update dialects:
+//
+//   - Cypher9 reproduces the legacy record-by-record update pipeline
+//     of Neo4j's Cypher 9, including the atomicity and determinism
+//     defects the paper catalogues in Section 4 (use it to study them);
+//   - Revised (the default) implements the corrected semantics of
+//     Sections 7-8: atomic SET with conflict detection, strict DELETE
+//     with null replacement, and the MERGE ALL / MERGE SAME clauses.
+//
+// Quickstart:
+//
+//	db := cypher.Open()
+//	db.Exec(`CREATE (:User{id:1, name:'Ada'})-[:KNOWS]->(:User{id:2, name:'Bob'})`, nil)
+//	res, _ := db.Exec(`MATCH (a:User)-[:KNOWS]->(b) RETURN a.name AS a, b.name AS b`, nil)
+//	for _, row := range res.Rows() {
+//	    fmt.Println(row["a"], row["b"])
+//	}
+package cypher
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/parser"
+	"repro/internal/table"
+	"repro/internal/value"
+)
+
+// Dialect selects the update semantics of a database.
+type Dialect = core.Dialect
+
+// Dialects.
+const (
+	// Cypher9 is the legacy pipeline of Section 3 with the Section 4
+	// defects preserved.
+	Cypher9 = core.DialectCypher9
+	// Revised is the atomic, deterministic semantics of Section 7.
+	Revised = core.DialectRevised
+)
+
+// MergeStrategy selects among the Section 6 proposals for MERGE.
+type MergeStrategy = core.MergeStrategy
+
+// Merge strategies (see the paper's Section 6).
+const (
+	MergeFromForm       = core.StrategyFromForm
+	MergeLegacy         = core.StrategyLegacy
+	MergeAtomic         = core.StrategyAtomic
+	MergeGrouping       = core.StrategyGrouping
+	MergeWeakCollapse   = core.StrategyWeakCollapse
+	MergeCollapse       = core.StrategyCollapse
+	MergeStrongCollapse = core.StrategyStrongCollapse
+)
+
+// ScanOrder controls legacy-mode record iteration (Example 3).
+type ScanOrder = core.ScanOrder
+
+// Scan orders.
+const (
+	ScanForward = core.ScanForward
+	ScanReverse = core.ScanReverse
+)
+
+// MatchMode selects pattern matching semantics.
+type MatchMode = match.Mode
+
+// Match modes.
+const (
+	// Isomorphism is Cypher's default: distinct relationship slots bind
+	// distinct relationships (Section 2).
+	Isomorphism = match.Isomorphism
+	// Homomorphism allows relationship reuse (Example 7 discussion).
+	Homomorphism = match.Homomorphism
+)
+
+// Value is a Cypher runtime value (see repro/internal/value for kinds).
+type Value = value.Value
+
+// UpdateStats counts the effects of a statement.
+type UpdateStats = core.UpdateStats
+
+// Option configures a database.
+type Option func(*options)
+
+type options struct {
+	cfg core.Config
+}
+
+// WithDialect selects the update dialect (default Revised).
+func WithDialect(d Dialect) Option {
+	return func(o *options) { o.cfg.Dialect = d }
+}
+
+// WithMergeStrategy overrides the strategy used by MERGE clauses
+// (default: derived from the clause form).
+func WithMergeStrategy(s MergeStrategy) Option {
+	return func(o *options) { o.cfg.MergeStrategy = s }
+}
+
+// WithScanOrder sets the record iteration order of legacy update clauses.
+func WithScanOrder(s ScanOrder) Option {
+	return func(o *options) { o.cfg.ScanOrder = s }
+}
+
+// WithMatchMode selects isomorphic (default) or homomorphic matching.
+func WithMatchMode(m MatchMode) Option {
+	return func(o *options) { o.cfg.MatchMode = m }
+}
+
+// DB is an embedded graph database. All methods are safe for concurrent
+// use; statements are serialized by an internal lock (single-writer).
+type DB struct {
+	mu     sync.Mutex
+	graph  *graph.Graph
+	engine *core.Engine
+	opts   options
+}
+
+// Open creates an empty database.
+func Open(opts ...Option) *DB {
+	var o options
+	o.cfg.Dialect = core.DialectRevised
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return &DB{
+		graph:  graph.New(),
+		engine: core.NewEngine(o.cfg),
+		opts:   o,
+	}
+}
+
+// Dialect reports the database's dialect.
+func (db *DB) Dialect() Dialect { return db.engine.Config().Dialect }
+
+// Result is the outcome of a statement.
+type Result struct {
+	cols  []string
+	rows  [][]Value
+	stats UpdateStats
+}
+
+// Columns returns the output column names.
+func (r *Result) Columns() []string { return append([]string(nil), r.cols...) }
+
+// NumRows reports the number of result records.
+func (r *Result) NumRows() int { return len(r.rows) }
+
+// Row returns record i as a column-name map.
+func (r *Result) Row(i int) map[string]Value {
+	m := make(map[string]Value, len(r.cols))
+	for j, c := range r.cols {
+		m[c] = r.rows[i][j]
+	}
+	return m
+}
+
+// Rows returns all records as column-name maps.
+func (r *Result) Rows() []map[string]Value {
+	out := make([]map[string]Value, len(r.rows))
+	for i := range r.rows {
+		out[i] = r.Row(i)
+	}
+	return out
+}
+
+// Values returns record i as a slice in column order.
+func (r *Result) Values(i int) []Value { return append([]Value(nil), r.rows[i]...) }
+
+// Stats returns the update statistics of the statement.
+func (r *Result) Stats() UpdateStats { return r.stats }
+
+// Exec parses and runs a Cypher statement. Parameters may be native Go
+// values (see value.FromGo) or Values. A failing statement leaves the
+// database unchanged.
+func (db *DB) Exec(query string, params map[string]any) (*Result, error) {
+	stmt, err := parser.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	vparams, err := convertParams(params)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	res, err := db.engine.ExecuteStatement(db.graph, stmt, vparams)
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(res), nil
+}
+
+// ExecTable runs a statement against an explicit driving table instead
+// of the unit table — the execution mode of the paper's Section 6
+// experiments, where "the input table is already populated". Build the
+// table with NewTable.
+func (db *DB) ExecTable(query string, t *Table, params map[string]any) (*Result, error) {
+	stmt, err := parser.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	vparams, err := convertParams(params)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	res, err := db.engine.ExecuteWithTable(db.graph, stmt, vparams, t.t)
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(res), nil
+}
+
+// Parse checks a statement for syntactic and dialect validity without
+// executing it.
+func (db *DB) Parse(query string) error {
+	stmt, err := parser.Parse(query)
+	if err != nil {
+		return err
+	}
+	return core.Validate(stmt, db.engine.Config().Dialect)
+}
+
+func wrapResult(res *core.Result) *Result {
+	out := &Result{cols: res.Table.Columns(), stats: res.Stats}
+	for i := 0; i < res.Table.Len(); i++ {
+		out.rows = append(out.rows, res.Table.Values(i))
+	}
+	return out
+}
+
+func convertParams(params map[string]any) (map[string]value.Value, error) {
+	if params == nil {
+		return nil, nil
+	}
+	out := make(map[string]value.Value, len(params))
+	for k, v := range params {
+		cv, err := value.FromGo(v)
+		if err != nil {
+			return nil, fmt.Errorf("parameter $%s: %w", k, err)
+		}
+		out[k] = cv
+	}
+	return out, nil
+}
+
+// Table is a driving table for ExecTable.
+type Table struct {
+	t *table.Table
+}
+
+// NewTable creates a driving table with the given columns.
+func NewTable(cols ...string) *Table {
+	return &Table{t: table.New(cols...)}
+}
+
+// Append adds a record; values may be native Go values or Values, and
+// nil means null.
+func (t *Table) Append(vals ...any) error {
+	row := make([]value.Value, len(vals))
+	for i, v := range vals {
+		cv, err := value.FromGo(v)
+		if err != nil {
+			return err
+		}
+		row[i] = cv
+	}
+	t.t.AppendRow(row...)
+	return nil
+}
+
+// Len reports the number of records.
+func (t *Table) Len() int { return t.t.Len() }
+
+// Reverse reverses the record order (the "bottom-up" evaluation of
+// Example 3).
+func (t *Table) Reverse() { t.t.Reverse() }
+
+// Permute reorders the records by the given permutation.
+func (t *Table) Permute(perm []int) { t.t.Permute(perm) }
+
+// NodeView is a read-only snapshot of a node.
+type NodeView struct {
+	ID     int64
+	Labels []string
+	Props  map[string]Value
+}
+
+// RelView is a read-only snapshot of a relationship.
+type RelView struct {
+	ID       int64
+	Type     string
+	Src, Tgt int64
+	Props    map[string]Value
+}
+
+// NumNodes reports the number of nodes in the graph.
+func (db *DB) NumNodes() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.graph.NumNodes()
+}
+
+// NumRels reports the number of relationships in the graph.
+func (db *DB) NumRels() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.graph.NumRels()
+}
+
+// Nodes returns snapshots of all nodes in id order.
+func (db *DB) Nodes() []NodeView {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var out []NodeView
+	for _, id := range db.graph.NodeIDs() {
+		n := db.graph.Node(id)
+		nv := NodeView{ID: int64(id), Labels: n.SortedLabels(), Props: map[string]Value{}}
+		for k, v := range n.Props {
+			nv.Props[k] = v
+		}
+		out = append(out, nv)
+	}
+	return out
+}
+
+// Rels returns snapshots of all relationships in id order.
+func (db *DB) Rels() []RelView {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var out []RelView
+	for _, id := range db.graph.RelIDs() {
+		r := db.graph.Rel(id)
+		rv := RelView{ID: int64(id), Type: r.Type, Src: int64(r.Src), Tgt: int64(r.Tgt), Props: map[string]Value{}}
+		for k, v := range r.Props {
+			rv.Props[k] = v
+		}
+		out = append(out, rv)
+	}
+	return out
+}
+
+// Stats summarizes the graph (node/relationship counts by label/type).
+func (db *DB) Stats() graph.Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return graph.ComputeStats(db.graph)
+}
+
+// Snapshot returns an independent deep copy of the database (same
+// dialect and options), useful for comparing semantics side by side.
+func (db *DB) Snapshot(opts ...Option) *DB {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	o := db.opts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return &DB{
+		graph:  db.graph.Clone(),
+		engine: core.NewEngine(o.cfg),
+		opts:   o,
+	}
+}
+
+// SameShape reports whether two databases hold isomorphic graphs
+// ("equal up to id renaming", Section 8).
+func SameShape(a, b *DB) bool {
+	a.mu.Lock()
+	ga := a.graph.Clone()
+	a.mu.Unlock()
+	b.mu.Lock()
+	gb := b.graph.Clone()
+	b.mu.Unlock()
+	return graph.Isomorphic(ga, gb)
+}
+
+// Explain parses a statement and returns its canonical rendering (the
+// AST printed back as Cypher), useful for debugging.
+func Explain(query string) (string, error) {
+	stmt, err := parser.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	return stmt.String(), nil
+}
+
+// Save serializes the graph as a JSON snapshot to w. Snapshots preserve
+// entity ids exactly and round-trip all property values (including NaN
+// and infinities).
+func (db *DB) Save(w io.Writer) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.graph.WriteJSON(w)
+}
+
+// Load opens a database from a JSON snapshot produced by Save.
+func Load(r io.Reader, opts ...Option) (*DB, error) {
+	g, err := graph.ReadJSON(r)
+	if err != nil {
+		return nil, err
+	}
+	db := Open(opts...)
+	db.graph = g
+	return db, nil
+}
+
+// ExportDOT renders the graph in Graphviz DOT format for visualization.
+func (db *DB) ExportDOT(w io.Writer, title string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.graph.WriteDOT(w, title)
+}

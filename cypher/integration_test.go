@@ -1,0 +1,215 @@
+package cypher
+
+import (
+	"fmt"
+	"testing"
+)
+
+// must executes a statement and fails the test on error.
+func must(t *testing.T, db *DB, q string, params map[string]any) *Result {
+	t.Helper()
+	res, err := db.Exec(q, params)
+	if err != nil {
+		t.Fatalf("%s\n-> %v", q, err)
+	}
+	return res
+}
+
+// A social-network lifecycle: build, query, evolve, prune — exercising
+// most clauses through the public API in one coherent scenario.
+func TestIntegrationSocialNetwork(t *testing.T) {
+	db := Open()
+
+	// Bulk-create people and friendships.
+	must(t, db, `
+		UNWIND range(1, 20) AS i
+		CREATE (:Person{id: i, name: 'person-' + toString(i), active: i % 3 <> 0})`, nil)
+	must(t, db, `
+		MATCH (a:Person), (b:Person)
+		WHERE a.id < b.id AND b.id - a.id <= 2
+		MERGE SAME (a)-[:FRIEND]->(b)`, nil)
+
+	res := must(t, db, `MATCH (:Person)-[f:FRIEND]->(:Person) RETURN count(f) AS c`, nil)
+	friends := res.Row(0)["c"].String()
+	if friends != "37" { // 19 pairs at distance 1 + 18 at distance 2
+		t.Errorf("friendships = %s, want 37", friends)
+	}
+
+	// Friends-of-friends via variable-length paths.
+	res = must(t, db, `
+		MATCH (p:Person{id:1})-[:FRIEND*1..2]->(q:Person)
+		RETURN count(DISTINCT q) AS reach`, nil)
+	if res.Row(0)["reach"].String() != "4" { // ids 2,3,4,5
+		t.Errorf("reach = %v", res.Row(0)["reach"])
+	}
+
+	// Aggregate per activity flag.
+	res = must(t, db, `
+		MATCH (p:Person)
+		RETURN p.active AS active, count(*) AS c ORDER BY active`, nil)
+	if res.NumRows() != 2 {
+		t.Fatalf("groups = %d", res.NumRows())
+	}
+
+	// Deactivate a range atomically, then prune inactive people.
+	must(t, db, `MATCH (p:Person) WHERE p.id > 15 SET p.active = false`, nil)
+	res = must(t, db, `MATCH (p:Person{active: false}) DETACH DELETE p RETURN count(*) AS gone`, nil)
+	if db.NumNodes() != 20-res.Stats().NodesDeleted {
+		t.Errorf("node accounting: %d left, %d deleted", db.NumNodes(), res.Stats().NodesDeleted)
+	}
+	// Graph invariant holds.
+	if err := db.Exec2Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// Exec2Validate re-checks the structural invariant from the outside.
+func (db *DB) Exec2Validate() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.graph.Validate()
+}
+
+// An inventory/orders scenario mirroring the paper's marketplace at a
+// slightly larger scale, driven entirely by Cypher statements.
+func TestIntegrationMarketplace(t *testing.T) {
+	db := Open()
+
+	// Catalog.
+	for i := 1; i <= 10; i++ {
+		must(t, db, `CREATE (:Product{id: $id, name: $name, price: $price})`, map[string]any{
+			"id": i, "name": fmt.Sprintf("product-%d", i), "price": float64(i) * 2.5,
+		})
+	}
+	must(t, db, `
+		UNWIND range(1, 3) AS v
+		CREATE (:Vendor{id: v, name: 'vendor-' + toString(v)})`, nil)
+	// Vendors offer products deterministically: vendor v offers products
+	// with id % 3 == v % 3.
+	must(t, db, `
+		MATCH (v:Vendor), (p:Product)
+		WHERE p.id % 3 = v.id % 3
+		MERGE SAME (v)-[:OFFERS]->(p)`, nil)
+
+	// Every product must have a vendor — the Query (5) idiom, revised:
+	// first check which products lack vendors.
+	res := must(t, db, `
+		MATCH (p:Product)
+		OPTIONAL MATCH (p)<-[:OFFERS]-(v:Vendor)
+		WITH p, count(v) AS vendors WHERE vendors = 0
+		RETURN count(p) AS uncovered`, nil)
+	if res.Row(0)["uncovered"].String() != "0" {
+		t.Errorf("uncovered products = %v", res.Row(0)["uncovered"])
+	}
+
+	// Orders via a driving table. First the WRONG way, pinned: merging
+	// the whole path creates duplicate Product nodes carrying only the
+	// id, because the pattern as a whole has no match — exactly the
+	// "unintended creation of duplicate nodes" the paper's user survey
+	// identifies as the dominant MERGE error (Section 5).
+	naive := db.Snapshot()
+	orders := NewTable("uid", "pid")
+	for i := 0; i < 30; i++ {
+		orders.Append(i%5+1, i%10+1)
+	}
+	if _, err := naive.ExecTable(`
+		MERGE SAME (:User{id: uid})-[:ORDERED]->(p:Product{id: pid})`, orders, nil); err != nil {
+		t.Fatal(err)
+	}
+	res = must(t, naive, `MATCH (p:Product) WHERE p.name IS NULL RETURN count(*) AS dups`, nil)
+	if res.Row(0)["dups"].String() != "10" {
+		t.Errorf("duplicate products = %v, want 10 (the Section 5 pitfall)", res.Row(0)["dups"])
+	}
+
+	// The correct idiom the paper reports from practice: "input nodes
+	// first and relationships later" (Section 5).
+	if _, err := db.ExecTable(`MERGE SAME (:User{id: uid})`, orders, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ExecTable(`
+		MATCH (u:User{id: uid}), (p:Product{id: pid})
+		MERGE SAME (u)-[:ORDERED]->(p)`, orders, nil); err != nil {
+		t.Fatal(err)
+	}
+	res = must(t, db, `MATCH (u:User) RETURN count(*) AS users`, nil)
+	if res.Row(0)["users"].String() != "5" {
+		t.Errorf("users = %v", res.Row(0)["users"])
+	}
+	// User u orders products u and u+5: two distinct products each,
+	// deduplicated by MERGE SAME.
+	res = must(t, db, `
+		MATCH (u:User)-[:ORDERED]->(p:Product)
+		RETURN u.id AS uid, count(p) AS k ORDER BY uid`, nil)
+	for _, row := range res.Rows() {
+		if row["k"].String() != "2" {
+			t.Errorf("user %v ordered %v products, want 2", row["uid"], row["k"])
+		}
+	}
+
+	// Revenue report: top products by total price of orders.
+	res = must(t, db, `
+		MATCH (:User)-[:ORDERED]->(p:Product)
+		RETURN p.name AS name, sum(p.price) AS revenue
+		ORDER BY revenue DESC, name LIMIT 3`, nil)
+	if res.NumRows() != 3 {
+		t.Fatalf("report rows = %d", res.NumRows())
+	}
+	if res.Row(0)["name"].String() != "'product-10'" {
+		t.Errorf("top product = %v", res.Row(0)["name"])
+	}
+}
+
+// The full Section 3 script through the legacy dialect, then replayed
+// under the revised dialect from a snapshot — both must agree on the
+// final graph because the script has no cross-record interference.
+func TestIntegrationDialectAgreementOnCleanScript(t *testing.T) {
+	script := []string{
+		`CREATE (v1:Vendor{id:60, name:'cStore'}),
+		        (p1:Product{id:125, name:'laptop'}),
+		        (p2:Product{id:126, name:'notebook'}),
+		        (u1:User{id:89, name:'Bob'}),
+		        (v1)-[:OFFERS]->(p1), (v1)-[:OFFERS]->(p2),
+		        (u1)-[:ORDERED]->(p1)`,
+		`MATCH (u:User{id:89}) CREATE (u)-[:ORDERED]->(:New_Product{id:0})`,
+		`MATCH (p:New_Product{id:0})
+		 SET p:Product, p.id=120, p.name="smartphone"
+		 REMOVE p:New_Product`,
+		`MATCH (p:Product{id:120}) DETACH DELETE p`,
+	}
+	legacy := Open(WithDialect(Cypher9))
+	revised := Open(WithDialect(Revised))
+	for _, stmt := range script {
+		must(t, legacy, stmt, nil)
+		must(t, revised, stmt, nil)
+	}
+	if !SameShape(legacy, revised) {
+		t.Error("dialects disagree on an interference-free script")
+	}
+}
+
+// Failure atomicity at the API level: a long statement that fails late
+// must leave the database exactly as before, in both dialects.
+func TestIntegrationFailureAtomicity(t *testing.T) {
+	for _, d := range []Dialect{Cypher9, Revised} {
+		db := Open(WithDialect(d))
+		must(t, db, `CREATE (:Base{v:1})-[:T]->(:Base{v:2})`, nil)
+		before, _ := db.Exec(`MATCH (n) RETURN count(*) AS c`, nil)
+
+		// The division by zero strikes after the creations.
+		_, err := db.Exec(`
+			MATCH (b:Base)
+			CREATE (b)-[:EXTRA]->(:Junk)
+			WITH b
+			RETURN 1 / (b.v - b.v) AS boom`, nil)
+		if err == nil {
+			t.Fatalf("[%v] expected failure", d)
+		}
+		after, _ := db.Exec(`MATCH (n) RETURN count(*) AS c`, nil)
+		if before.Row(0)["c"].String() != after.Row(0)["c"].String() {
+			t.Errorf("[%v] failed statement left residue", d)
+		}
+		if db.NumRels() != 1 {
+			t.Errorf("[%v] rels = %d", d, db.NumRels())
+		}
+	}
+}

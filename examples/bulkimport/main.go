@@ -1,0 +1,93 @@
+// Bulkimport demonstrates the dominant MERGE use case the paper's user
+// survey identified (Section 5): populating a graph from tabular data
+// (a CSV export of a relational orders table), and how the choice of
+// MERGE semantics (Section 6) changes the resulting graph.
+//
+// The program writes a small orders.csv, loads it with LOAD CSV, and
+// imports it under MERGE ALL (atomic) and MERGE SAME (strong collapse),
+// printing the resulting graph shapes — the Figure 7a vs 7c contrast at
+// CSV scale.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/cypher"
+)
+
+const ordersCSV = `cid,pid,date
+98,125,2018-06-23
+98,125,2018-07-06
+98,,
+98,,
+99,125,2018-03-11
+99,,
+`
+
+func main() {
+	dir, err := os.MkdirTemp("", "bulkimport")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "orders.csv")
+	if err := os.WriteFile(path, []byte(ordersCSV), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("orders.csv holds Example 5's driving table (duplicates + nulls)")
+
+	// MERGE ALL: one pattern instance per failing record (Figure 7a).
+	all := cypher.Open()
+	mustExec(all, fmt.Sprintf(`
+		LOAD CSV WITH HEADERS FROM 'file://%s' AS row
+		MERGE ALL (:User{id:toInteger(row.cid)})-[:ORDERED]->(:Product{id:toInteger(row.pid)})`, path))
+	fmt.Println("MERGE ALL  (atomic):          ", all.Stats())
+
+	// MERGE SAME: equal nodes and relationships collapse (Figure 7c).
+	same := cypher.Open()
+	mustExec(same, fmt.Sprintf(`
+		LOAD CSV WITH HEADERS FROM 'file://%s' AS row
+		MERGE SAME (:User{id:toInteger(row.cid)})-[:ORDERED]->(:Product{id:toInteger(row.pid)})`, path))
+	fmt.Println("MERGE SAME (strong collapse): ", same.Stats())
+
+	// Intermediate proposals from Section 6 via the strategy override.
+	for _, s := range []struct {
+		name     string
+		strategy cypher.MergeStrategy
+	}{
+		{"grouping", cypher.MergeGrouping},
+		{"weak-collapse", cypher.MergeWeakCollapse},
+		{"collapse", cypher.MergeCollapse},
+	} {
+		db := cypher.Open(cypher.WithMergeStrategy(s.strategy))
+		mustExec(db, fmt.Sprintf(`
+			LOAD CSV WITH HEADERS FROM 'file://%s' AS row
+			MERGE ALL (:User{id:toInteger(row.cid)})-[:ORDERED]->(:Product{id:toInteger(row.pid)})`, path))
+		fmt.Printf("MERGE %-22s %v\n", "("+s.name+"):", db.Stats())
+	}
+
+	// Idempotence: re-importing the rows with non-null keys under
+	// MERGE SAME changes nothing — the property users expect of a
+	// deterministic merge. (Null-keyed rows are different: a pattern
+	// property {id: null} never *matches* under ternary equality, so
+	// re-importing them would create fresh nodes; and per Definition 1
+	// of the paper, new nodes never collapse with pre-existing ones.
+	// This is exactly the Figure 7c semantics, not a bug.)
+	before := same.Stats()
+	mustExec(same, fmt.Sprintf(`
+		LOAD CSV WITH HEADERS FROM 'file://%s' AS row
+		WITH row WHERE row.pid IS NOT NULL
+		MERGE SAME (:User{id:toInteger(row.cid)})-[:ORDERED]->(:Product{id:toInteger(row.pid)})`, path))
+	fmt.Printf("re-import (non-null rows) under MERGE SAME: before %v, after %v\n", before, same.Stats())
+}
+
+func mustExec(db *cypher.DB, q string) *cypher.Result {
+	res, err := db.Exec(q, nil)
+	if err != nil {
+		log.Fatalf("%s\n-> %v", q, err)
+	}
+	return res
+}

@@ -1,0 +1,105 @@
+// Marketplace walks through the paper's running example (Sections 2-3):
+// it builds the Figure 1 graph with Cypher, then executes Queries (1)
+// through (5) and shows their effects, finishing with the Section 4
+// pitfalls demonstrated side by side in both dialects.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/cypher"
+)
+
+func main() {
+	// The paper's examples run under the legacy Cypher 9 semantics.
+	db := cypher.Open(cypher.WithDialect(cypher.Cypher9))
+
+	fmt.Println("== building Figure 1 (solid lines)")
+	mustExec(db, `
+		CREATE (v1:Vendor{id:60, name:'cStore'}),
+		       (p1:Product{id:125, name:'laptop'}),
+		       (p2:Product{id:125, name:'notebook'}),
+		       (u1:User{id:89, name:'Bob'}),
+		       (u2:User{id:99, name:'Jane'}),
+		       (p3:Product{id:85, name:'tablet'}),
+		       (v1)-[:OFFERS]->(p1), (v1)-[:OFFERS]->(p2),
+		       (u1)-[:ORDERED]->(p1), (u1)-[:ORDERED]->(p3),
+		       (u2)-[:ORDERED]->(p3), (u2)-[:ORDERED]->(p2)`)
+	fmt.Println("  ", db.Stats())
+
+	fmt.Println("== Query (1): vendors offering two products, one named laptop")
+	res := mustExec(db, `
+		MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(q:Product)
+		WHERE p.name = "laptop"
+		RETURN v.name AS vendor`)
+	printRows(res)
+
+	fmt.Println("== Query (2): insert a new product ordered by user 89")
+	mustExec(db, `
+		MATCH (u:User{id:89})
+		CREATE (u)-[:ORDERED]->(:New_Product{id:0})`)
+	fmt.Println("  ", db.Stats())
+
+	fmt.Println("== Query (3): relabel and update the new product")
+	mustExec(db, `
+		MATCH (p:New_Product{id:0})
+		SET p:Product, p.id=120, p.name="smartphone"
+		REMOVE p:New_Product`)
+	fmt.Println("  ", db.Stats())
+
+	fmt.Println("== plain DELETE fails while relationships are attached")
+	if _, err := db.Exec(`MATCH (p:Product{id:120}) DELETE p`, nil); err != nil {
+		fmt.Println("   error (expected):", err)
+	}
+
+	fmt.Println("== Query (4): DETACH DELETE removes node and relationships")
+	mustExec(db, `MATCH (p:Product{id:120}) DETACH DELETE p`)
+	fmt.Println("  ", db.Stats())
+
+	fmt.Println("== Query (5): MERGE guarantees every product has a vendor")
+	res = mustExec(db, `
+		MATCH (p:Product)
+		MERGE (p)<-[:OFFERS]-(v:Vendor)
+		RETURN p.name AS product, v.name AS vendor`)
+	printRows(res)
+	fmt.Println("  ", db.Stats(), " <- a fresh vendor was created for the tablet")
+
+	fmt.Println()
+	fmt.Println("== Section 4 pitfall: the ID swap (Example 1)")
+	fmt.Println("   legacy Cypher 9:")
+	legacy := db.Snapshot()
+	mustExec(legacy, `
+		MATCH (a:Product{name:"laptop"}), (b:Product{name:"tablet"})
+		SET a.id = b.id, b.id = a.id`)
+	printRows(mustExec(legacy, `
+		MATCH (p:Product) WHERE p.name IN ['laptop','tablet']
+		RETURN p.name AS name, p.id AS id ORDER BY name`))
+
+	fmt.Println("   revised semantics:")
+	revised := db.Snapshot(cypher.WithDialect(cypher.Revised))
+	mustExec(revised, `
+		MATCH (a:Product{name:"laptop"}), (b:Product{name:"tablet"})
+		SET a.id = b.id, b.id = a.id`)
+	printRows(mustExec(revised, `
+		MATCH (p:Product) WHERE p.name IN ['laptop','tablet']
+		RETURN p.name AS name, p.id AS id ORDER BY name`))
+}
+
+func mustExec(db *cypher.DB, q string) *cypher.Result {
+	res, err := db.Exec(q, nil)
+	if err != nil {
+		log.Fatalf("%s\n-> %v", q, err)
+	}
+	return res
+}
+
+func printRows(res *cypher.Result) {
+	for _, row := range res.Rows() {
+		fmt.Print("   ")
+		for _, c := range res.Columns() {
+			fmt.Printf("%s=%v  ", c, row[c])
+		}
+		fmt.Println()
+	}
+}

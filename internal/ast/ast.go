@@ -1,0 +1,625 @@
+// Package ast defines the abstract syntax of Cypher statements as used by
+// the parser and the execution engine. It covers the union of the Cypher 9
+// grammar (Figures 2-5 of the paper) and the revised grammar (Figure 10):
+// the parser accepts the superset, and per-dialect validation (package
+// core) enforces each grammar's restrictions, so the paper's Section 4.4
+// syntax comparison is expressible.
+package ast
+
+import (
+	"strings"
+)
+
+// Statement is a top-level Cypher statement: one or more single queries
+// combined with UNION [ALL].
+type Statement struct {
+	Queries  []*SingleQuery // len >= 1
+	UnionAll []bool         // len == len(Queries)-1; true for UNION ALL
+}
+
+// SingleQuery is a sequence of clauses.
+type SingleQuery struct {
+	Clauses []Clause
+}
+
+// Clause is implemented by all clause nodes.
+type Clause interface {
+	clause()
+	// Reading reports whether this is a reading clause (MATCH, UNWIND,
+	// LOAD CSV); WITH/RETURN are projections, everything else updates.
+	Reading() bool
+	// Updating reports whether this is an update clause per Figure 3.
+	Updating() bool
+	String() string
+}
+
+// MatchClause is MATCH or OPTIONAL MATCH with an optional WHERE.
+type MatchClause struct {
+	Optional bool
+	Pattern  []*PatternPart
+	Where    Expr // may be nil
+}
+
+// UnwindClause is UNWIND <expr> AS <var>.
+type UnwindClause struct {
+	Expr Expr
+	Var  string
+}
+
+// LoadCSVClause is LOAD CSV [WITH HEADERS] FROM <expr> AS <var>
+// [FIELDTERMINATOR <string>].
+type LoadCSVClause struct {
+	WithHeaders bool
+	URL         Expr
+	Var         string
+	FieldTerm   string // empty means ','
+}
+
+// SortItem is one ORDER BY key.
+type SortItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Projection is the shared body of WITH and RETURN.
+type Projection struct {
+	Distinct bool
+	Star     bool
+	Items    []*ReturnItem
+	OrderBy  []*SortItem
+	Skip     Expr // may be nil
+	Limit    Expr // may be nil
+}
+
+// ReturnItem is an expression with an optional alias.
+type ReturnItem struct {
+	Expr  Expr
+	Alias string // empty means use the expression text
+}
+
+// WithClause is WITH <projection> [WHERE <expr>].
+type WithClause struct {
+	Projection
+	Where Expr // may be nil
+}
+
+// ReturnClause is RETURN <projection>.
+type ReturnClause struct {
+	Projection
+}
+
+// CreateClause is CREATE <pattern tuple>.
+type CreateClause struct {
+	Pattern []*PatternPart
+}
+
+// MergeForm distinguishes the three surface forms of MERGE.
+type MergeForm int
+
+// Merge forms.
+const (
+	MergeLegacy MergeForm = iota // Cypher 9 MERGE (single pattern, may be undirected)
+	MergeAll                     // MERGE ALL (Figure 10)
+	MergeSame                    // MERGE SAME (Figure 10)
+)
+
+func (f MergeForm) String() string {
+	switch f {
+	case MergeAll:
+		return "MERGE ALL"
+	case MergeSame:
+		return "MERGE SAME"
+	default:
+		return "MERGE"
+	}
+}
+
+// MergeClause is MERGE / MERGE ALL / MERGE SAME, with the optional
+// ON CREATE SET / ON MATCH SET sub-clauses of Cypher 9.
+type MergeClause struct {
+	Form     MergeForm
+	Pattern  []*PatternPart // legacy form: exactly one part
+	OnCreate []SetItem
+	OnMatch  []SetItem
+}
+
+// SetClause is SET <set items>.
+type SetClause struct {
+	Items []SetItem
+}
+
+// SetItem is one item of a SET clause (Figure 4).
+type SetItem interface {
+	setItem()
+	String() string
+}
+
+// SetProp is SET <expr>.<key> = <expr>.
+type SetProp struct {
+	Target Expr // must evaluate to a node or relationship
+	Key    string
+	Value  Expr
+}
+
+// SetAllProps is SET <var> = <expr> (replace) or SET <var> += <expr> (merge).
+type SetAllProps struct {
+	Var   string
+	Value Expr
+	Add   bool // true for +=
+}
+
+// SetLabels is SET <var>:Label1:Label2.
+type SetLabels struct {
+	Var    string
+	Labels []string
+}
+
+// RemoveClause is REMOVE <remove items>.
+type RemoveClause struct {
+	Items []RemoveItem
+}
+
+// RemoveItem is one item of a REMOVE clause (Figure 4).
+type RemoveItem interface {
+	removeItem()
+	String() string
+}
+
+// RemoveProp is REMOVE <expr>.<key>.
+type RemoveProp struct {
+	Target Expr
+	Key    string
+}
+
+// RemoveLabels is REMOVE <var>:Label1:Label2.
+type RemoveLabels struct {
+	Var    string
+	Labels []string
+}
+
+// DeleteClause is [DETACH] DELETE <exprs>.
+type DeleteClause struct {
+	Detach bool
+	Exprs  []Expr
+}
+
+// ForeachClause is FOREACH (<var> IN <expr> | <update clauses>).
+type ForeachClause struct {
+	Var  string
+	List Expr
+	Body []Clause // update clauses only
+}
+
+func (*MatchClause) clause()   {}
+func (*UnwindClause) clause()  {}
+func (*LoadCSVClause) clause() {}
+func (*WithClause) clause()    {}
+func (*ReturnClause) clause()  {}
+func (*CreateClause) clause()  {}
+func (*MergeClause) clause()   {}
+func (*SetClause) clause()     {}
+func (*RemoveClause) clause()  {}
+func (*DeleteClause) clause()  {}
+func (*ForeachClause) clause() {}
+
+// Reading implements Clause.
+func (*MatchClause) Reading() bool   { return true }
+func (*UnwindClause) Reading() bool  { return true }
+func (*LoadCSVClause) Reading() bool { return true }
+func (*WithClause) Reading() bool    { return false }
+func (*ReturnClause) Reading() bool  { return false }
+func (*CreateClause) Reading() bool  { return false }
+func (*MergeClause) Reading() bool   { return false }
+func (*SetClause) Reading() bool     { return false }
+func (*RemoveClause) Reading() bool  { return false }
+func (*DeleteClause) Reading() bool  { return false }
+func (*ForeachClause) Reading() bool { return false }
+
+// Updating implements Clause (the update clauses of Figure 3).
+func (*MatchClause) Updating() bool   { return false }
+func (*UnwindClause) Updating() bool  { return false }
+func (*LoadCSVClause) Updating() bool { return false }
+func (*WithClause) Updating() bool    { return false }
+func (*ReturnClause) Updating() bool  { return false }
+func (*CreateClause) Updating() bool  { return true }
+func (*MergeClause) Updating() bool   { return true }
+func (*SetClause) Updating() bool     { return true }
+func (*RemoveClause) Updating() bool  { return true }
+func (*DeleteClause) Updating() bool  { return true }
+func (*ForeachClause) Updating() bool { return true }
+
+func (*SetProp) setItem()     {}
+func (*SetAllProps) setItem() {}
+func (*SetLabels) setItem()   {}
+
+func (*RemoveProp) removeItem()   {}
+func (*RemoveLabels) removeItem() {}
+
+// Direction of a relationship pattern.
+type Direction int
+
+// Relationship pattern directions.
+const (
+	DirBoth Direction = iota // -[..]-
+	DirOut                   // -[..]->
+	DirIn                    // <-[..]-
+)
+
+// PatternPart is an optionally named path pattern: a sequence of node
+// patterns separated by relationship patterns.
+type PatternPart struct {
+	Var   string // path variable; empty if unnamed
+	Nodes []*NodePattern
+	Rels  []*RelPattern // len == len(Nodes)-1
+}
+
+// NodePattern is ( var? :Label* {props}? ).
+type NodePattern struct {
+	Var    string
+	Labels []string
+	Props  Expr // nil, a MapLit, or a Parameter
+}
+
+// RelPattern is -[ var? :TYPE|TYPE2* {props}? *min..max? ]-> etc.
+type RelPattern struct {
+	Var       string
+	Types     []string
+	Props     Expr
+	Direction Direction
+	VarLength bool
+	MinHops   int // valid when VarLength; -1 means unbounded below (defaults to 1)
+	MaxHops   int // valid when VarLength; -1 means unbounded above
+}
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	expr()
+	String() string
+}
+
+// Literal is a constant value: int64, float64, string, bool, or nil.
+type Literal struct {
+	Value any
+}
+
+// Variable references a binding in the driving table.
+type Variable struct {
+	Name string
+}
+
+// Parameter is $name.
+type Parameter struct {
+	Name string
+}
+
+// PropAccess is <expr>.key.
+type PropAccess struct {
+	Expr Expr
+	Key  string
+}
+
+// Index is <expr>[<expr>] subscripting.
+type Index struct {
+	Expr  Expr
+	Index Expr
+}
+
+// Slice is <expr>[from..to].
+type Slice struct {
+	Expr Expr
+	From Expr // may be nil
+	To   Expr // may be nil
+}
+
+// UnaryOp codes.
+type UnaryOpKind int
+
+// Unary operators.
+const (
+	OpNot UnaryOpKind = iota
+	OpNeg
+	OpPos
+)
+
+// UnaryOp is NOT/-/+ applied to one operand.
+type UnaryOp struct {
+	Op   UnaryOpKind
+	Expr Expr
+}
+
+// BinaryOpKind codes.
+type BinaryOpKind int
+
+// Binary operators.
+const (
+	OpAnd BinaryOpKind = iota
+	OpOr
+	OpXor
+	OpEq
+	OpNeq
+	OpLt
+	OpLeq
+	OpGt
+	OpGeq
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpPow
+	OpIn
+	OpStartsWith
+	OpEndsWith
+	OpContains
+)
+
+var binOpNames = map[BinaryOpKind]string{
+	OpAnd: "AND", OpOr: "OR", OpXor: "XOR", OpEq: "=", OpNeq: "<>",
+	OpLt: "<", OpLeq: "<=", OpGt: ">", OpGeq: ">=", OpAdd: "+",
+	OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%", OpPow: "^",
+	OpIn: "IN", OpStartsWith: "STARTS WITH", OpEndsWith: "ENDS WITH",
+	OpContains: "CONTAINS",
+}
+
+// BinaryOp is a binary operator application.
+type BinaryOp struct {
+	Op          BinaryOpKind
+	Left, Right Expr
+}
+
+// IsNull is <expr> IS [NOT] NULL.
+type IsNull struct {
+	Expr Expr
+	Not  bool
+}
+
+// ListLit is [e1, e2, ...].
+type ListLit struct {
+	Elems []Expr
+}
+
+// MapLit is {k1: e1, k2: e2, ...} with deterministic key order.
+type MapLit struct {
+	Keys []string
+	Vals []Expr
+}
+
+// FuncCall is name(args...) with optional DISTINCT; Star marks count(*).
+type FuncCall struct {
+	Name     string // lower-cased
+	Distinct bool
+	Star     bool
+	Args     []Expr
+}
+
+// CaseExpr covers both the simple form (Test != nil) and the searched form.
+type CaseExpr struct {
+	Test  Expr // may be nil
+	Whens []Expr
+	Thens []Expr
+	Else  Expr // may be nil
+}
+
+// ListComprehension is [x IN list WHERE pred | proj].
+type ListComprehension struct {
+	Var   string
+	List  Expr
+	Where Expr // may be nil
+	Proj  Expr // may be nil (identity)
+}
+
+// QuantKind is the kind of a quantifier expression.
+type QuantKind int
+
+// Quantifier kinds.
+const (
+	QuantAll QuantKind = iota
+	QuantAny
+	QuantNone
+	QuantSingle
+)
+
+func (q QuantKind) String() string {
+	switch q {
+	case QuantAll:
+		return "all"
+	case QuantAny:
+		return "any"
+	case QuantNone:
+		return "none"
+	default:
+		return "single"
+	}
+}
+
+// Quantifier is all/any/none/single(x IN list WHERE pred).
+type Quantifier struct {
+	Kind  QuantKind
+	Var   string
+	List  Expr
+	Where Expr
+}
+
+// Reduce is reduce(acc = init, x IN list | expr).
+type Reduce struct {
+	Acc  string
+	Init Expr
+	Var  string
+	List Expr
+	Expr Expr
+}
+
+func (*Literal) expr()           {}
+func (*Variable) expr()          {}
+func (*Parameter) expr()         {}
+func (*PropAccess) expr()        {}
+func (*Index) expr()             {}
+func (*Slice) expr()             {}
+func (*UnaryOp) expr()           {}
+func (*BinaryOp) expr()          {}
+func (*IsNull) expr()            {}
+func (*ListLit) expr()           {}
+func (*MapLit) expr()            {}
+func (*FuncCall) expr()          {}
+func (*CaseExpr) expr()          {}
+func (*ListComprehension) expr() {}
+func (*Quantifier) expr()        {}
+func (*Reduce) expr()            {}
+
+// AggregateFuncs lists the aggregation function names recognized by the
+// projection machinery.
+var AggregateFuncs = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+	"collect": true, "stdev": true, "stdevp": true,
+}
+
+// ContainsAggregate reports whether the expression tree contains an
+// aggregation function call.
+func ContainsAggregate(e Expr) bool {
+	found := false
+	Walk(e, func(x Expr) bool {
+		if f, ok := x.(*FuncCall); ok && AggregateFuncs[strings.ToLower(f.Name)] {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// Walk visits e and its subexpressions in preorder; if f returns false the
+// walk does not descend into the current node's children.
+func Walk(e Expr, f func(Expr) bool) {
+	if e == nil || !f(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *PropAccess:
+		Walk(x.Expr, f)
+	case *Index:
+		Walk(x.Expr, f)
+		Walk(x.Index, f)
+	case *Slice:
+		Walk(x.Expr, f)
+		Walk(x.From, f)
+		Walk(x.To, f)
+	case *UnaryOp:
+		Walk(x.Expr, f)
+	case *BinaryOp:
+		Walk(x.Left, f)
+		Walk(x.Right, f)
+	case *IsNull:
+		Walk(x.Expr, f)
+	case *ListLit:
+		for _, el := range x.Elems {
+			Walk(el, f)
+		}
+	case *MapLit:
+		for _, v := range x.Vals {
+			Walk(v, f)
+		}
+	case *FuncCall:
+		for _, a := range x.Args {
+			Walk(a, f)
+		}
+	case *CaseExpr:
+		Walk(x.Test, f)
+		for i := range x.Whens {
+			Walk(x.Whens[i], f)
+			Walk(x.Thens[i], f)
+		}
+		Walk(x.Else, f)
+	case *ListComprehension:
+		Walk(x.List, f)
+		Walk(x.Where, f)
+		Walk(x.Proj, f)
+	case *Quantifier:
+		Walk(x.List, f)
+		Walk(x.Where, f)
+	case *Reduce:
+		Walk(x.Init, f)
+		Walk(x.List, f)
+		Walk(x.Expr, f)
+	}
+}
+
+// Variables returns the free variable names referenced in the expression,
+// in first-appearance order, excluding those bound by comprehensions,
+// quantifiers or reduce within their bodies.
+func Variables(e Expr) []string {
+	var out []string
+	seen := make(map[string]bool)
+	var visit func(e Expr, bound map[string]bool)
+	visit = func(e Expr, bound map[string]bool) {
+		if e == nil {
+			return
+		}
+		switch x := e.(type) {
+		case *Variable:
+			if !bound[x.Name] && !seen[x.Name] {
+				seen[x.Name] = true
+				out = append(out, x.Name)
+			}
+		case *ListComprehension:
+			visit(x.List, bound)
+			inner := withBound(bound, x.Var)
+			visit(x.Where, inner)
+			visit(x.Proj, inner)
+		case *Quantifier:
+			visit(x.List, bound)
+			visit(x.Where, withBound(bound, x.Var))
+		case *Reduce:
+			visit(x.Init, bound)
+			visit(x.List, bound)
+			visit(x.Expr, withBound(bound, x.Acc, x.Var))
+		case *PropAccess:
+			visit(x.Expr, bound)
+		case *Index:
+			visit(x.Expr, bound)
+			visit(x.Index, bound)
+		case *Slice:
+			visit(x.Expr, bound)
+			visit(x.From, bound)
+			visit(x.To, bound)
+		case *UnaryOp:
+			visit(x.Expr, bound)
+		case *BinaryOp:
+			visit(x.Left, bound)
+			visit(x.Right, bound)
+		case *IsNull:
+			visit(x.Expr, bound)
+		case *ListLit:
+			for _, el := range x.Elems {
+				visit(el, bound)
+			}
+		case *MapLit:
+			for _, v := range x.Vals {
+				visit(v, bound)
+			}
+		case *FuncCall:
+			for _, a := range x.Args {
+				visit(a, bound)
+			}
+		case *CaseExpr:
+			visit(x.Test, bound)
+			for i := range x.Whens {
+				visit(x.Whens[i], bound)
+				visit(x.Thens[i], bound)
+			}
+			visit(x.Else, bound)
+		}
+	}
+	visit(e, map[string]bool{})
+	return out
+}
+
+func withBound(bound map[string]bool, names ...string) map[string]bool {
+	inner := make(map[string]bool, len(bound)+len(names))
+	for k := range bound {
+		inner[k] = true
+	}
+	for _, n := range names {
+		inner[n] = true
+	}
+	return inner
+}

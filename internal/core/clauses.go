@@ -1,0 +1,475 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/expr"
+	"repro/internal/match"
+	"repro/internal/table"
+	"repro/internal/value"
+)
+
+// execMatch implements MATCH and OPTIONAL MATCH: for every record, all
+// pattern matches extend the record; WHERE filters; OPTIONAL MATCH with
+// no surviving match emits one record with the new variables null.
+func (x *executor) execMatch(cl *ast.MatchClause, t *table.Table) (*table.Table, error) {
+	newVars := freshVars(match.PatternVariables(cl.Pattern), t)
+	out := table.New(append(t.Columns(), newVars...)...)
+	m := x.matcher()
+	for i := 0; i < t.Len(); i++ {
+		env := expr.Env(t.Row(i))
+		matches, err := m.Match(cl.Pattern, env)
+		if err != nil {
+			return nil, err
+		}
+		emitted := 0
+		for _, me := range matches {
+			if cl.Where != nil {
+				ok, err := x.ev.EvalBool(cl.Where, me)
+				if err != nil {
+					return nil, err
+				}
+				if ok != value.True {
+					continue
+				}
+			}
+			out.AppendMap(me)
+			emitted++
+		}
+		if cl.Optional && emitted == 0 {
+			row := t.Row(i)
+			for _, v := range newVars {
+				row[v] = value.NullValue
+			}
+			out.AppendMap(row)
+		}
+	}
+	return out, nil
+}
+
+// freshVars returns the names from vars that are not yet columns of t.
+func freshVars(vars []string, t *table.Table) []string {
+	var out []string
+	for _, v := range vars {
+		if !t.HasColumn(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// execUnwind expands a list expression into one record per element.
+// Null yields no records; a non-list value is treated as a singleton.
+func (x *executor) execUnwind(cl *ast.UnwindClause, t *table.Table) (*table.Table, error) {
+	if t.HasColumn(cl.Var) {
+		return nil, fmt.Errorf("variable `%s` already declared", cl.Var)
+	}
+	out := table.New(append(t.Columns(), cl.Var)...)
+	for i := 0; i < t.Len(); i++ {
+		env := expr.Env(t.Row(i))
+		v, err := x.ev.Eval(cl.Expr, env)
+		if err != nil {
+			return nil, err
+		}
+		var elems value.List
+		switch lv := v.(type) {
+		case value.Null:
+			continue
+		case value.List:
+			elems = lv
+		default:
+			elems = value.List{v}
+		}
+		for _, el := range elems {
+			row := t.Row(i)
+			row[cl.Var] = el
+			out.AppendMap(row)
+		}
+	}
+	return out, nil
+}
+
+// execLoadCSV reads a CSV file per record, binding each data row to the
+// clause variable: a map when WITH HEADERS is given, a list of strings
+// otherwise. file:// URLs and plain paths are accepted.
+func (x *executor) execLoadCSV(cl *ast.LoadCSVClause, t *table.Table) (*table.Table, error) {
+	if t.HasColumn(cl.Var) {
+		return nil, fmt.Errorf("variable `%s` already declared", cl.Var)
+	}
+	out := table.New(append(t.Columns(), cl.Var)...)
+	for i := 0; i < t.Len(); i++ {
+		env := expr.Env(t.Row(i))
+		urlVal, err := x.ev.Eval(cl.URL, env)
+		if err != nil {
+			return nil, err
+		}
+		url, ok := value.AsString(urlVal)
+		if !ok {
+			return nil, fmt.Errorf("LOAD CSV FROM expects a string, got %s", urlVal.Kind())
+		}
+		rows, err := readCSV(string(url), cl.FieldTerm)
+		if err != nil {
+			return nil, err
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		start := 0
+		var headers []string
+		if cl.WithHeaders {
+			headers = rows[0]
+			start = 1
+		}
+		for _, rec := range rows[start:] {
+			var bound value.Value
+			if cl.WithHeaders {
+				m := make(value.Map, len(headers))
+				for j, h := range headers {
+					if j < len(rec) {
+						m[h] = csvField(rec[j])
+					} else {
+						m[h] = value.NullValue
+					}
+				}
+				bound = m
+			} else {
+				lst := make(value.List, len(rec))
+				for j, f := range rec {
+					lst[j] = value.String(f)
+				}
+				bound = lst
+			}
+			row := t.Row(i)
+			row[cl.Var] = bound
+			out.AppendMap(row)
+		}
+	}
+	return out, nil
+}
+
+// csvField maps the empty CSV field to null, matching the common
+// relational-import convention the paper's Example 5 relies on.
+func csvField(s string) value.Value {
+	if s == "" {
+		return value.NullValue
+	}
+	return value.String(s)
+}
+
+func readCSV(url, fieldTerm string) ([][]string, error) {
+	path := strings.TrimPrefix(url, "file://")
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("LOAD CSV: %w", err)
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = -1
+	if fieldTerm != "" {
+		runes := []rune(fieldTerm)
+		if len(runes) != 1 {
+			return nil, fmt.Errorf("FIELDTERMINATOR must be a single character")
+		}
+		r.Comma = runes[0]
+	}
+	return r.ReadAll()
+}
+
+// execProjection implements WITH and RETURN: expansion of *, aliasing,
+// grouping and aggregation, DISTINCT, ORDER BY, SKIP/LIMIT and the WITH
+// WHERE filter.
+func (x *executor) execProjection(proj *ast.Projection, where ast.Expr, t *table.Table) (*table.Table, error) {
+	items, err := expandItems(proj, t)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]string, len(items))
+	seen := make(map[string]bool, len(items))
+	for i, it := range items {
+		cols[i] = it.alias
+		if seen[it.alias] {
+			return nil, fmt.Errorf("duplicate column name %q in projection", it.alias)
+		}
+		seen[it.alias] = true
+	}
+
+	hasAgg := false
+	for _, it := range items {
+		if ast.ContainsAggregate(it.expr) {
+			hasAgg = true
+			break
+		}
+	}
+
+	var out *table.Table
+	if hasAgg {
+		out, err = x.projectAggregating(items, cols, t)
+	} else {
+		out, err = x.projectPlain(items, cols, t)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if proj.Distinct {
+		out.Distinct()
+	}
+	if len(proj.OrderBy) > 0 {
+		if err := x.orderBy(out, t, proj.OrderBy, hasAgg || proj.Distinct); err != nil {
+			return nil, err
+		}
+	}
+	if proj.Skip != nil || proj.Limit != nil {
+		from, to, err := x.skipLimit(proj, out.Len())
+		if err != nil {
+			return nil, err
+		}
+		out.Slice(from, to)
+	}
+	if where != nil {
+		filtered := out.CloneEmpty()
+		for i := 0; i < out.Len(); i++ {
+			ok, err := x.ev.EvalBool(where, expr.Env(out.Row(i)))
+			if err != nil {
+				return nil, err
+			}
+			if ok == value.True {
+				filtered.AppendMap(out.Row(i))
+			}
+		}
+		out = filtered
+	}
+	return out, nil
+}
+
+type projItem struct {
+	expr  ast.Expr
+	alias string
+}
+
+func expandItems(proj *ast.Projection, t *table.Table) ([]projItem, error) {
+	var items []projItem
+	if proj.Star {
+		cols := t.Columns()
+		if len(cols) == 0 && len(proj.Items) == 0 {
+			return nil, fmt.Errorf("RETURN * is not allowed when there are no variables in scope")
+		}
+		for _, c := range cols {
+			items = append(items, projItem{expr: &ast.Variable{Name: c}, alias: c})
+		}
+	}
+	for _, it := range proj.Items {
+		alias := it.Alias
+		if alias == "" {
+			if v, ok := it.Expr.(*ast.Variable); ok {
+				alias = v.Name
+			} else {
+				alias = it.Expr.String()
+			}
+		}
+		items = append(items, projItem{expr: it.Expr, alias: alias})
+	}
+	return items, nil
+}
+
+func (x *executor) projectPlain(items []projItem, cols []string, t *table.Table) (*table.Table, error) {
+	out := table.New(cols...)
+	for i := 0; i < t.Len(); i++ {
+		env := expr.Env(t.Row(i))
+		row := make([]value.Value, len(items))
+		for j, it := range items {
+			v, err := x.ev.Eval(it.expr, env)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = v
+		}
+		out.AppendRow(row...)
+	}
+	return out, nil
+}
+
+// projectAggregating groups records by the non-aggregating items and
+// evaluates aggregates per group. An input with zero records and no
+// grouping keys produces the single empty-group row (count(*) = 0).
+func (x *executor) projectAggregating(items []projItem, cols []string, t *table.Table) (*table.Table, error) {
+	type keyItem struct {
+		idx int // position in items
+	}
+	var keyItems []keyItem
+	var aggCalls []*ast.FuncCall
+	for idx, it := range items {
+		if !ast.ContainsAggregate(it.expr) {
+			keyItems = append(keyItems, keyItem{idx: idx})
+		}
+		ast.Walk(it.expr, func(e ast.Expr) bool {
+			if f, ok := e.(*ast.FuncCall); ok && ast.AggregateFuncs[f.Name] {
+				aggCalls = append(aggCalls, f)
+				return false // aggregates cannot nest
+			}
+			return true
+		})
+	}
+
+	type group struct {
+		rep  expr.Env // environment of the first record in the group
+		aggs []expr.Aggregator
+	}
+	groups := make(map[string]*group)
+	var order []string
+
+	for i := 0; i < t.Len(); i++ {
+		env := expr.Env(t.Row(i))
+		keyVals := make([]value.Value, len(keyItems))
+		for k, ki := range keyItems {
+			v, err := x.ev.Eval(items[ki.idx].expr, env)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[k] = v
+		}
+		key := value.KeyList(keyVals)
+		grp, ok := groups[key]
+		if !ok {
+			grp = &group{rep: env}
+			for _, f := range aggCalls {
+				agg, err := expr.NewAggregator(f.Name, f.Distinct, f.Star)
+				if err != nil {
+					return nil, err
+				}
+				grp.aggs = append(grp.aggs, agg)
+			}
+			groups[key] = grp
+			order = append(order, key)
+		}
+		for ai, f := range aggCalls {
+			var v value.Value = value.NullValue
+			if !f.Star {
+				if len(f.Args) != 1 {
+					return nil, fmt.Errorf("%s() expects 1 argument", f.Name)
+				}
+				var err error
+				v, err = x.ev.Eval(f.Args[0], env)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if err := grp.aggs[ai].Add(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Zero input rows with no grouping keys: a single global group.
+	if t.Len() == 0 && len(keyItems) == 0 {
+		grp := &group{rep: expr.Env{}}
+		for _, f := range aggCalls {
+			agg, err := expr.NewAggregator(f.Name, f.Distinct, f.Star)
+			if err != nil {
+				return nil, err
+			}
+			grp.aggs = append(grp.aggs, agg)
+		}
+		groups["_"] = grp
+		order = append(order, "_")
+	}
+
+	out := table.New(cols...)
+	for _, key := range order {
+		grp := groups[key]
+		aggResults := make(map[ast.Expr]value.Value, len(aggCalls))
+		for ai, f := range aggCalls {
+			aggResults[f] = grp.aggs[ai].Result()
+		}
+		x.ev.AggResults = aggResults
+		row := make([]value.Value, len(items))
+		for j, it := range items {
+			v, err := x.ev.Eval(it.expr, grp.rep)
+			if err != nil {
+				x.ev.AggResults = nil
+				return nil, err
+			}
+			row[j] = v
+		}
+		x.ev.AggResults = nil
+		out.AppendRow(row...)
+	}
+	return out, nil
+}
+
+// orderBy sorts the projected table. Sort expressions may reference the
+// projected columns; when the projection neither aggregates nor
+// deduplicates, they may also reference the pre-projection variables of
+// the corresponding input record.
+func (x *executor) orderBy(out, in *table.Table, sorts []*ast.SortItem, projectedOnly bool) error {
+	n := out.Len()
+	keys := make([][]value.Value, n)
+	sameCardinality := !projectedOnly && in.Len() == n
+	for i := 0; i < n; i++ {
+		env := expr.Env{}
+		if sameCardinality {
+			for k, v := range in.Row(i) {
+				env[k] = v
+			}
+		}
+		for k, v := range out.Row(i) {
+			env[k] = v
+		}
+		keys[i] = make([]value.Value, len(sorts))
+		for s, item := range sorts {
+			v, err := x.ev.Eval(item.Expr, env)
+			if err != nil {
+				return err
+			}
+			keys[i][s] = v
+		}
+	}
+	// table.SortStable passes original row indices to the comparator, so
+	// indexing the precomputed keys by them is sound.
+	out.SortStable(func(i, j int) bool {
+		for s, item := range sorts {
+			c := value.CompareOrder(keys[i][s], keys[j][s])
+			if item.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return nil
+}
+
+func (x *executor) skipLimit(proj *ast.Projection, n int) (from, to int, err error) {
+	from, to = 0, n
+	if proj.Skip != nil {
+		v, err := x.ev.Eval(proj.Skip, expr.Env{})
+		if err != nil {
+			return 0, 0, err
+		}
+		s, ok := value.AsInt(v)
+		if !ok || s < 0 {
+			return 0, 0, fmt.Errorf("SKIP expects a non-negative integer, got %s", v)
+		}
+		from = int(s)
+	}
+	if proj.Limit != nil {
+		v, err := x.ev.Eval(proj.Limit, expr.Env{})
+		if err != nil {
+			return 0, 0, err
+		}
+		l, ok := value.AsInt(v)
+		if !ok || l < 0 {
+			return 0, 0, fmt.Errorf("LIMIT expects a non-negative integer, got %s", v)
+		}
+		if from+int(l) < to {
+			to = from + int(l)
+		}
+	}
+	return from, to, nil
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/expr"
+	"repro/internal/graph"
+	"repro/internal/table"
+	"repro/internal/value"
+)
+
+// execCreate implements CREATE for both dialects (Section 8.2): per
+// record, unnamed pattern entities are saturated with temporary
+// variables, nodes are created, then relationships; new bindings for
+// *named* variables extend the driving table, while saturation
+// temporaries are projected out (they simply never receive columns).
+//
+// CREATE behaves identically in both dialects because it never reads the
+// pattern against the graph; each record creates fresh instances.
+func (x *executor) execCreate(cl *ast.CreateClause, t *table.Table) (*table.Table, error) {
+	newVars := freshVarsForCreate(cl.Pattern, t)
+	out := table.New(append(t.Columns(), newVars...)...)
+	for _, i := range x.rowOrder(t) {
+		env := expr.Env(t.Row(i))
+		env2, err := x.createInstance(cl.Pattern, env, false)
+		if err != nil {
+			return nil, err
+		}
+		out.AppendMap(env2)
+	}
+	return out, nil
+}
+
+// freshVarsForCreate lists the named variables a CREATE/MERGE pattern
+// introduces beyond the existing columns.
+func freshVarsForCreate(parts []*ast.PatternPart, t *table.Table) []string {
+	var out []string
+	seen := make(map[string]bool)
+	add := func(name string) {
+		if name != "" && !seen[name] && !t.HasColumn(name) {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	for _, part := range parts {
+		add(part.Var)
+		for i, n := range part.Nodes {
+			add(n.Var)
+			if i < len(part.Rels) {
+				add(part.Rels[i].Var)
+			}
+		}
+	}
+	return out
+}
+
+// createdEntity records one entity created by createInstanceTracked,
+// together with its pattern position (part index plus node- or rel-slot
+// index). Positions are what the Weak Collapse and Collapse strategies
+// of Section 6 condition on.
+type createdEntity struct {
+	isNode bool
+	nodeID graph.NodeID
+	relID  graph.RelID
+	part   int
+	slot   int
+}
+
+// createInstance creates one instance of the pattern tuple for the given
+// environment, returning the environment extended with the new bindings.
+// When reuseBound is false, a bound node variable is reused as an
+// endpoint only if its pattern carries no labels or properties (Cypher's
+// rule for CREATE); MERGE creation passes reuseBound=true for the same
+// behaviour (bound variables always anchor).
+func (x *executor) createInstance(parts []*ast.PatternPart, env expr.Env, reuseBound bool) (expr.Env, error) {
+	env2, _, err := x.createInstanceTracked(parts, env, reuseBound)
+	return env2, err
+}
+
+// createInstanceTracked is createInstance with position tracking of the
+// newly created entities, used by the MERGE collapse strategies.
+func (x *executor) createInstanceTracked(parts []*ast.PatternPart, env expr.Env, reuseBound bool) (expr.Env, []createdEntity, error) {
+	var created []createdEntity
+	out := make(expr.Env, len(env)+4)
+	for k, v := range env {
+		out[k] = v
+	}
+	for partIdx, part := range parts {
+		var pathNodes []int64
+		var pathRels []int64
+
+		resolveNode := func(np *ast.NodePattern, slot int) (graph.NodeID, error) {
+			if np.Var != "" {
+				if bound, ok := out[np.Var]; ok {
+					nv, isNode := bound.(value.Node)
+					if !isNode {
+						if value.IsNull(bound) {
+							return 0, fmt.Errorf("cannot create a relationship with a null endpoint (variable `%s`)", np.Var)
+						}
+						return 0, fmt.Errorf("variable `%s` is bound to %s, expected Node", np.Var, bound.Kind())
+					}
+					if !reuseBound && (len(np.Labels) > 0 || np.Props != nil) {
+						return 0, fmt.Errorf("variable `%s` already declared; CREATE cannot add labels or properties to it", np.Var)
+					}
+					return graph.NodeID(nv.ID), nil
+				}
+			}
+			props, err := x.ev.EvalPropMap(np.Props, out)
+			if err != nil {
+				return 0, err
+			}
+			n := x.graph.CreateNode(np.Labels, props)
+			x.stats.NodesCreated++
+			created = append(created, createdEntity{isNode: true, nodeID: n.ID, part: partIdx, slot: slot})
+			if np.Var != "" {
+				out[np.Var] = value.Node{ID: int64(n.ID)}
+			}
+			return n.ID, nil
+		}
+
+		prev, err := resolveNode(part.Nodes[0], 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		pathNodes = append(pathNodes, int64(prev))
+		for ri, rp := range part.Rels {
+			next, err := resolveNode(part.Nodes[ri+1], ri+1)
+			if err != nil {
+				return nil, nil, err
+			}
+			src, tgt := prev, next
+			// An undirected relationship (legal only in legacy MERGE
+			// patterns) is created left to right.
+			if rp.Direction == ast.DirIn {
+				src, tgt = next, prev
+			}
+			props, err := x.ev.EvalPropMap(rp.Props, out)
+			if err != nil {
+				return nil, nil, err
+			}
+			r, err := x.graph.CreateRel(src, tgt, rp.Types[0], props)
+			if err != nil {
+				return nil, nil, err
+			}
+			x.stats.RelsCreated++
+			created = append(created, createdEntity{isNode: false, relID: r.ID, part: partIdx, slot: ri})
+			if rp.Var != "" {
+				if _, bound := out[rp.Var]; bound {
+					return nil, nil, fmt.Errorf("relationship variable `%s` already declared", rp.Var)
+				}
+				out[rp.Var] = value.Rel{ID: int64(r.ID)}
+			}
+			pathNodes = append(pathNodes, int64(next))
+			pathRels = append(pathRels, int64(r.ID))
+			prev = next
+		}
+		if part.Var != "" {
+			if _, bound := env[part.Var]; bound {
+				return nil, nil, fmt.Errorf("path variable `%s` already declared", part.Var)
+			}
+			out[part.Var] = value.Path{Nodes: pathNodes, Rels: pathRels}
+		}
+	}
+	return out, created, nil
+}

@@ -1,0 +1,359 @@
+// Package core implements the execution engine for Cypher statements:
+// the clause semantics [[C]] : (G, T) -> (G', T') of the paper's
+// Section 8, in two selectable dialects.
+//
+//   - DialectCypher9 reproduces the legacy Neo4j behaviour the paper
+//     critiques in Section 4: update clauses stream over the driving table
+//     record by record against a continuously mutated graph. SET applies
+//     immediately (Examples 1-2), DELETE tolerates dangling relationships
+//     until the end of the statement and silently ignores writes to
+//     deleted entities (Section 4.2), and MERGE reads its own writes,
+//     making its result depend on record order (Example 3 / Figure 6).
+//
+//   - DialectRevised implements the redesign of Sections 7-8: SET and
+//     REMOVE are two-phase and atomic with conflict detection, DELETE is
+//     strict and replaces deleted references by null, and MERGE comes in
+//     the MERGE ALL and MERGE SAME forms (plus the intermediate proposals
+//     of Section 6 as selectable strategies).
+//
+// A statement executes under a journal: any error rolls the graph back to
+// its pre-statement state, giving statements all-or-nothing semantics.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/expr"
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/table"
+	"repro/internal/value"
+)
+
+// Dialect selects the update semantics.
+type Dialect int
+
+// Dialects.
+const (
+	// DialectCypher9 is the legacy record-by-record pipeline of Section 3,
+	// including the defects catalogued in Section 4.
+	DialectCypher9 Dialect = iota
+	// DialectRevised is the atomic, deterministic semantics of Section 7.
+	DialectRevised
+)
+
+func (d Dialect) String() string {
+	if d == DialectRevised {
+		return "revised"
+	}
+	return "cypher9"
+}
+
+// MergeStrategy selects among the proposals of Section 6 for executing a
+// MERGE clause's creating half.
+type MergeStrategy int
+
+// Merge strategies (Section 6 of the paper).
+const (
+	// StrategyFromForm derives the strategy from the clause form:
+	// MERGE ALL -> StrategyAtomic, MERGE SAME -> StrategyStrongCollapse,
+	// legacy MERGE -> the legacy read-own-writes loop (Cypher 9 only).
+	StrategyFromForm MergeStrategy = iota
+	// StrategyLegacy forces the Cypher 9 per-record match-or-create loop.
+	StrategyLegacy
+	// StrategyAtomic creates one pattern instance per failing record
+	// ("Atomic MERGE"; the MERGE ALL semantics).
+	StrategyAtomic
+	// StrategyGrouping creates one instance per group of failing records
+	// that agree on all expressions in the pattern ("Grouping MERGE").
+	StrategyGrouping
+	// StrategyWeakCollapse additionally collapses newly created nodes and
+	// relationships that agree on labels/types, properties and pattern
+	// position ("Weak Collapse MERGE").
+	StrategyWeakCollapse
+	// StrategyCollapse lifts the same-position restriction for nodes
+	// ("Collapse MERGE").
+	StrategyCollapse
+	// StrategyStrongCollapse lifts it for relationships as well
+	// ("Strong Collapse MERGE"; the MERGE SAME semantics, Definitions 1-2).
+	StrategyStrongCollapse
+)
+
+func (s MergeStrategy) String() string {
+	switch s {
+	case StrategyLegacy:
+		return "legacy"
+	case StrategyAtomic:
+		return "atomic"
+	case StrategyGrouping:
+		return "grouping"
+	case StrategyWeakCollapse:
+		return "weak-collapse"
+	case StrategyCollapse:
+		return "collapse"
+	case StrategyStrongCollapse:
+		return "strong-collapse"
+	default:
+		return "from-form"
+	}
+}
+
+// ScanOrder controls the record iteration order of legacy update clauses.
+// The revised semantics is order-independent; the legacy MERGE is not
+// (Example 3), which this knob makes demonstrable.
+type ScanOrder int
+
+// Scan orders.
+const (
+	ScanForward ScanOrder = iota
+	ScanReverse
+)
+
+// Config configures an Engine.
+type Config struct {
+	Dialect Dialect
+	// MergeStrategy overrides the strategy for all MERGE clauses;
+	// StrategyFromForm (the default) derives it from the clause form.
+	MergeStrategy MergeStrategy
+	// ScanOrder applies to legacy update clause processing.
+	ScanOrder ScanOrder
+	// MatchMode selects relationship isomorphism (default) or
+	// homomorphism for pattern matching.
+	MatchMode match.Mode
+	// SkipValidation disables dialect grammar validation (used by tests
+	// that exercise runtime errors directly).
+	SkipValidation bool
+}
+
+// UpdateStats counts the effects of a statement.
+type UpdateStats struct {
+	NodesCreated  int
+	NodesDeleted  int
+	RelsCreated   int
+	RelsDeleted   int
+	PropsSet      int
+	LabelsAdded   int
+	LabelsRemoved int
+}
+
+// Add accumulates other into s.
+func (s *UpdateStats) Add(other UpdateStats) {
+	s.NodesCreated += other.NodesCreated
+	s.NodesDeleted += other.NodesDeleted
+	s.RelsCreated += other.RelsCreated
+	s.RelsDeleted += other.RelsDeleted
+	s.PropsSet += other.PropsSet
+	s.LabelsAdded += other.LabelsAdded
+	s.LabelsRemoved += other.LabelsRemoved
+}
+
+// String renders the stats compactly.
+func (s UpdateStats) String() string {
+	return fmt.Sprintf("+%dn -%dn +%dr -%dr %dp +%dl -%dl",
+		s.NodesCreated, s.NodesDeleted, s.RelsCreated, s.RelsDeleted,
+		s.PropsSet, s.LabelsAdded, s.LabelsRemoved)
+}
+
+// Engine executes statements.
+type Engine struct {
+	cfg Config
+}
+
+// NewEngine returns an engine with the given configuration.
+func NewEngine(cfg Config) *Engine { return &Engine{cfg: cfg} }
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Result is the output of a statement: the table produced by RETURN (or
+// an empty zero-column table) and the update statistics.
+type Result struct {
+	Table *table.Table
+	Stats UpdateStats
+}
+
+// ExecuteStatement runs a statement against g, starting from the unit
+// table (the T() of Section 8.1). g is mutated in place; on error it is
+// rolled back to its initial state.
+func (e *Engine) ExecuteStatement(g *graph.Graph, stmt *ast.Statement, params map[string]value.Value) (*Result, error) {
+	return e.ExecuteWithTable(g, stmt, params, nil)
+}
+
+// ExecuteWithTable runs a statement with an explicit initial driving
+// table (nil means the unit table). This entry point is what the
+// Section 6 experiments use: the paper's MERGE examples start from
+// "an input table [that] is already populated".
+func (e *Engine) ExecuteWithTable(g *graph.Graph, stmt *ast.Statement, params map[string]value.Value, t0 *table.Table) (*Result, error) {
+	if !e.cfg.SkipValidation {
+		if err := Validate(stmt, e.cfg.Dialect); err != nil {
+			return nil, err
+		}
+	}
+	if params == nil {
+		params = map[string]value.Value{}
+	}
+	j := g.BeginJournal()
+	res, err := e.executeUnion(g, stmt, params, t0)
+	if err != nil {
+		j.Rollback()
+		return nil, err
+	}
+	// Legacy statements may transit illegal intermediate states
+	// (Section 4.2); like Neo4j's commit-time check, the invariant must
+	// hold at statement end.
+	if err := g.Validate(); err != nil {
+		j.Rollback()
+		return nil, fmt.Errorf("statement left the graph inconsistent: %w", err)
+	}
+	j.Commit()
+	return res, nil
+}
+
+// executeUnion applies UNION members left to right: each query sees the
+// graph as modified by its predecessors, and the output tables are
+// unioned (Section 8.2, "Composition of clauses").
+func (e *Engine) executeUnion(g *graph.Graph, stmt *ast.Statement, params map[string]value.Value, t0 *table.Table) (*Result, error) {
+	var out *table.Table
+	stats := UpdateStats{}
+	for i, q := range stmt.Queries {
+		init := table.Unit()
+		if t0 != nil {
+			init = t0.Clone()
+		}
+		x := &executor{
+			cfg:    e.cfg,
+			graph:  g,
+			params: params,
+			ev:     &expr.Evaluator{Graph: g, Params: params},
+		}
+		t, err := x.run(q.Clauses, init)
+		if err != nil {
+			return nil, err
+		}
+		stats.Add(x.stats)
+		if i == 0 {
+			out = t
+			continue
+		}
+		if err := unionCompatible(out, t); err != nil {
+			return nil, err
+		}
+		if err := out.AppendTable(t); err != nil {
+			return nil, err
+		}
+	}
+	if len(stmt.Queries) > 1 {
+		// Plain UNION deduplicates; UNION ALL anywhere keeps duplicates
+		// (matching SQL/Cypher: mixed unions apply the strictest form
+		// pairwise; we simplify to "any plain UNION dedupes", documented).
+		allAll := true
+		for _, a := range stmt.UnionAll {
+			if !a {
+				allAll = false
+			}
+		}
+		if !allAll {
+			out.Distinct()
+		}
+	}
+	return &Result{Table: out, Stats: stats}, nil
+}
+
+func unionCompatible(a, b *table.Table) error {
+	ca, cb := a.Columns(), b.Columns()
+	if len(ca) != len(cb) {
+		return fmt.Errorf("UNION requires the same return columns (%v vs %v)", ca, cb)
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return fmt.Errorf("UNION requires the same return columns (%v vs %v)", ca, cb)
+		}
+	}
+	return nil
+}
+
+// executor runs one single query's clause list.
+type executor struct {
+	cfg    Config
+	graph  *graph.Graph
+	params map[string]value.Value
+	ev     *expr.Evaluator
+	stats  UpdateStats
+}
+
+func (x *executor) matcher() *match.Matcher {
+	return &match.Matcher{Graph: x.graph, Ev: x.ev, Mode: x.cfg.MatchMode}
+}
+
+// run folds the clause semantics over the driving table, left to right.
+func (x *executor) run(clauses []ast.Clause, t *table.Table) (*table.Table, error) {
+	var err error
+	returned := false
+	for _, c := range clauses {
+		t, err = x.clause(c, t)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := c.(*ast.ReturnClause); ok {
+			returned = true
+		}
+	}
+	if !returned {
+		// A query without RETURN outputs no table.
+		return table.New(), nil
+	}
+	return t, nil
+}
+
+func (x *executor) clause(c ast.Clause, t *table.Table) (*table.Table, error) {
+	switch cl := c.(type) {
+	case *ast.MatchClause:
+		return x.execMatch(cl, t)
+	case *ast.UnwindClause:
+		return x.execUnwind(cl, t)
+	case *ast.LoadCSVClause:
+		return x.execLoadCSV(cl, t)
+	case *ast.WithClause:
+		return x.execProjection(&cl.Projection, cl.Where, t)
+	case *ast.ReturnClause:
+		return x.execProjection(&cl.Projection, nil, t)
+	case *ast.CreateClause:
+		return x.execCreate(cl, t)
+	case *ast.SetClause:
+		if x.cfg.Dialect == DialectCypher9 {
+			return x.execSetLegacy(cl.Items, t)
+		}
+		return x.execSetRevised(cl.Items, t)
+	case *ast.RemoveClause:
+		if x.cfg.Dialect == DialectCypher9 {
+			return x.execRemoveLegacy(cl, t)
+		}
+		return x.execRemoveRevised(cl, t)
+	case *ast.DeleteClause:
+		if x.cfg.Dialect == DialectCypher9 {
+			return x.execDeleteLegacy(cl, t)
+		}
+		return x.execDeleteRevised(cl, t)
+	case *ast.MergeClause:
+		return x.execMerge(cl, t)
+	case *ast.ForeachClause:
+		return x.execForeach(cl, t)
+	default:
+		return nil, fmt.Errorf("unsupported clause %T", c)
+	}
+}
+
+// rowOrder yields row indices in the configured scan order (legacy mode).
+func (x *executor) rowOrder(t *table.Table) []int {
+	idx := make([]int, t.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	if x.cfg.ScanOrder == ScanReverse {
+		for i, j := 0, len(idx)-1; i < j; i, j = i+1, j-1 {
+			idx[i], idx[j] = idx[j], idx[i]
+		}
+	}
+	return idx
+}

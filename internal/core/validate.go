@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+)
+
+// Validate enforces the dialect-specific grammar restrictions that the
+// parser's superset grammar leaves open. This is where the Section 4.4
+// syntax differences between Cypher 9 (Figures 2-5) and the revised
+// language (Figure 10) live:
+//
+// Cypher 9:
+//   - a reading clause may not directly follow an update clause; a WITH
+//     is required in between ("it turns WITH into a clear demarcation
+//     line", Section 4.4);
+//   - MERGE takes exactly one pattern, whose relationships may be
+//     undirected;
+//   - MERGE ALL / MERGE SAME do not exist.
+//
+// Revised (Figure 10):
+//   - reading and update clauses interleave freely;
+//   - bare MERGE "will no longer be allowed" (Section 7): only MERGE ALL
+//     and MERGE SAME are accepted, with tuples of fully *directed* path
+//     patterns (same as CREATE);
+//   - ON CREATE / ON MATCH sub-clauses are dropped together with the
+//     match-or-create reading of MERGE.
+//
+// Both dialects:
+//   - CREATE patterns must be directed, with exactly one relationship
+//     type and no variable-length relationships (Figure 5);
+//   - RETURN must be the final clause of its query.
+func Validate(stmt *ast.Statement, d Dialect) error {
+	for _, q := range stmt.Queries {
+		if err := validateQuery(q.Clauses, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateQuery(clauses []ast.Clause, d Dialect) error {
+	if len(clauses) == 0 {
+		return fmt.Errorf("empty query")
+	}
+	for i, c := range clauses {
+		if _, isRet := c.(*ast.ReturnClause); isRet && i != len(clauses)-1 {
+			return fmt.Errorf("RETURN must be the final clause")
+		}
+	}
+	if d == DialectCypher9 {
+		if err := validateCypher9Sequence(clauses); err != nil {
+			return err
+		}
+	}
+	for _, c := range clauses {
+		if err := validateClause(c, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateCypher9Sequence enforces the Figure 2 shape: reading clauses
+// may not follow update clauses without an intervening WITH.
+func validateCypher9Sequence(clauses []ast.Clause) error {
+	sawUpdate := false
+	for _, c := range clauses {
+		switch c.(type) {
+		case *ast.WithClause:
+			sawUpdate = false
+		case *ast.ReturnClause:
+			// RETURN terminates the query and is allowed after updates.
+		default:
+			if c.Reading() && sawUpdate {
+				return fmt.Errorf("Cypher 9 grammar: reading clause %T cannot follow update clauses without WITH (Section 4.4)", c)
+			}
+			if c.Updating() {
+				sawUpdate = true
+			}
+		}
+	}
+	return nil
+}
+
+func validateClause(c ast.Clause, d Dialect) error {
+	switch cl := c.(type) {
+	case *ast.CreateClause:
+		return validateUpdatePattern(cl.Pattern, "CREATE")
+	case *ast.MergeClause:
+		return validateMerge(cl, d)
+	case *ast.ForeachClause:
+		for _, body := range cl.Body {
+			if err := validateClause(body, d); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *ast.MatchClause:
+		return nil
+	default:
+		return nil
+	}
+}
+
+func validateMerge(cl *ast.MergeClause, d Dialect) error {
+	switch d {
+	case DialectCypher9:
+		if cl.Form != ast.MergeLegacy {
+			return fmt.Errorf("%s is not part of Cypher 9 (Figure 10 syntax)", cl.Form)
+		}
+		if len(cl.Pattern) != 1 {
+			return fmt.Errorf("Cypher 9 MERGE allows a single path pattern (Figure 3), got %d", len(cl.Pattern))
+		}
+		// Undirected relationships are allowed (Figure 5's <rel. upd.
+		// pat.>), but each must still carry exactly one type and no
+		// variable length.
+		return validateRelConstraints(cl.Pattern, "MERGE", false)
+	default: // DialectRevised
+		if cl.Form == ast.MergeLegacy {
+			return fmt.Errorf("MERGE without ALL or SAME is no longer allowed (Section 7); use MERGE ALL or MERGE SAME")
+		}
+		if len(cl.OnCreate) > 0 || len(cl.OnMatch) > 0 {
+			return fmt.Errorf("ON CREATE / ON MATCH are not part of %s", cl.Form)
+		}
+		return validateUpdatePattern(cl.Pattern, cl.Form.String())
+	}
+}
+
+// validateUpdatePattern enforces the <dir. upd. pat.> restrictions of
+// Figures 5 and 10: directed relationships with exactly one type, no
+// variable length.
+func validateUpdatePattern(parts []*ast.PatternPart, clause string) error {
+	return validateRelConstraints(parts, clause, true)
+}
+
+func validateRelConstraints(parts []*ast.PatternPart, clause string, requireDirected bool) error {
+	for _, part := range parts {
+		for _, r := range part.Rels {
+			if requireDirected && r.Direction == ast.DirBoth {
+				return fmt.Errorf("%s requires directed relationships", clause)
+			}
+			if len(r.Types) != 1 {
+				return fmt.Errorf("%s requires exactly one relationship type, got %d", clause, len(r.Types))
+			}
+			if r.VarLength {
+				return fmt.Errorf("%s does not allow variable-length relationships", clause)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every experiment must run and pass: these are the paper's figures.
+func TestAllExperimentsPass(t *testing.T) {
+	reports, err := RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 11 {
+		t.Fatalf("experiments = %d, want 11", len(reports))
+	}
+	for _, r := range reports {
+		if !r.Pass {
+			t.Errorf("%s (%s) failed:\n%s", r.ID, r.Title, strings.Join(r.Lines, "\n"))
+		}
+		if len(r.Lines) == 0 {
+			t.Errorf("%s produced no output", r.ID)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("E99"); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+func TestIDsAndTitles(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 11 || ids[0] != "E01" || ids[10] != "E11" {
+		t.Errorf("IDs = %v", ids)
+	}
+	for _, id := range ids {
+		if Title(id) == "" {
+			t.Errorf("missing title for %s", id)
+		}
+	}
+	if Title("nope") != "" {
+		t.Error("unknown title should be empty")
+	}
+}
+
+func TestSingleRun(t *testing.T) {
+	r, err := Run("E05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pass {
+		t.Errorf("E05 failed: %v", r.Lines)
+	}
+	joined := strings.Join(r.Lines, "\n")
+	if !strings.Contains(joined, "Figure 6b") || !strings.Contains(joined, "Figure 6a") {
+		t.Errorf("E05 report should reference both figures:\n%s", joined)
+	}
+}
+
+func TestFigureGraphs(t *testing.T) {
+	graphs, err := FigureGraphs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantShapes := map[string][2]int{ // nodes, rels
+		"fig1":  {6, 6},
+		"fig6a": {5, 6},
+		"fig6b": {5, 4},
+		"fig7a": {12, 6},
+		"fig7b": {8, 4},
+		"fig7c": {4, 4},
+		"fig8a": {6, 4},
+		"fig8b": {5, 4},
+		"fig9a": {4, 5},
+		"fig9b": {4, 4},
+	}
+	if len(graphs) != len(wantShapes) {
+		t.Fatalf("figures = %d, want %d", len(graphs), len(wantShapes))
+	}
+	for name, want := range wantShapes {
+		g, ok := graphs[name]
+		if !ok {
+			t.Errorf("missing figure %s", name)
+			continue
+		}
+		if g.NumNodes() != want[0] || g.NumRels() != want[1] {
+			t.Errorf("%s: %d nodes / %d rels, want %d / %d",
+				name, g.NumNodes(), g.NumRels(), want[0], want[1])
+		}
+	}
+	names := FigureNames()
+	if len(names) != len(wantShapes) || names[0] != "fig1" {
+		t.Errorf("FigureNames = %v", names)
+	}
+}

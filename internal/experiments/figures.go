@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/fixtures"
+	"repro/internal/graph"
+)
+
+// FigureGraphs regenerates the graphs of the paper's figures keyed by
+// figure name ("fig6a", "fig6b", "fig7a", "fig7b", "fig7c", "fig8a",
+// "fig8b", "fig9a", "fig9b", plus "fig1" for the running example).
+// cmd/experiments -dot uses it to emit Graphviz renderings.
+func FigureGraphs() (map[string]*graph.Graph, error) {
+	out := make(map[string]*graph.Graph)
+
+	fig1, _ := fixtures.Figure1()
+	out["fig1"] = fig1
+
+	// Figure 6: legacy MERGE under the two scan orders.
+	for name, order := range map[string]core.ScanOrder{
+		"fig6a": core.ScanReverse, // bottom-up: all three paths created
+		"fig6b": core.ScanForward, // top-down: third record matches
+	} {
+		g, tbl, _ := fixtures.Example3()
+		cfg := core.Config{Dialect: core.DialectCypher9, ScanOrder: order}
+		if _, err := exec(cfg, g, example3Query, tbl); err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		out[name] = g
+	}
+
+	// Figure 7: Example 5 under Atomic, Grouping, Strong Collapse.
+	for name, strategy := range map[string]core.MergeStrategy{
+		"fig7a": core.StrategyAtomic,
+		"fig7b": core.StrategyGrouping,
+		"fig7c": core.StrategyStrongCollapse,
+	} {
+		g := graph.New()
+		cfg := core.Config{Dialect: core.DialectRevised, MergeStrategy: strategy}
+		if _, err := exec(cfg, g, `MERGE ALL (:User{id:cid})-[:ORDERED]->(:Product{id:pid})`, fixtures.Example5Table()); err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		out[name] = g
+	}
+
+	// Figure 8: Example 6 under Weak Collapse vs Collapse.
+	for name, strategy := range map[string]core.MergeStrategy{
+		"fig8a": core.StrategyWeakCollapse,
+		"fig8b": core.StrategyCollapse,
+	} {
+		g := graph.New()
+		cfg := core.Config{Dialect: core.DialectRevised, MergeStrategy: strategy}
+		if _, err := exec(cfg, g,
+			`MERGE ALL (:User{id:bid})-[:ORDERED]->(:Product{id:pid})<-[:OFFERS]-(:User{id:sid})`,
+			fixtures.Example6Table()); err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		out[name] = g
+	}
+
+	// Figure 9: Example 7 under Collapse vs Strong Collapse.
+	for name, strategy := range map[string]core.MergeStrategy{
+		"fig9a": core.StrategyCollapse,
+		"fig9b": core.StrategyStrongCollapse,
+	} {
+		g, tbl, _ := fixtures.Example7()
+		cfg := core.Config{Dialect: core.DialectRevised, MergeStrategy: strategy}
+		if _, err := exec(cfg, g,
+			`MERGE ALL (a)-[:TO]->(b)-[:TO]->(c)-[:TO]->(d)-[:TO]->(e)-[:BOUGHT]->(tgt)`, tbl); err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		out[name] = g
+	}
+
+	return out, nil
+}
+
+// FigureNames lists the available figure names in order.
+func FigureNames() []string {
+	gs, err := FigureGraphs()
+	if err != nil {
+		return nil
+	}
+	names := make([]string, 0, len(gs))
+	for n := range gs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

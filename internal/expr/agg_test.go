@@ -1,0 +1,112 @@
+package expr
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func feed(t *testing.T, name string, distinct, star bool, vals ...value.Value) value.Value {
+	t.Helper()
+	agg, err := NewAggregator(name, distinct, star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals {
+		if err := agg.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return agg.Result()
+}
+
+func TestCount(t *testing.T) {
+	if got := feed(t, "count", false, false, value.Int(1), value.NullValue, value.Int(2)); got != value.Int(2) {
+		t.Errorf("count skips nulls: %v", got)
+	}
+	if got := feed(t, "count", false, true, value.Int(1), value.NullValue); got != value.Int(2) {
+		t.Errorf("count(*) includes nulls: %v", got)
+	}
+	if got := feed(t, "count", true, false, value.Int(1), value.Int(1), value.Float(1.0), value.Int(2)); got != value.Int(2) {
+		t.Errorf("count distinct: %v", got)
+	}
+}
+
+func TestSumAvg(t *testing.T) {
+	if got := feed(t, "sum", false, false, value.Int(1), value.Int(2), value.NullValue); got != value.Int(3) {
+		t.Errorf("sum ints: %v", got)
+	}
+	if got := feed(t, "sum", false, false, value.Int(1), value.Float(0.5)); got != value.Float(1.5) {
+		t.Errorf("sum mixed: %v", got)
+	}
+	if got := feed(t, "sum", false, false); got != value.Int(0) {
+		t.Errorf("empty sum: %v", got)
+	}
+	if got := feed(t, "avg", false, false, value.Int(1), value.Int(2)); got != value.Float(1.5) {
+		t.Errorf("avg: %v", got)
+	}
+	if got := feed(t, "avg", false, false); !value.IsNull(got) {
+		t.Errorf("empty avg: %v", got)
+	}
+	agg, _ := NewAggregator("sum", false, false)
+	if err := agg.Add(value.String("x")); err == nil {
+		t.Error("sum of string should error")
+	}
+	agg2, _ := NewAggregator("avg", false, false)
+	if err := agg2.Add(value.Bool(true)); err == nil {
+		t.Error("avg of bool should error")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if got := feed(t, "min", false, false, value.Int(3), value.Int(1), value.NullValue, value.Int(2)); got != value.Int(1) {
+		t.Errorf("min: %v", got)
+	}
+	if got := feed(t, "max", false, false, value.Int(3), value.Int(1)); got != value.Int(3) {
+		t.Errorf("max: %v", got)
+	}
+	if got := feed(t, "min", false, false, value.NullValue); !value.IsNull(got) {
+		t.Errorf("min of nulls: %v", got)
+	}
+	// min/max work across orderable types.
+	if got := feed(t, "min", false, false, value.String("b"), value.String("a")); got != value.String("a") {
+		t.Errorf("min strings: %v", got)
+	}
+}
+
+func TestCollect(t *testing.T) {
+	got := feed(t, "collect", false, false, value.Int(1), value.NullValue, value.Int(2))
+	want := value.List{value.Int(1), value.Int(2)}
+	if !value.Equivalent(got, want) {
+		t.Errorf("collect: %v", got)
+	}
+	if got := feed(t, "collect", false, false); !value.Equivalent(got, value.List{}) {
+		t.Errorf("empty collect: %v", got)
+	}
+	got = feed(t, "collect", true, false, value.Int(1), value.Int(1), value.Int(2))
+	if !value.Equivalent(got, value.List{value.Int(1), value.Int(2)}) {
+		t.Errorf("collect distinct: %v", got)
+	}
+}
+
+func TestStDev(t *testing.T) {
+	got := feed(t, "stdev", false, false, value.Int(1), value.Int(2), value.Int(3))
+	if math.Abs(float64(got.(value.Float))-1.0) > 1e-12 {
+		t.Errorf("sample stdev: %v", got)
+	}
+	got = feed(t, "stdevp", false, false, value.Int(1), value.Int(2), value.Int(3))
+	want := math.Sqrt(2.0 / 3.0)
+	if math.Abs(float64(got.(value.Float))-want) > 1e-12 {
+		t.Errorf("population stdev: %v, want %v", got, want)
+	}
+	if got := feed(t, "stdev", false, false, value.Int(1)); got != value.Float(0) {
+		t.Errorf("stdev of singleton: %v", got)
+	}
+}
+
+func TestUnknownAggregate(t *testing.T) {
+	if _, err := NewAggregator("frob", false, false); err == nil {
+		t.Error("unknown aggregate should error")
+	}
+}

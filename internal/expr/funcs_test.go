@@ -1,0 +1,205 @@
+package expr
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/value"
+)
+
+func TestMathFuncs(t *testing.T) {
+	cases := map[string]value.Value{
+		"abs(-5)":    value.Int(5),
+		"abs(-1.5)":  value.Float(1.5),
+		"sign(-3)":   value.Int(-1),
+		"sign(0)":    value.Int(0),
+		"sign(2.5)":  value.Int(1),
+		"ceil(1.2)":  value.Float(2),
+		"floor(1.8)": value.Float(1),
+		"round(1.5)": value.Float(2),
+		"sqrt(16)":   value.Float(4),
+		"exp(0)":     value.Float(1),
+		"log(1)":     value.Float(0),
+		"log10(100)": value.Float(2),
+		"sin(0)":     value.Float(0),
+		"cos(0)":     value.Float(1),
+		"tan(0)":     value.Float(0),
+		"asin(0)":    value.Float(0),
+		"acos(1)":    value.Float(0),
+		"atan(0)":    value.Float(0),
+		"abs(null)":  value.NullValue,
+		"sqrt(null)": value.NullValue,
+	}
+	for src, want := range cases {
+		got := mustEval(t, src, nil, nil)
+		if !value.Equivalent(got, want) {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+	if got := mustEval(t, "pi()", nil, nil); math.Abs(float64(got.(value.Float))-math.Pi) > 1e-15 {
+		t.Error("pi()")
+	}
+	if _, err := evalStr(t, "sqrt('a')", nil, nil, nil); err == nil {
+		t.Error("sqrt of string should error")
+	}
+	if _, err := evalStr(t, "abs(1, 2)", nil, nil, nil); err == nil {
+		t.Error("wrong arity should error")
+	}
+}
+
+func TestConversions(t *testing.T) {
+	cases := map[string]value.Value{
+		"toInteger('42')":    value.Int(42),
+		"toInteger('4.9')":   value.Int(4),
+		"toInteger(3.7)":     value.Int(3),
+		"toInteger('nope')":  value.NullValue,
+		"toFloat('1.5')":     value.Float(1.5),
+		"toFloat(2)":         value.Float(2),
+		"toFloat('x')":       value.NullValue,
+		"toBoolean('true')":  value.Bool(true),
+		"toBoolean('False')": value.Bool(false),
+		"toBoolean('x')":     value.NullValue,
+		"toString(42)":       value.String("42"),
+		"toString(1.5)":      value.String("1.5"),
+		"toString(true)":     value.String("true"),
+		"toString('s')":      value.String("s"),
+		"toString(null)":     value.NullValue,
+	}
+	for src, want := range cases {
+		got := mustEval(t, src, nil, nil)
+		if !value.Equivalent(got, want) {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestListFuncs(t *testing.T) {
+	cases := map[string]value.Value{
+		"size([1,2,3])":        value.Int(3),
+		"size('abc')":          value.Int(3),
+		"size({a:1})":          value.Int(1),
+		"length([1,2])":        value.Int(2),
+		"head([1,2])":          value.Int(1),
+		"head([])":             value.NullValue,
+		"last([1,2])":          value.Int(2),
+		"last([])":             value.NullValue,
+		"tail([1,2,3])":        value.List{value.Int(2), value.Int(3)},
+		"tail([])":             value.List{},
+		"reverse([1,2])":       value.List{value.Int(2), value.Int(1)},
+		"reverse('ab')":        value.String("ba"),
+		"range(1,3)":           value.List{value.Int(1), value.Int(2), value.Int(3)},
+		"range(3,1,-1)":        value.List{value.Int(3), value.Int(2), value.Int(1)},
+		"range(1,10,4)":        value.List{value.Int(1), value.Int(5), value.Int(9)},
+		"coalesce(null, 2, 3)": value.Int(2),
+		"coalesce(null, null)": value.NullValue,
+	}
+	for src, want := range cases {
+		got := mustEval(t, src, nil, nil)
+		if !value.Equivalent(got, want) {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+	if _, err := evalStr(t, "range(1, 5, 0)", nil, nil, nil); err == nil {
+		t.Error("zero step should error")
+	}
+}
+
+func TestStringFuncs(t *testing.T) {
+	cases := map[string]value.Value{
+		"toUpper('ab')":            value.String("AB"),
+		"toLower('AB')":            value.String("ab"),
+		"trim('  x ')":             value.String("x"),
+		"lTrim('  x')":             value.String("x"),
+		"rTrim('x  ')":             value.String("x"),
+		"replace('aaa','a','b')":   value.String("bbb"),
+		"split('a,b', ',')":        value.List{value.String("a"), value.String("b")},
+		"left('abcdef', 2)":        value.String("ab"),
+		"right('abcdef', 2)":       value.String("ef"),
+		"left('ab', 10)":           value.String("ab"),
+		"substring('hello', 1)":    value.String("ello"),
+		"substring('hello', 1, 3)": value.String("ell"),
+		"substring('hello', 99)":   value.String(""),
+		"toUpper(null)":            value.NullValue,
+	}
+	for src, want := range cases {
+		got := mustEval(t, src, nil, nil)
+		if !value.Equivalent(got, want) {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+	if _, err := evalStr(t, "left('ab', -1)", nil, nil, nil); err == nil {
+		t.Error("negative length should error")
+	}
+}
+
+func TestGraphFuncs(t *testing.T) {
+	g := graph.New()
+	a := g.CreateNode([]string{"User", "Admin"}, value.Map{"name": value.String("bob")})
+	b := g.CreateNode([]string{"Product"}, nil)
+	r, _ := g.CreateRel(a.ID, b.ID, "ORDERED", value.Map{"qty": value.Int(2)})
+	env := Env{
+		"a": value.Node{ID: int64(a.ID)},
+		"b": value.Node{ID: int64(b.ID)},
+		"r": value.Rel{ID: int64(r.ID)},
+		"p": value.Path{Nodes: []int64{int64(a.ID), int64(b.ID)}, Rels: []int64{int64(r.ID)}},
+	}
+	cases := map[string]value.Value{
+		"id(a)":           value.Int(int64(a.ID)),
+		"id(r)":           value.Int(int64(r.ID)),
+		"labels(a)":       value.List{value.String("Admin"), value.String("User")},
+		"type(r)":         value.String("ORDERED"),
+		"properties(a)":   value.Map{"name": value.String("bob")},
+		"keys(a)":         value.List{value.String("name")},
+		"keys({x:1})":     value.List{value.String("x")},
+		"startNode(r)":    value.Node{ID: int64(a.ID)},
+		"endNode(r)":      value.Node{ID: int64(b.ID)},
+		"length(p)":       value.Int(1),
+		"exists(a.name)":  value.Bool(true),
+		"exists(a.other)": value.Bool(false),
+		"id(null)":        value.NullValue,
+	}
+	for src, want := range cases {
+		got := mustEval(t, src, g, env)
+		if !value.Equivalent(got, want) {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+	// nodes()/relationships() over a path.
+	nodes := mustEval(t, "nodes(p)", g, env).(value.List)
+	if len(nodes) != 2 {
+		t.Errorf("nodes(p) = %v", nodes)
+	}
+	rels := mustEval(t, "relationships(p)", g, env).(value.List)
+	if len(rels) != 1 {
+		t.Errorf("relationships(p) = %v", rels)
+	}
+	if _, err := evalStr(t, "labels(1)", g, env, nil); err == nil {
+		t.Error("labels of int should error")
+	}
+	if _, err := evalStr(t, "unknownfn(1)", g, env, nil); err == nil {
+		t.Error("unknown function should error")
+	}
+	if _, err := evalStr(t, "count(x)", g, env, nil); err == nil {
+		t.Error("aggregate outside projection should error")
+	}
+}
+
+func TestFunctionsList(t *testing.T) {
+	fns := Functions()
+	if len(fns) < 40 {
+		t.Errorf("expected a rich function library, got %d", len(fns))
+	}
+	seen := map[string]bool{}
+	for _, f := range fns {
+		if seen[f] {
+			t.Errorf("duplicate function %s", f)
+		}
+		seen[f] = true
+	}
+	for _, want := range []string{"exists", "coalesce", "id", "size"} {
+		if !seen[want] {
+			t.Errorf("missing function %s", want)
+		}
+	}
+}

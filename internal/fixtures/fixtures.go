@@ -1,0 +1,135 @@
+// Package fixtures builds the graphs and driving tables of the paper's
+// worked examples, shared by tests, the experiment runner and the
+// examples. Node handles are returned by name (v1, p1, u1, ... exactly as
+// in Figure 1) so assertions can reference the paper's notation directly.
+package fixtures
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/table"
+	"repro/internal/value"
+)
+
+// Figure1 builds the solid-line marketplace graph of Figure 1: one
+// vendor, three products, two users, and the OFFERS/ORDERED
+// relationships. The returned map gives the paper's node names.
+func Figure1() (*graph.Graph, map[string]graph.NodeID) {
+	g := graph.New()
+	ids := make(map[string]graph.NodeID)
+	node := func(name, label string, props value.Map) {
+		ids[name] = g.CreateNode([]string{label}, props).ID
+	}
+	node("v1", "Vendor", value.Map{"id": value.Int(60), "name": value.String("cStore")})
+	node("p1", "Product", value.Map{"id": value.Int(125), "name": value.String("laptop")})
+	node("p2", "Product", value.Map{"id": value.Int(125), "name": value.String("notebook")})
+	node("u1", "User", value.Map{"id": value.Int(89), "name": value.String("Bob")})
+	node("u2", "User", value.Map{"id": value.Int(99), "name": value.String("Jane")})
+	node("p3", "Product", value.Map{"id": value.Int(85), "name": value.String("tablet")})
+	rel := func(src, tgt, typ string) {
+		if _, err := g.CreateRel(ids[src], ids[tgt], typ, nil); err != nil {
+			panic(fmt.Sprintf("fixtures: %v", err))
+		}
+	}
+	rel("v1", "p1", "OFFERS")
+	rel("v1", "p2", "OFFERS")
+	rel("u1", "p1", "ORDERED")
+	rel("u1", "p3", "ORDERED")
+	rel("u2", "p3", "ORDERED")
+	rel("u2", "p2", "ORDERED")
+	return g, ids
+}
+
+// CleanFigure1 builds Figure 1 but with distinct product ids (125, 126,
+// 85), the state assumed by Example 2's "clean" variant and by queries
+// that need unambiguous products.
+func CleanFigure1() (*graph.Graph, map[string]graph.NodeID) {
+	g, ids := Figure1()
+	if err := g.SetNodeProp(ids["p2"], "id", value.Int(126)); err != nil {
+		panic(err)
+	}
+	return g, ids
+}
+
+// Example3 builds the setting of Example 3 / Figure 6: five nodes
+// (u1, u2, p, v1, v2) with no relationships, and the three-record driving
+// table
+//
+//	user product vendor
+//	u1   p       v1
+//	u2   p       v2
+//	u1   p       v2
+//
+// over the columns user, product, vendor.
+func Example3() (*graph.Graph, *table.Table, map[string]graph.NodeID) {
+	g := graph.New()
+	ids := make(map[string]graph.NodeID)
+	for _, name := range []string{"u1", "u2", "p", "v1", "v2"} {
+		ids[name] = g.CreateNode(nil, value.Map{"name": value.String(name)}).ID
+	}
+	t := table.New("user", "product", "vendor")
+	row := func(u, p, v string) {
+		t.AppendRow(value.Node{ID: int64(ids[u])}, value.Node{ID: int64(ids[p])}, value.Node{ID: int64(ids[v])})
+	}
+	row("u1", "p", "v1")
+	row("u2", "p", "v2")
+	row("u1", "p", "v2")
+	return g, t, ids
+}
+
+// Example5Table builds the driving table of Example 5 / Figure 7:
+//
+//	cid pid  date
+//	98  125  2018-06-23
+//	98  125  2018-07-06
+//	98  null null
+//	98  null null
+//	99  125  2018-03-11
+//	99  null null
+func Example5Table() *table.Table {
+	t := table.New("cid", "pid", "date")
+	row := func(cid value.Value, pid value.Value, date value.Value) {
+		t.AppendRow(cid, pid, date)
+	}
+	row(value.Int(98), value.Int(125), value.String("2018-06-23"))
+	row(value.Int(98), value.Int(125), value.String("2018-07-06"))
+	row(value.Int(98), value.NullValue, value.NullValue)
+	row(value.Int(98), value.NullValue, value.NullValue)
+	row(value.Int(99), value.Int(125), value.String("2018-03-11"))
+	row(value.Int(99), value.NullValue, value.NullValue)
+	return t
+}
+
+// Example6Table builds the driving table of Example 6 / Figure 8:
+//
+//	bid pid sid
+//	98  125 97
+//	99  85  98
+func Example6Table() *table.Table {
+	t := table.New("bid", "pid", "sid")
+	t.AppendRow(value.Int(98), value.Int(125), value.Int(97))
+	t.AppendRow(value.Int(99), value.Int(85), value.Int(98))
+	return t
+}
+
+// Example7 builds the setting of Example 7 / Figure 9: four product
+// nodes p1..p4 and the single-record driving table binding
+// a,b,c,d,e,tgt to p1,p2,p3,p1,p2,p4.
+func Example7() (*graph.Graph, *table.Table, map[string]graph.NodeID) {
+	g := graph.New()
+	ids := make(map[string]graph.NodeID)
+	for _, name := range []string{"p1", "p2", "p3", "p4"} {
+		ids[name] = g.CreateNode([]string{"Product"}, value.Map{"name": value.String(name)}).ID
+	}
+	t := table.New("a", "b", "c", "d", "e", "tgt")
+	t.AppendRow(
+		value.Node{ID: int64(ids["p1"])},
+		value.Node{ID: int64(ids["p2"])},
+		value.Node{ID: int64(ids["p3"])},
+		value.Node{ID: int64(ids["p1"])},
+		value.Node{ID: int64(ids["p2"])},
+		value.Node{ID: int64(ids["p4"])},
+	)
+	return g, t, ids
+}

@@ -1,0 +1,308 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/value"
+)
+
+// This file implements a JSON snapshot format for property graphs, so
+// databases can be persisted and the experiment figures exported. The
+// format is stable and human-readable:
+//
+//	{
+//	  "nodes": [{"id": 1, "labels": ["User"], "props": {"id": {"int": 89}}}],
+//	  "rels":  [{"id": 1, "type": "ORDERED", "src": 1, "tgt": 2, "props": {}}]
+//	}
+//
+// Property values carry explicit type tags so integers and floats
+// round-trip exactly (a bare JSON number would not).
+
+type jsonValue struct {
+	Null   bool         `json:"null,omitempty"`
+	Bool   *bool        `json:"bool,omitempty"`
+	Int    *int64       `json:"int,omitempty"`
+	Float  *float64     `json:"float,omitempty"`
+	FloatS string       `json:"floatSpecial,omitempty"` // "nan", "+inf", "-inf"
+	Str    *string      `json:"string,omitempty"`
+	List   []jsonValue  `json:"list,omitempty"`
+	IsList bool         `json:"isList,omitempty"`
+	Map    mapJSONValue `json:"map,omitempty"`
+	IsMap  bool         `json:"isMap,omitempty"`
+}
+
+type mapJSONValue map[string]jsonValue
+
+func encodeValue(v value.Value) (jsonValue, error) {
+	switch x := v.(type) {
+	case value.Null:
+		return jsonValue{Null: true}, nil
+	case value.Bool:
+		b := bool(x)
+		return jsonValue{Bool: &b}, nil
+	case value.Int:
+		i := int64(x)
+		return jsonValue{Int: &i}, nil
+	case value.Float:
+		f := float64(x)
+		switch {
+		case math.IsNaN(f):
+			return jsonValue{FloatS: "nan"}, nil
+		case math.IsInf(f, 1):
+			return jsonValue{FloatS: "+inf"}, nil
+		case math.IsInf(f, -1):
+			return jsonValue{FloatS: "-inf"}, nil
+		}
+		return jsonValue{Float: &f}, nil
+	case value.String:
+		s := string(x)
+		return jsonValue{Str: &s}, nil
+	case value.List:
+		out := jsonValue{IsList: true, List: make([]jsonValue, len(x))}
+		for i, el := range x {
+			ev, err := encodeValue(el)
+			if err != nil {
+				return jsonValue{}, err
+			}
+			out.List[i] = ev
+		}
+		return out, nil
+	case value.Map:
+		out := jsonValue{IsMap: true, Map: make(mapJSONValue, len(x))}
+		for k, el := range x {
+			ev, err := encodeValue(el)
+			if err != nil {
+				return jsonValue{}, err
+			}
+			out.Map[k] = ev
+		}
+		return out, nil
+	default:
+		return jsonValue{}, fmt.Errorf("graph: cannot serialize %s property", v.Kind())
+	}
+}
+
+func decodeValue(j jsonValue) (value.Value, error) {
+	switch {
+	case j.Null:
+		return value.NullValue, nil
+	case j.Bool != nil:
+		return value.Bool(*j.Bool), nil
+	case j.Int != nil:
+		return value.Int(*j.Int), nil
+	case j.Float != nil:
+		return value.Float(*j.Float), nil
+	case j.FloatS != "":
+		switch j.FloatS {
+		case "nan":
+			return value.Float(math.NaN()), nil
+		case "+inf":
+			return value.Float(math.Inf(1)), nil
+		case "-inf":
+			return value.Float(math.Inf(-1)), nil
+		}
+		return nil, fmt.Errorf("graph: unknown float special %q", j.FloatS)
+	case j.Str != nil:
+		return value.String(*j.Str), nil
+	case j.IsList:
+		out := make(value.List, len(j.List))
+		for i, el := range j.List {
+			v, err := decodeValue(el)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	case j.IsMap:
+		out := make(value.Map, len(j.Map))
+		for k, el := range j.Map {
+			v, err := decodeValue(el)
+			if err != nil {
+				return nil, err
+			}
+			out[k] = v
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("graph: malformed serialized value")
+	}
+}
+
+type jsonNode struct {
+	ID     int64                `json:"id"`
+	Labels []string             `json:"labels"`
+	Props  map[string]jsonValue `json:"props"`
+}
+
+type jsonRel struct {
+	ID    int64                `json:"id"`
+	Type  string               `json:"type"`
+	Src   int64                `json:"src"`
+	Tgt   int64                `json:"tgt"`
+	Props map[string]jsonValue `json:"props"`
+}
+
+type jsonGraph struct {
+	Nodes []jsonNode `json:"nodes"`
+	Rels  []jsonRel  `json:"rels"`
+}
+
+// WriteJSON serializes the graph to w in the stable snapshot format.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	out := jsonGraph{Nodes: []jsonNode{}, Rels: []jsonRel{}}
+	for _, id := range g.NodeIDs() {
+		n := g.Node(id)
+		jn := jsonNode{ID: int64(id), Labels: n.SortedLabels(), Props: map[string]jsonValue{}}
+		for k, v := range n.Props {
+			ev, err := encodeValue(v)
+			if err != nil {
+				return err
+			}
+			jn.Props[k] = ev
+		}
+		out.Nodes = append(out.Nodes, jn)
+	}
+	for _, id := range g.RelIDs() {
+		r := g.Rel(id)
+		jr := jsonRel{ID: int64(id), Type: r.Type, Src: int64(r.Src), Tgt: int64(r.Tgt), Props: map[string]jsonValue{}}
+		for k, v := range r.Props {
+			ev, err := encodeValue(v)
+			if err != nil {
+				return err
+			}
+			jr.Props[k] = ev
+		}
+		out.Rels = append(out.Rels, jr)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON deserializes a snapshot into a fresh graph. Entity ids are
+// preserved; the id counters resume above the maximum seen.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var in jsonGraph
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("graph: decode snapshot: %w", err)
+	}
+	g := New()
+	for _, jn := range in.Nodes {
+		if jn.ID <= 0 {
+			return nil, fmt.Errorf("graph: invalid node id %d", jn.ID)
+		}
+		if g.HasNode(NodeID(jn.ID)) {
+			return nil, fmt.Errorf("graph: duplicate node id %d", jn.ID)
+		}
+		n := &Node{
+			ID:     NodeID(jn.ID),
+			Labels: make(map[string]struct{}, len(jn.Labels)),
+			Props:  make(map[string]value.Value, len(jn.Props)),
+		}
+		for _, l := range jn.Labels {
+			n.Labels[l] = struct{}{}
+		}
+		for k, jv := range jn.Props {
+			v, err := decodeValue(jv)
+			if err != nil {
+				return nil, err
+			}
+			if !value.IsNull(v) {
+				n.Props[k] = v
+			}
+		}
+		g.restoreNode(n)
+		if NodeID(jn.ID) > g.nextNode {
+			g.nextNode = NodeID(jn.ID)
+		}
+	}
+	for _, jr := range in.Rels {
+		if jr.ID <= 0 {
+			return nil, fmt.Errorf("graph: invalid relationship id %d", jr.ID)
+		}
+		if g.HasRel(RelID(jr.ID)) {
+			return nil, fmt.Errorf("graph: duplicate relationship id %d", jr.ID)
+		}
+		if jr.Type == "" {
+			return nil, fmt.Errorf("graph: relationship %d has no type", jr.ID)
+		}
+		if !g.HasNode(NodeID(jr.Src)) || !g.HasNode(NodeID(jr.Tgt)) {
+			return nil, fmt.Errorf("graph: relationship %d has dangling endpoints", jr.ID)
+		}
+		rel := &Rel{
+			ID:    RelID(jr.ID),
+			Type:  jr.Type,
+			Src:   NodeID(jr.Src),
+			Tgt:   NodeID(jr.Tgt),
+			Props: make(map[string]value.Value, len(jr.Props)),
+		}
+		for k, jv := range jr.Props {
+			v, err := decodeValue(jv)
+			if err != nil {
+				return nil, err
+			}
+			if !value.IsNull(v) {
+				rel.Props[k] = v
+			}
+		}
+		g.restoreRel(rel)
+		if RelID(jr.ID) > g.nextRel {
+			g.nextRel = RelID(jr.ID)
+		}
+	}
+	return g, nil
+}
+
+// WriteDOT renders the graph in Graphviz DOT format, suitable for
+// visualizing the paper's figures (cmd/experiments -dot uses it).
+func (g *Graph) WriteDOT(w io.Writer, title string) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n  node [shape=ellipse];\n", title); err != nil {
+		return err
+	}
+	for _, id := range g.NodeIDs() {
+		n := g.Node(id)
+		label := fmt.Sprintf("%d", id)
+		if len(n.Labels) > 0 {
+			label += "\n:" + joinSorted(n.Labels, ":")
+		}
+		if len(n.Props) > 0 {
+			label += "\n" + value.Map(n.PropMap()).String()
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=%q];\n", id, label); err != nil {
+			return err
+		}
+	}
+	for _, id := range g.RelIDs() {
+		r := g.Rel(id)
+		label := ":" + r.Type
+		if len(r.Props) > 0 {
+			label += " " + value.Map(r.PropMap()).String()
+		}
+		if _, err := fmt.Fprintf(w, "  n%d -> n%d [label=%q];\n", r.Src, r.Tgt, label); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func joinSorted(set map[string]struct{}, sep string) string {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += sep
+		}
+		out += k
+	}
+	return out
+}

@@ -1,0 +1,529 @@
+// Package graph implements the property graph data model of the paper
+// (Section 8): G = <N, R, src, tgt, iota, lambda, tau>, where N is a set of
+// nodes, R a set of relationships, src/tgt assign endpoints, lambda assigns
+// label sets to nodes, tau assigns a type to each relationship, and iota
+// assigns property maps to nodes and relationships.
+//
+// The store enforces the model's single structural invariant: there are no
+// dangling relationships — every relationship's source and target node
+// exist (Section 2 of the paper). The legacy Cypher 9 execution mode
+// deliberately suspends this invariant mid-statement (Section 4.2); the
+// store supports that through the unchecked deletion entry points, and
+// exposes Validate to re-check the invariant.
+//
+// The package also provides:
+//   - deltas (ChangeSet) implementing the revised two-phase atomic update
+//     semantics of Section 7 (collect changes, detect conflicts, apply);
+//   - a journal for statement-level rollback;
+//   - an isomorphism checker used to verify "equal up to id renaming"
+//     determinism claims (Section 8).
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/value"
+)
+
+// NodeID identifies a node. IDs are assigned monotonically and never
+// reused within a Graph lifetime.
+type NodeID int64
+
+// RelID identifies a relationship.
+type RelID int64
+
+// Node is a stored node: a label set and a property map.
+type Node struct {
+	ID     NodeID
+	Labels map[string]struct{}
+	Props  map[string]value.Value
+}
+
+// HasLabel reports whether the node carries the given label.
+func (n *Node) HasLabel(label string) bool {
+	_, ok := n.Labels[label]
+	return ok
+}
+
+// SortedLabels returns the node's labels in sorted order.
+func (n *Node) SortedLabels() []string {
+	out := make([]string, 0, len(n.Labels))
+	for l := range n.Labels {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PropMap returns the node's properties as a value.Map (shallow copy).
+func (n *Node) PropMap() value.Map {
+	m := make(value.Map, len(n.Props))
+	for k, v := range n.Props {
+		m[k] = v
+	}
+	return m
+}
+
+// Rel is a stored relationship: exactly one type, one source, one target,
+// and a property map.
+type Rel struct {
+	ID       RelID
+	Type     string
+	Src, Tgt NodeID
+	Props    map[string]value.Value
+}
+
+// PropMap returns the relationship's properties as a value.Map (shallow copy).
+func (r *Rel) PropMap() value.Map {
+	m := make(value.Map, len(r.Props))
+	for k, v := range r.Props {
+		m[k] = v
+	}
+	return m
+}
+
+// Graph is an in-memory property graph. It is not safe for concurrent
+// mutation; the database layer serializes statements.
+type Graph struct {
+	nodes map[NodeID]*Node
+	rels  map[RelID]*Rel
+
+	outgoing map[NodeID][]RelID
+	incoming map[NodeID][]RelID
+	byLabel  map[string]map[NodeID]struct{}
+
+	nextNode NodeID
+	nextRel  RelID
+
+	journal *Journal // non-nil while a statement's undo journal is active
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes:    make(map[NodeID]*Node),
+		rels:     make(map[RelID]*Rel),
+		outgoing: make(map[NodeID][]RelID),
+		incoming: make(map[NodeID][]RelID),
+		byLabel:  make(map[string]map[NodeID]struct{}),
+	}
+}
+
+// NumNodes reports the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumRels reports the number of relationships.
+func (g *Graph) NumRels() int { return len(g.rels) }
+
+// Node returns the node with the given id, or nil.
+func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
+
+// Rel returns the relationship with the given id, or nil.
+func (g *Graph) Rel(id RelID) *Rel { return g.rels[id] }
+
+// HasNode reports whether a node with the given id exists.
+func (g *Graph) HasNode(id NodeID) bool { _, ok := g.nodes[id]; return ok }
+
+// HasRel reports whether a relationship with the given id exists.
+func (g *Graph) HasRel(id RelID) bool { _, ok := g.rels[id]; return ok }
+
+// NodeIDs returns all node ids in ascending order. The deterministic order
+// is what makes legacy-mode scans reproducible for a given graph state.
+func (g *Graph) NodeIDs() []NodeID {
+	ids := make([]NodeID, 0, len(g.nodes))
+	for id := range g.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// RelIDs returns all relationship ids in ascending order.
+func (g *Graph) RelIDs() []RelID {
+	ids := make([]RelID, 0, len(g.rels))
+	for id := range g.rels {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// NodeIDsByLabel returns the ids of nodes carrying the label, ascending.
+func (g *Graph) NodeIDsByLabel(label string) []NodeID {
+	set := g.byLabel[label]
+	ids := make([]NodeID, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Outgoing returns the ids of relationships whose source is the node,
+// in ascending order.
+func (g *Graph) Outgoing(id NodeID) []RelID {
+	return sortedRelIDs(g.outgoing[id])
+}
+
+// Incoming returns the ids of relationships whose target is the node,
+// in ascending order.
+func (g *Graph) Incoming(id NodeID) []RelID {
+	return sortedRelIDs(g.incoming[id])
+}
+
+func sortedRelIDs(in []RelID) []RelID {
+	out := make([]RelID, len(in))
+	copy(out, in)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Degree reports the total number of relationships attached to the node
+// (a self-loop counts twice: once outgoing, once incoming).
+func (g *Graph) Degree(id NodeID) int {
+	return len(g.outgoing[id]) + len(g.incoming[id])
+}
+
+// CreateNode adds a node with the given labels and properties and returns
+// it. Properties mapped to null are not stored (iota(n,k)=null means
+// "absent" in the formal model).
+func (g *Graph) CreateNode(labels []string, props value.Map) *Node {
+	g.nextNode++
+	n := &Node{
+		ID:     g.nextNode,
+		Labels: make(map[string]struct{}, len(labels)),
+		Props:  make(map[string]value.Value, len(props)),
+	}
+	for _, l := range labels {
+		n.Labels[l] = struct{}{}
+	}
+	for k, v := range props {
+		if !value.IsNull(v) {
+			n.Props[k] = v
+		}
+	}
+	g.nodes[n.ID] = n
+	for l := range n.Labels {
+		g.indexLabel(l, n.ID)
+	}
+	if g.journal != nil {
+		g.journal.record(undoCreateNode{id: n.ID})
+	}
+	return n
+}
+
+// CreateRel adds a relationship from src to tgt with the given type and
+// properties. It returns an error if either endpoint does not exist
+// (no dangling relationships) or if the type is empty (every relationship
+// has exactly one type; Section 2).
+func (g *Graph) CreateRel(src, tgt NodeID, relType string, props value.Map) (*Rel, error) {
+	if relType == "" {
+		return nil, fmt.Errorf("graph: relationship must have a type")
+	}
+	if !g.HasNode(src) {
+		return nil, fmt.Errorf("graph: source node %d does not exist", src)
+	}
+	if !g.HasNode(tgt) {
+		return nil, fmt.Errorf("graph: target node %d does not exist", tgt)
+	}
+	g.nextRel++
+	r := &Rel{
+		ID:    g.nextRel,
+		Type:  relType,
+		Src:   src,
+		Tgt:   tgt,
+		Props: make(map[string]value.Value, len(props)),
+	}
+	for k, v := range props {
+		if !value.IsNull(v) {
+			r.Props[k] = v
+		}
+	}
+	g.rels[r.ID] = r
+	g.outgoing[src] = append(g.outgoing[src], r.ID)
+	g.incoming[tgt] = append(g.incoming[tgt], r.ID)
+	if g.journal != nil {
+		g.journal.record(undoCreateRel{id: r.ID})
+	}
+	return r, nil
+}
+
+// DeleteRel removes a relationship. Removing a missing relationship is a
+// no-op (it may have been deleted earlier in the same statement).
+func (g *Graph) DeleteRel(id RelID) {
+	r, ok := g.rels[id]
+	if !ok {
+		return
+	}
+	if g.journal != nil {
+		g.journal.record(undoDeleteRel{rel: copyRel(r)})
+	}
+	delete(g.rels, id)
+	g.outgoing[r.Src] = removeRelID(g.outgoing[r.Src], id)
+	g.incoming[r.Tgt] = removeRelID(g.incoming[r.Tgt], id)
+}
+
+// DeleteNode removes a node, returning an error if relationships are still
+// attached (the DELETE failure mode described in Section 3 of the paper).
+func (g *Graph) DeleteNode(id NodeID) error {
+	n, ok := g.nodes[id]
+	if !ok {
+		return nil
+	}
+	if g.Degree(id) > 0 {
+		return &DanglingError{Node: id, Attached: g.Degree(id)}
+	}
+	if g.journal != nil {
+		g.journal.record(undoDeleteNode{node: copyNode(n)})
+	}
+	g.removeNodeInternal(n)
+	return nil
+}
+
+// DeleteNodeUnchecked removes a node even if relationships are attached,
+// leaving them dangling. This reproduces the non-atomic mid-statement
+// state of legacy Cypher 9 DELETE (Section 4.2); Validate will fail until
+// the dangling relationships are also removed.
+func (g *Graph) DeleteNodeUnchecked(id NodeID) {
+	n, ok := g.nodes[id]
+	if !ok {
+		return
+	}
+	if g.journal != nil {
+		g.journal.record(undoDeleteNode{node: copyNode(n)})
+	}
+	g.removeNodeInternal(n)
+}
+
+func (g *Graph) removeNodeInternal(n *Node) {
+	delete(g.nodes, n.ID)
+	for l := range n.Labels {
+		g.unindexLabel(l, n.ID)
+	}
+	// Adjacency lists for the node are retained only if non-empty
+	// (dangling rels keep referring to the removed node id).
+	if len(g.outgoing[n.ID]) == 0 {
+		delete(g.outgoing, n.ID)
+	}
+	if len(g.incoming[n.ID]) == 0 {
+		delete(g.incoming, n.ID)
+	}
+}
+
+// DetachDeleteNode removes a node along with all attached relationships.
+func (g *Graph) DetachDeleteNode(id NodeID) {
+	if !g.HasNode(id) {
+		return
+	}
+	for _, rid := range g.Outgoing(id) {
+		g.DeleteRel(rid)
+	}
+	for _, rid := range g.Incoming(id) {
+		g.DeleteRel(rid)
+	}
+	g.DeleteNodeUnchecked(id)
+}
+
+// SetNodeProp sets (or, when v is null, removes) a node property.
+func (g *Graph) SetNodeProp(id NodeID, key string, v value.Value) error {
+	n, ok := g.nodes[id]
+	if !ok {
+		return fmt.Errorf("graph: node %d does not exist", id)
+	}
+	if g.journal != nil {
+		old, had := n.Props[key]
+		g.journal.record(undoSetNodeProp{id: id, key: key, old: old, had: had})
+	}
+	if value.IsNull(v) {
+		delete(n.Props, key)
+	} else {
+		n.Props[key] = v
+	}
+	return nil
+}
+
+// SetRelProp sets (or, when v is null, removes) a relationship property.
+func (g *Graph) SetRelProp(id RelID, key string, v value.Value) error {
+	r, ok := g.rels[id]
+	if !ok {
+		return fmt.Errorf("graph: relationship %d does not exist", id)
+	}
+	if g.journal != nil {
+		old, had := r.Props[key]
+		g.journal.record(undoSetRelProp{id: id, key: key, old: old, had: had})
+	}
+	if value.IsNull(v) {
+		delete(r.Props, key)
+	} else {
+		r.Props[key] = v
+	}
+	return nil
+}
+
+// AddLabel adds a label to a node.
+func (g *Graph) AddLabel(id NodeID, label string) error {
+	n, ok := g.nodes[id]
+	if !ok {
+		return fmt.Errorf("graph: node %d does not exist", id)
+	}
+	if _, has := n.Labels[label]; has {
+		return nil
+	}
+	if g.journal != nil {
+		g.journal.record(undoAddLabel{id: id, label: label})
+	}
+	n.Labels[label] = struct{}{}
+	g.indexLabel(label, id)
+	return nil
+}
+
+// RemoveLabel removes a label from a node.
+func (g *Graph) RemoveLabel(id NodeID, label string) error {
+	n, ok := g.nodes[id]
+	if !ok {
+		return fmt.Errorf("graph: node %d does not exist", id)
+	}
+	if _, has := n.Labels[label]; !has {
+		return nil
+	}
+	if g.journal != nil {
+		g.journal.record(undoRemoveLabel{id: id, label: label})
+	}
+	delete(n.Labels, label)
+	g.unindexLabel(label, id)
+	return nil
+}
+
+func (g *Graph) indexLabel(label string, id NodeID) {
+	set, ok := g.byLabel[label]
+	if !ok {
+		set = make(map[NodeID]struct{})
+		g.byLabel[label] = set
+	}
+	set[id] = struct{}{}
+}
+
+func (g *Graph) unindexLabel(label string, id NodeID) {
+	if set, ok := g.byLabel[label]; ok {
+		delete(set, id)
+		if len(set) == 0 {
+			delete(g.byLabel, label)
+		}
+	}
+}
+
+func removeRelID(ids []RelID, id RelID) []RelID {
+	for i, x := range ids {
+		if x == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// DanglingError reports a deletion that would leave (or has left)
+// relationships without an endpoint.
+type DanglingError struct {
+	Node     NodeID
+	Attached int
+}
+
+// Error implements error.
+func (e *DanglingError) Error() string {
+	return fmt.Sprintf("cannot delete node %d: %d relationship(s) still attached", e.Node, e.Attached)
+}
+
+// Validate checks the structural invariant that every relationship's
+// endpoints exist, returning the first violation found.
+func (g *Graph) Validate() error {
+	for _, id := range g.RelIDs() {
+		r := g.rels[id]
+		if !g.HasNode(r.Src) {
+			return fmt.Errorf("graph: relationship %d has dangling source %d", r.ID, r.Src)
+		}
+		if !g.HasNode(r.Tgt) {
+			return fmt.Errorf("graph: relationship %d has dangling target %d", r.ID, r.Tgt)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the graph sharing no mutable state. Stored
+// property values are immutable by convention (the evaluator never mutates
+// a stored List/Map in place), so values themselves are shared.
+func (g *Graph) Clone() *Graph {
+	ng := &Graph{
+		nodes:    make(map[NodeID]*Node, len(g.nodes)),
+		rels:     make(map[RelID]*Rel, len(g.rels)),
+		outgoing: make(map[NodeID][]RelID, len(g.outgoing)),
+		incoming: make(map[NodeID][]RelID, len(g.incoming)),
+		byLabel:  make(map[string]map[NodeID]struct{}, len(g.byLabel)),
+		nextNode: g.nextNode,
+		nextRel:  g.nextRel,
+	}
+	for id, n := range g.nodes {
+		ng.nodes[id] = copyNode(n)
+	}
+	for id, r := range g.rels {
+		ng.rels[id] = copyRel(r)
+	}
+	for id, rs := range g.outgoing {
+		ng.outgoing[id] = append([]RelID(nil), rs...)
+	}
+	for id, rs := range g.incoming {
+		ng.incoming[id] = append([]RelID(nil), rs...)
+	}
+	for l, set := range g.byLabel {
+		ns := make(map[NodeID]struct{}, len(set))
+		for id := range set {
+			ns[id] = struct{}{}
+		}
+		ng.byLabel[l] = ns
+	}
+	return ng
+}
+
+func copyNode(n *Node) *Node {
+	c := &Node{
+		ID:     n.ID,
+		Labels: make(map[string]struct{}, len(n.Labels)),
+		Props:  make(map[string]value.Value, len(n.Props)),
+	}
+	for l := range n.Labels {
+		c.Labels[l] = struct{}{}
+	}
+	for k, v := range n.Props {
+		c.Props[k] = v
+	}
+	return c
+}
+
+func copyRel(r *Rel) *Rel {
+	c := &Rel{
+		ID:    r.ID,
+		Type:  r.Type,
+		Src:   r.Src,
+		Tgt:   r.Tgt,
+		Props: make(map[string]value.Value, len(r.Props)),
+	}
+	for k, v := range r.Props {
+		c.Props[k] = v
+	}
+	return c
+}
+
+// restoreNode reinstates a node with its original id (journal rollback).
+func (g *Graph) restoreNode(n *Node) {
+	g.nodes[n.ID] = n
+	for l := range n.Labels {
+		g.indexLabel(l, n.ID)
+	}
+}
+
+// restoreRel reinstates a relationship with its original id (journal rollback).
+func (g *Graph) restoreRel(r *Rel) {
+	g.rels[r.ID] = r
+	g.outgoing[r.Src] = append(g.outgoing[r.Src], r.ID)
+	g.incoming[r.Tgt] = append(g.incoming[r.Tgt], r.ID)
+}

@@ -1,0 +1,207 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func pair(t *testing.T, build func(g *Graph)) (*Graph, *Graph) {
+	t.Helper()
+	a, b := New(), New()
+	build(a)
+	build(b)
+	return a, b
+}
+
+func TestIsomorphicBasic(t *testing.T) {
+	a, b := pair(t, func(g *Graph) {
+		u := g.CreateNode([]string{"User"}, value.Map{"id": value.Int(1)})
+		p := g.CreateNode([]string{"Product"}, nil)
+		g.CreateRel(u.ID, p.ID, "ORDERED", nil)
+	})
+	if !Isomorphic(a, b) {
+		t.Error("identically built graphs should be isomorphic")
+	}
+	if IsoMapping(a, b) == nil {
+		t.Error("IsoMapping should find a witness")
+	}
+}
+
+func TestIsomorphicIDRenaming(t *testing.T) {
+	// Build the same shape with different insertion orders so ids differ.
+	a := New()
+	u := a.CreateNode([]string{"User"}, value.Map{"id": value.Int(1)})
+	p := a.CreateNode([]string{"Product"}, value.Map{"id": value.Int(2)})
+	a.CreateRel(u.ID, p.ID, "ORDERED", nil)
+
+	b := New()
+	p2 := b.CreateNode([]string{"Product"}, value.Map{"id": value.Int(2)})
+	u2 := b.CreateNode([]string{"User"}, value.Map{"id": value.Int(1)})
+	b.CreateRel(u2.ID, p2.ID, "ORDERED", nil)
+
+	if !Isomorphic(a, b) {
+		t.Error("graphs differing only in id assignment should be isomorphic")
+	}
+}
+
+func TestNotIsomorphic(t *testing.T) {
+	a := New()
+	u := a.CreateNode([]string{"User"}, nil)
+	p := a.CreateNode([]string{"Product"}, nil)
+	a.CreateRel(u.ID, p.ID, "ORDERED", nil)
+
+	// Different direction.
+	b := New()
+	u2 := b.CreateNode([]string{"User"}, nil)
+	p2 := b.CreateNode([]string{"Product"}, nil)
+	b.CreateRel(p2.ID, u2.ID, "ORDERED", nil)
+	if Isomorphic(a, b) {
+		t.Error("direction flip should break isomorphism")
+	}
+
+	// Different counts.
+	c := New()
+	c.CreateNode([]string{"User"}, nil)
+	if Isomorphic(a, c) {
+		t.Error("different node counts should break isomorphism")
+	}
+
+	// Different property.
+	d := New()
+	u3 := d.CreateNode([]string{"User"}, value.Map{"x": value.Int(1)})
+	p3 := d.CreateNode([]string{"Product"}, nil)
+	d.CreateRel(u3.ID, p3.ID, "ORDERED", nil)
+	if Isomorphic(a, d) {
+		t.Error("extra property should break isomorphism")
+	}
+
+	// Different rel type.
+	e := New()
+	u4 := e.CreateNode([]string{"User"}, nil)
+	p4 := e.CreateNode([]string{"Product"}, nil)
+	e.CreateRel(u4.ID, p4.ID, "OFFERS", nil)
+	if Isomorphic(a, e) {
+		t.Error("different rel type should break isomorphism")
+	}
+}
+
+func TestIsomorphicParallelEdges(t *testing.T) {
+	// Multi-edges: two identical ORDERED rels vs one must differ.
+	a := New()
+	u := a.CreateNode(nil, nil)
+	p := a.CreateNode(nil, nil)
+	a.CreateRel(u.ID, p.ID, "T", nil)
+	a.CreateRel(u.ID, p.ID, "T", nil)
+
+	b := New()
+	u2 := b.CreateNode(nil, nil)
+	p2 := b.CreateNode(nil, nil)
+	b.CreateRel(u2.ID, p2.ID, "T", nil)
+	if Isomorphic(a, b) {
+		t.Error("edge multiplicity should matter")
+	}
+	b.CreateRel(u2.ID, p2.ID, "T", nil)
+	if !Isomorphic(a, b) {
+		t.Error("equal multi-edge graphs should match")
+	}
+}
+
+func TestIsomorphicSymmetricShape(t *testing.T) {
+	// A triangle where all nodes look identical: needs real backtracking.
+	build := func(perm []int) *Graph {
+		g := New()
+		var ids []NodeID
+		for i := 0; i < 3; i++ {
+			ids = append(ids, g.CreateNode([]string{"X"}, nil).ID)
+		}
+		g.CreateRel(ids[perm[0]], ids[perm[1]], "E", nil)
+		g.CreateRel(ids[perm[1]], ids[perm[2]], "E", nil)
+		g.CreateRel(ids[perm[2]], ids[perm[0]], "E", nil)
+		return g
+	}
+	a := build([]int{0, 1, 2})
+	b := build([]int{2, 0, 1})
+	if !Isomorphic(a, b) {
+		t.Error("rotated triangles should be isomorphic")
+	}
+	// A path of 3 is not a triangle.
+	c := New()
+	var ids []NodeID
+	for i := 0; i < 3; i++ {
+		ids = append(ids, c.CreateNode([]string{"X"}, nil).ID)
+	}
+	c.CreateRel(ids[0], ids[1], "E", nil)
+	c.CreateRel(ids[1], ids[2], "E", nil)
+	c.CreateRel(ids[0], ids[2], "E", nil) // different orientation than triangle cycle
+	if Isomorphic(a, c) {
+		t.Error("directed cycle vs non-cycle should differ")
+	}
+}
+
+func TestIsomorphicRandomizedPermutation(t *testing.T) {
+	// Property: permuting construction order preserves isomorphism.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 8
+		type edge struct{ s, t int }
+		var edges []edge
+		for i := 0; i < 12; i++ {
+			edges = append(edges, edge{rng.Intn(n), rng.Intn(n)})
+		}
+		build := func(order []int) *Graph {
+			g := New()
+			ids := make([]NodeID, n)
+			for _, i := range order {
+				ids[i] = g.CreateNode([]string{"N"}, value.Map{"grp": value.Int(int64(i % 3))}).ID
+			}
+			for _, e := range edges {
+				g.CreateRel(ids[e.s], ids[e.t], "E", nil)
+			}
+			return g
+		}
+		order1 := rng.Perm(n)
+		order2 := rng.Perm(n)
+		a, b := build(order1), build(order2)
+		if !Isomorphic(a, b) {
+			t.Fatalf("trial %d: permuted builds not isomorphic", trial)
+		}
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	a, b := pair(t, func(g *Graph) {
+		x := g.CreateNode([]string{"A"}, value.Map{"k": value.Int(1)})
+		y := g.CreateNode([]string{"B"}, nil)
+		g.CreateRel(x.ID, y.ID, "R", value.Map{"w": value.Float(1)})
+	})
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Error("fingerprints of identical builds differ")
+	}
+	b.CreateNode([]string{"C"}, nil)
+	if Fingerprint(a) == Fingerprint(b) {
+		t.Error("fingerprints should differ after mutation")
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := New()
+	u := g.CreateNode([]string{"User"}, nil)
+	p := g.CreateNode([]string{"Product"}, nil)
+	g.CreateNode([]string{"Product"}, nil)
+	g.CreateRel(u.ID, p.ID, "ORDERED", nil)
+	s := ComputeStats(g)
+	if s.Nodes != 3 || s.Rels != 1 {
+		t.Errorf("stats counts: %+v", s)
+	}
+	if s.Labels["Product"] != 2 || s.Labels["User"] != 1 {
+		t.Errorf("label counts: %+v", s.Labels)
+	}
+	if s.RelTypes["ORDERED"] != 1 {
+		t.Errorf("rel type counts: %+v", s.RelTypes)
+	}
+	if s.String() == "" {
+		t.Error("empty stats string")
+	}
+}

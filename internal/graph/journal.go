@@ -1,0 +1,148 @@
+package graph
+
+import "repro/internal/value"
+
+// Journal is an undo log giving statements all-or-nothing semantics: every
+// mutation made while a journal is attached records its inverse, and
+// Rollback replays the inverses in reverse order. This is how the engine
+// guarantees that a failing statement (e.g. a revised-semantics SET
+// conflict or strict DELETE error) leaves the graph untouched.
+type Journal struct {
+	g       *Graph
+	entries []undoEntry
+}
+
+type undoEntry interface {
+	undo(g *Graph)
+}
+
+// BeginJournal attaches a fresh journal to the graph and returns it.
+// Only one journal may be active at a time; nesting panics, as it
+// indicates an engine bug.
+func (g *Graph) BeginJournal() *Journal {
+	if g.journal != nil {
+		panic("graph: nested journal")
+	}
+	j := &Journal{g: g}
+	g.journal = j
+	return j
+}
+
+func (j *Journal) record(e undoEntry) {
+	j.entries = append(j.entries, e)
+}
+
+// Len reports the number of recorded mutations.
+func (j *Journal) Len() int { return len(j.entries) }
+
+// Commit detaches the journal, keeping all mutations.
+func (j *Journal) Commit() {
+	j.g.journal = nil
+	j.entries = nil
+}
+
+// Rollback detaches the journal and undoes all recorded mutations in
+// reverse order, restoring the graph to its state at BeginJournal.
+func (j *Journal) Rollback() {
+	j.g.journal = nil
+	for i := len(j.entries) - 1; i >= 0; i-- {
+		j.entries[i].undo(j.g)
+	}
+	j.entries = nil
+}
+
+type undoCreateNode struct{ id NodeID }
+
+func (u undoCreateNode) undo(g *Graph) {
+	if n, ok := g.nodes[u.id]; ok {
+		g.removeNodeInternal(n)
+	}
+	delete(g.outgoing, u.id)
+	delete(g.incoming, u.id)
+}
+
+type undoCreateRel struct{ id RelID }
+
+func (u undoCreateRel) undo(g *Graph) {
+	r, ok := g.rels[u.id]
+	if !ok {
+		return
+	}
+	delete(g.rels, u.id)
+	g.outgoing[r.Src] = removeRelID(g.outgoing[r.Src], u.id)
+	g.incoming[r.Tgt] = removeRelID(g.incoming[r.Tgt], u.id)
+}
+
+type undoDeleteNode struct{ node *Node }
+
+func (u undoDeleteNode) undo(g *Graph) { g.restoreNode(u.node) }
+
+type undoDeleteRel struct{ rel *Rel }
+
+func (u undoDeleteRel) undo(g *Graph) { g.restoreRel(u.rel) }
+
+type undoSetNodeProp struct {
+	id  NodeID
+	key string
+	old value.Value
+	had bool
+}
+
+func (u undoSetNodeProp) undo(g *Graph) {
+	n, ok := g.nodes[u.id]
+	if !ok {
+		return
+	}
+	if u.had {
+		n.Props[u.key] = u.old
+	} else {
+		delete(n.Props, u.key)
+	}
+}
+
+type undoSetRelProp struct {
+	id  RelID
+	key string
+	old value.Value
+	had bool
+}
+
+func (u undoSetRelProp) undo(g *Graph) {
+	r, ok := g.rels[u.id]
+	if !ok {
+		return
+	}
+	if u.had {
+		r.Props[u.key] = u.old
+	} else {
+		delete(r.Props, u.key)
+	}
+}
+
+type undoAddLabel struct {
+	id    NodeID
+	label string
+}
+
+func (u undoAddLabel) undo(g *Graph) {
+	n, ok := g.nodes[u.id]
+	if !ok {
+		return
+	}
+	delete(n.Labels, u.label)
+	g.unindexLabel(u.label, u.id)
+}
+
+type undoRemoveLabel struct {
+	id    NodeID
+	label string
+}
+
+func (u undoRemoveLabel) undo(g *Graph) {
+	n, ok := g.nodes[u.id]
+	if !ok {
+		return
+	}
+	n.Labels[u.label] = struct{}{}
+	g.indexLabel(u.label, u.id)
+}

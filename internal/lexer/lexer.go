@@ -1,0 +1,413 @@
+// Package lexer tokenizes Cypher source text.
+//
+// It supports the lexical syntax used throughout the paper: identifiers
+// (including backquoted), case-insensitive keywords, integer and float
+// literals, single- and double-quoted strings with escapes, parameters
+// ($name), line comments (//...) and block comments (/* ... */).
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/token"
+)
+
+// Error is a lexical error with position information.
+type Error struct {
+	Pos token.Position
+	Msg string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("lex error at %d:%d: %s", e.Pos.Line, e.Pos.Column, e.Msg)
+}
+
+// Lexer scans Cypher source text into tokens.
+type Lexer struct {
+	src  string
+	off  int // byte offset of next rune
+	line int
+	col  int
+	err  *Error
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Tokenize scans the entire input, returning all tokens up to and
+// including EOF, or the first lexical error.
+func Tokenize(src string) ([]token.Token, error) {
+	lx := New(src)
+	var out []token.Token
+	for {
+		t := lx.Next()
+		if t.Type == token.Illegal {
+			return nil, lx.err
+		}
+		out = append(out, t)
+		if t.Type == token.EOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *Lexer) peek() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off:])
+	return r
+}
+
+func (l *Lexer) peek2() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	_, w := utf8.DecodeRuneInString(l.src[l.off:])
+	if l.off+w >= len(l.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off+w:])
+	return r
+}
+
+func (l *Lexer) advance() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	r, w := utf8.DecodeRuneInString(l.src[l.off:])
+	l.off += w
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) pos() token.Position { return token.Position{Line: l.line, Column: l.col} }
+
+func (l *Lexer) errorf(pos token.Position, format string, args ...any) token.Token {
+	l.err = &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+	return token.Token{Type: token.Illegal, Pos: pos}
+}
+
+// Next scans and returns the next token.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	if l.err != nil {
+		return token.Token{Type: token.Illegal, Pos: l.err.Pos}
+	}
+	pos := l.pos()
+	r := l.peek()
+	switch {
+	case r == 0:
+		return token.Token{Type: token.EOF, Pos: pos}
+	case isIdentStart(r):
+		return l.scanIdent(pos)
+	case unicode.IsDigit(r):
+		return l.scanNumber(pos)
+	case r == '\'' || r == '"':
+		return l.scanString(pos)
+	case r == '`':
+		return l.scanBackquoted(pos)
+	case r == '$':
+		return l.scanParam(pos)
+	}
+	l.advance()
+	simple := func(t token.Type) token.Token {
+		return token.Token{Type: t, Lit: t.String(), Pos: pos}
+	}
+	switch r {
+	case '(':
+		return simple(token.LParen)
+	case ')':
+		return simple(token.RParen)
+	case '[':
+		return simple(token.LBracket)
+	case ']':
+		return simple(token.RBracket)
+	case '{':
+		return simple(token.LBrace)
+	case '}':
+		return simple(token.RBrace)
+	case ',':
+		return simple(token.Comma)
+	case ':':
+		return simple(token.Colon)
+	case ';':
+		return simple(token.Semi)
+	case '|':
+		return simple(token.Pipe)
+	case '.':
+		if l.peek() == '.' {
+			l.advance()
+			return simple(token.DotDot)
+		}
+		if unicode.IsDigit(l.peek()) {
+			return l.scanFloatFraction(pos)
+		}
+		return simple(token.Dot)
+	case '+':
+		if l.peek() == '=' {
+			l.advance()
+			return simple(token.PlusEq)
+		}
+		return simple(token.Plus)
+	case '-':
+		return simple(token.Minus)
+	case '*':
+		return simple(token.Star)
+	case '/':
+		return simple(token.Slash)
+	case '%':
+		return simple(token.Percent)
+	case '^':
+		return simple(token.Caret)
+	case '=':
+		return simple(token.Eq)
+	case '<':
+		switch l.peek() {
+		case '=':
+			l.advance()
+			return simple(token.Leq)
+		case '>':
+			l.advance()
+			return simple(token.Neq)
+		}
+		return simple(token.Lt)
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			return simple(token.Geq)
+		}
+		return simple(token.Gt)
+	}
+	return l.errorf(pos, "unexpected character %q", r)
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for {
+		r := l.peek()
+		switch {
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			l.advance()
+		case r == '/' && l.peek2() == '/':
+			for l.peek() != 0 && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.peek2() == '*':
+			pos := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.peek() != 0 {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(pos, "unterminated block comment")
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *Lexer) scanIdent(pos token.Position) token.Token {
+	var sb strings.Builder
+	for isIdentPart(l.peek()) {
+		sb.WriteRune(l.advance())
+	}
+	lit := sb.String()
+	return token.Token{Type: token.Lookup(lit), Lit: lit, Pos: pos}
+}
+
+func (l *Lexer) scanBackquoted(pos token.Position) token.Token {
+	l.advance() // consume `
+	var sb strings.Builder
+	for {
+		r := l.peek()
+		if r == 0 {
+			return l.errorf(pos, "unterminated backquoted identifier")
+		}
+		l.advance()
+		if r == '`' {
+			if l.peek() == '`' { // escaped backquote
+				l.advance()
+				sb.WriteRune('`')
+				continue
+			}
+			return token.Token{Type: token.Ident, Lit: sb.String(), Pos: pos}
+		}
+		sb.WriteRune(r)
+	}
+}
+
+func (l *Lexer) scanParam(pos token.Position) token.Token {
+	l.advance() // consume $
+	r := l.peek()
+	if r == '`' {
+		t := l.scanBackquoted(l.pos())
+		if t.Type == token.Illegal {
+			return t
+		}
+		return token.Token{Type: token.Param, Lit: t.Lit, Pos: pos}
+	}
+	if !isIdentStart(r) && !unicode.IsDigit(r) {
+		return l.errorf(pos, "invalid parameter name")
+	}
+	var sb strings.Builder
+	for isIdentPart(l.peek()) {
+		sb.WriteRune(l.advance())
+	}
+	return token.Token{Type: token.Param, Lit: sb.String(), Pos: pos}
+}
+
+func (l *Lexer) scanNumber(pos token.Position) token.Token {
+	var sb strings.Builder
+	isFloat := false
+	// Hex literal.
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		sb.WriteRune(l.advance())
+		sb.WriteRune(l.advance())
+		for isHexDigit(l.peek()) {
+			sb.WriteRune(l.advance())
+		}
+		if sb.Len() == 2 {
+			return l.errorf(pos, "malformed hex literal")
+		}
+		return token.Token{Type: token.Int, Lit: sb.String(), Pos: pos}
+	}
+	for unicode.IsDigit(l.peek()) {
+		sb.WriteRune(l.advance())
+	}
+	// A fraction: avoid consuming the range operator "..".
+	if l.peek() == '.' && unicode.IsDigit(l.peek2()) {
+		isFloat = true
+		sb.WriteRune(l.advance())
+		for unicode.IsDigit(l.peek()) {
+			sb.WriteRune(l.advance())
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		next := l.peek2()
+		if unicode.IsDigit(next) || next == '+' || next == '-' {
+			isFloat = true
+			sb.WriteRune(l.advance()) // e
+			if l.peek() == '+' || l.peek() == '-' {
+				sb.WriteRune(l.advance())
+			}
+			if !unicode.IsDigit(l.peek()) {
+				return l.errorf(pos, "malformed exponent")
+			}
+			for unicode.IsDigit(l.peek()) {
+				sb.WriteRune(l.advance())
+			}
+		}
+	}
+	t := token.Int
+	if isFloat {
+		t = token.Float
+	}
+	return token.Token{Type: t, Lit: sb.String(), Pos: pos}
+}
+
+// scanFloatFraction handles literals beginning with '.', e.g. ".5".
+// The leading dot has already been consumed.
+func (l *Lexer) scanFloatFraction(pos token.Position) token.Token {
+	var sb strings.Builder
+	sb.WriteString("0.")
+	for unicode.IsDigit(l.peek()) {
+		sb.WriteRune(l.advance())
+	}
+	return token.Token{Type: token.Float, Lit: sb.String(), Pos: pos}
+}
+
+func isHexDigit(r rune) bool {
+	return unicode.IsDigit(r) || (r >= 'a' && r <= 'f') || (r >= 'A' && r <= 'F')
+}
+
+func (l *Lexer) scanString(pos token.Position) token.Token {
+	quote := l.advance()
+	var sb strings.Builder
+	for {
+		r := l.peek()
+		if r == 0 || r == '\n' {
+			return l.errorf(pos, "unterminated string literal")
+		}
+		l.advance()
+		if r == quote {
+			return token.Token{Type: token.String, Lit: sb.String(), Pos: pos}
+		}
+		if r != '\\' {
+			sb.WriteRune(r)
+			continue
+		}
+		esc := l.advance()
+		switch esc {
+		case 'n':
+			sb.WriteRune('\n')
+		case 't':
+			sb.WriteRune('\t')
+		case 'r':
+			sb.WriteRune('\r')
+		case 'b':
+			sb.WriteRune('\b')
+		case 'f':
+			sb.WriteRune('\f')
+		case '\\':
+			sb.WriteRune('\\')
+		case '\'':
+			sb.WriteRune('\'')
+		case '"':
+			sb.WriteRune('"')
+		case 'u':
+			var code rune
+			for i := 0; i < 4; i++ {
+				d := l.advance()
+				if !isHexDigit(d) {
+					return l.errorf(pos, "malformed unicode escape")
+				}
+				code = code*16 + hexVal(d)
+			}
+			sb.WriteRune(code)
+		case 0:
+			return l.errorf(pos, "unterminated string literal")
+		default:
+			return l.errorf(pos, "unknown escape sequence \\%c", esc)
+		}
+	}
+}
+
+func hexVal(r rune) rune {
+	switch {
+	case r >= '0' && r <= '9':
+		return r - '0'
+	case r >= 'a' && r <= 'f':
+		return r - 'a' + 10
+	default:
+		return r - 'A' + 10
+	}
+}

@@ -1,0 +1,459 @@
+// Package match implements Cypher pattern matching: given a property
+// graph, a tuple of path patterns and an assignment of already-bound
+// variables, it enumerates all assignments of the pattern's variables to
+// graph entities such that the pattern is satisfied — the relation
+// (p, G, u) |= pi of the paper's Section 8.1.
+//
+// Two matching modes are provided:
+//
+//   - Isomorphism (the Cypher default described in Section 2): distinct
+//     relationship slots in one MATCH must bind distinct relationships,
+//     which keeps query outputs finite for variable-length patterns.
+//   - Homomorphism: relationship slots may share relationships. The paper
+//     discusses this mode in Example 7, where a pattern inserted by
+//     MERGE with Strong Collapse semantics can only be re-matched under
+//     homomorphism.
+//
+// Enumeration order is deterministic (ascending entity ids), which the
+// engine relies on for reproducible legacy-mode runs.
+package match
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/expr"
+	"repro/internal/graph"
+	"repro/internal/value"
+)
+
+// Mode selects the relationship-uniqueness regime.
+type Mode int
+
+// Matching modes.
+const (
+	Isomorphism Mode = iota
+	Homomorphism
+)
+
+// Matcher finds pattern matches in a graph.
+type Matcher struct {
+	Graph *graph.Graph
+	Ev    *expr.Evaluator
+	Mode  Mode
+}
+
+// Match enumerates all extensions of env that satisfy all pattern parts.
+// Variables already bound in env constrain the match; unbound pattern
+// variables are bound in the returned environments. Named paths bind
+// their path variable to a value.Path.
+func (m *Matcher) Match(parts []*ast.PatternPart, env expr.Env) ([]expr.Env, error) {
+	var results []expr.Env
+	used := make(map[graph.RelID]bool)
+	err := m.matchParts(parts, 0, env, used, func(e expr.Env) error {
+		results = append(results, e)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// MatchExists reports whether at least one match exists (early exit).
+func (m *Matcher) MatchExists(parts []*ast.PatternPart, env expr.Env) (bool, error) {
+	found := false
+	used := make(map[graph.RelID]bool)
+	err := m.matchParts(parts, 0, env, used, func(expr.Env) error {
+		found = true
+		return errStop
+	})
+	if err != nil && err != errStop {
+		return false, err
+	}
+	return found, nil
+}
+
+var errStop = fmt.Errorf("match: stop")
+
+func (m *Matcher) matchParts(parts []*ast.PatternPart, i int, env expr.Env, used map[graph.RelID]bool, yield func(expr.Env) error) error {
+	if i == len(parts) {
+		return yield(env)
+	}
+	return m.matchPart(parts[i], env, used, func(e expr.Env) error {
+		return m.matchParts(parts, i+1, e, used, yield)
+	})
+}
+
+// matchPart walks one path pattern left to right.
+func (m *Matcher) matchPart(part *ast.PatternPart, env expr.Env, used map[graph.RelID]bool, yield func(expr.Env) error) error {
+	type pathState struct {
+		nodes []graph.NodeID
+		rels  []graph.RelID
+	}
+	var walk func(relIdx int, at graph.NodeID, env expr.Env, st pathState) error
+	walk = func(relIdx int, at graph.NodeID, env expr.Env, st pathState) error {
+		if relIdx == len(part.Rels) {
+			out := env
+			if part.Var != "" {
+				p := value.Path{}
+				for _, n := range st.nodes {
+					p.Nodes = append(p.Nodes, int64(n))
+				}
+				for _, r := range st.rels {
+					p.Rels = append(p.Rels, int64(r))
+				}
+				out = env.With(part.Var, p)
+			}
+			return yield(out)
+		}
+		rp := part.Rels[relIdx]
+		np := part.Nodes[relIdx+1]
+		if rp.VarLength {
+			return m.expandVarLength(rp, np, at, env, used, func(relList []graph.RelID, end graph.NodeID, env2 expr.Env) error {
+				st2 := pathState{nodes: append(append([]graph.NodeID{}, st.nodes...), end), rels: append(append([]graph.RelID{}, st.rels...), relList...)}
+				// Var-length traverses multiple nodes; for path values we
+				// record only the endpoint (intermediate node ids are
+				// recoverable from the relationships).
+				return walk(relIdx+1, end, env2, st2)
+			})
+		}
+		return m.expandRel(rp, np, at, env, used, func(rid graph.RelID, end graph.NodeID, env2 expr.Env) error {
+			st2 := pathState{nodes: append(append([]graph.NodeID{}, st.nodes...), end), rels: append(append([]graph.RelID{}, st.rels...), rid)}
+			return walk(relIdx+1, end, env2, st2)
+		})
+	}
+
+	return m.matchNode(part.Nodes[0], env, func(n graph.NodeID, env2 expr.Env) error {
+		return walk(0, n, env2, pathState{nodes: []graph.NodeID{n}})
+	})
+}
+
+// matchNode enumerates candidate nodes for a node pattern, extending env.
+func (m *Matcher) matchNode(np *ast.NodePattern, env expr.Env, yield func(graph.NodeID, expr.Env) error) error {
+	// Pre-bound variable: check, do not enumerate.
+	if np.Var != "" {
+		if bound, ok := env[np.Var]; ok {
+			nv, isNode := bound.(value.Node)
+			if !isNode {
+				if value.IsNull(bound) {
+					return nil // null never matches a node pattern
+				}
+				return fmt.Errorf("variable `%s` is bound to %s, expected Node", np.Var, bound.Kind())
+			}
+			id := graph.NodeID(nv.ID)
+			ok2, err := m.nodeSatisfies(id, np, env)
+			if err != nil || !ok2 {
+				return err
+			}
+			return yield(id, env)
+		}
+	}
+	candidates := m.nodeCandidates(np)
+	for _, id := range candidates {
+		ok, err := m.nodeSatisfies(id, np, env)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		env2 := env
+		if np.Var != "" {
+			env2 = env.With(np.Var, value.Node{ID: int64(id)})
+		}
+		if err := yield(id, env2); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// nodeCandidates uses the label index when the pattern names labels.
+func (m *Matcher) nodeCandidates(np *ast.NodePattern) []graph.NodeID {
+	if len(np.Labels) > 0 {
+		// Use the most selective label.
+		best := m.Graph.NodeIDsByLabel(np.Labels[0])
+		for _, l := range np.Labels[1:] {
+			ids := m.Graph.NodeIDsByLabel(l)
+			if len(ids) < len(best) {
+				best = ids
+			}
+		}
+		return best
+	}
+	return m.Graph.NodeIDs()
+}
+
+func (m *Matcher) nodeSatisfies(id graph.NodeID, np *ast.NodePattern, env expr.Env) (bool, error) {
+	n := m.Graph.Node(id)
+	if n == nil {
+		return false, nil
+	}
+	for _, l := range np.Labels {
+		if !n.HasLabel(l) {
+			return false, nil
+		}
+	}
+	return m.propsSatisfy(n.Props, np.Props, env)
+}
+
+// propsSatisfy checks a pattern property map against stored properties
+// with ternary equality: every entry must compare True.
+func (m *Matcher) propsSatisfy(stored map[string]value.Value, propsExpr ast.Expr, env expr.Env) (bool, error) {
+	if propsExpr == nil {
+		return true, nil
+	}
+	want, err := m.Ev.EvalPropMap(propsExpr, env)
+	if err != nil {
+		return false, err
+	}
+	for k, wv := range want {
+		sv, ok := stored[k]
+		if !ok {
+			sv = value.NullValue
+		}
+		if value.Equal(sv, wv) != value.True {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// expandRel enumerates single-hop relationship candidates from node `at`.
+func (m *Matcher) expandRel(rp *ast.RelPattern, np *ast.NodePattern, at graph.NodeID, env expr.Env, used map[graph.RelID]bool, yield func(graph.RelID, graph.NodeID, expr.Env) error) error {
+	// Pre-bound relationship variable restricts candidates to one.
+	var preBound *graph.RelID
+	if rp.Var != "" {
+		if bound, ok := env[rp.Var]; ok {
+			rv, isRel := bound.(value.Rel)
+			if !isRel {
+				if value.IsNull(bound) {
+					return nil
+				}
+				return fmt.Errorf("variable `%s` is bound to %s, expected Relationship", rp.Var, bound.Kind())
+			}
+			id := graph.RelID(rv.ID)
+			preBound = &id
+		}
+	}
+
+	tryCandidate := func(rid graph.RelID, end graph.NodeID) error {
+		if m.Mode == Isomorphism && used[rid] {
+			return nil
+		}
+		r := m.Graph.Rel(rid)
+		if r == nil || !typeMatches(r, rp.Types) {
+			return nil
+		}
+		ok, err := m.propsSatisfy(r.Props, rp.Props, env)
+		if err != nil || !ok {
+			return err
+		}
+		env2 := env
+		if rp.Var != "" && preBound == nil {
+			env2 = env.With(rp.Var, value.Rel{ID: int64(rid)})
+		}
+		// Check the far node pattern.
+		return m.checkEndNode(np, end, env2, func(env3 expr.Env) error {
+			used[rid] = true
+			err := yield(rid, end, env3)
+			delete(used, rid)
+			return err
+		})
+	}
+
+	candidates := m.relCandidates(rp, at, preBound)
+	for _, c := range candidates {
+		if err := tryCandidate(c.rid, c.end); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type relCandidate struct {
+	rid graph.RelID
+	end graph.NodeID
+}
+
+// relCandidates lists (relationship, far-endpoint) pairs consistent with
+// the pattern's direction, starting at node `at`.
+func (m *Matcher) relCandidates(rp *ast.RelPattern, at graph.NodeID, preBound *graph.RelID) []relCandidate {
+	var out []relCandidate
+	add := func(rid graph.RelID, end graph.NodeID) {
+		if preBound != nil && rid != *preBound {
+			return
+		}
+		out = append(out, relCandidate{rid: rid, end: end})
+	}
+	if rp.Direction == ast.DirOut || rp.Direction == ast.DirBoth {
+		for _, rid := range m.Graph.Outgoing(at) {
+			add(rid, m.Graph.Rel(rid).Tgt)
+		}
+	}
+	if rp.Direction == ast.DirIn || rp.Direction == ast.DirBoth {
+		for _, rid := range m.Graph.Incoming(at) {
+			r := m.Graph.Rel(rid)
+			// A self-loop was already produced by the outgoing scan in
+			// DirBoth mode.
+			if rp.Direction == ast.DirBoth && r.Src == r.Tgt {
+				continue
+			}
+			add(rid, r.Src)
+		}
+	}
+	return out
+}
+
+func typeMatches(r *graph.Rel, types []string) bool {
+	if len(types) == 0 {
+		return true
+	}
+	for _, t := range types {
+		if r.Type == t {
+			return true
+		}
+	}
+	return false
+}
+
+// checkEndNode validates the far endpoint against its node pattern,
+// binding its variable if fresh.
+func (m *Matcher) checkEndNode(np *ast.NodePattern, end graph.NodeID, env expr.Env, yield func(expr.Env) error) error {
+	if np.Var != "" {
+		if bound, ok := env[np.Var]; ok {
+			nv, isNode := bound.(value.Node)
+			if !isNode {
+				if value.IsNull(bound) {
+					return nil
+				}
+				return fmt.Errorf("variable `%s` is bound to %s, expected Node", np.Var, bound.Kind())
+			}
+			if graph.NodeID(nv.ID) != end {
+				return nil
+			}
+			ok2, err := m.nodeSatisfies(end, np, env)
+			if err != nil || !ok2 {
+				return err
+			}
+			return yield(env)
+		}
+	}
+	ok, err := m.nodeSatisfies(end, np, env)
+	if err != nil || !ok {
+		return err
+	}
+	if np.Var != "" {
+		env = env.With(np.Var, value.Node{ID: int64(end)})
+	}
+	return yield(env)
+}
+
+// expandVarLength enumerates variable-length paths of rp's type starting
+// at `at`, with hop count in [min, max]. Relationship uniqueness is
+// enforced within the traversed path in both modes (guaranteeing
+// termination); in Isomorphism mode the path's relationships additionally
+// respect the clause-wide used set.
+func (m *Matcher) expandVarLength(rp *ast.RelPattern, np *ast.NodePattern, at graph.NodeID, env expr.Env, used map[graph.RelID]bool, yield func([]graph.RelID, graph.NodeID, expr.Env) error) error {
+	minHops := rp.MinHops
+	if minHops < 0 {
+		minHops = 1
+	}
+	maxHops := rp.MaxHops // -1 = unbounded
+	if rp.Var != "" {
+		if _, ok := env[rp.Var]; ok {
+			return fmt.Errorf("variable-length relationship variable `%s` cannot be pre-bound", rp.Var)
+		}
+	}
+
+	inPath := make(map[graph.RelID]bool)
+	var path []graph.RelID
+
+	emit := func(end graph.NodeID) error {
+		env2 := env
+		if rp.Var != "" {
+			lst := make(value.List, len(path))
+			for i, rid := range path {
+				lst[i] = value.Rel{ID: int64(rid)}
+			}
+			env2 = env.With(rp.Var, lst)
+		}
+		relsCopy := append([]graph.RelID(nil), path...)
+		return m.checkEndNode(np, end, env2, func(env3 expr.Env) error {
+			for _, rid := range relsCopy {
+				used[rid] = true
+			}
+			err := yield(relsCopy, end, env3)
+			for _, rid := range relsCopy {
+				delete(used, rid)
+			}
+			return err
+		})
+	}
+
+	var dfs func(cur graph.NodeID) error
+	dfs = func(cur graph.NodeID) error {
+		if len(path) >= minHops {
+			if err := emit(cur); err != nil {
+				return err
+			}
+		}
+		if maxHops >= 0 && len(path) >= maxHops {
+			return nil
+		}
+		for _, c := range m.relCandidates(rp, cur, nil) {
+			if inPath[c.rid] {
+				continue
+			}
+			if m.Mode == Isomorphism && used[c.rid] {
+				continue
+			}
+			r := m.Graph.Rel(c.rid)
+			if r == nil || !typeMatches(r, rp.Types) {
+				continue
+			}
+			ok, err := m.propsSatisfy(r.Props, rp.Props, env)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			inPath[c.rid] = true
+			path = append(path, c.rid)
+			err = dfs(c.end)
+			path = path[:len(path)-1]
+			delete(inPath, c.rid)
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return dfs(at)
+}
+
+// PatternVariables lists the variables a pattern tuple would bind, in
+// first-appearance order: path variables, node variables, relationship
+// variables.
+func PatternVariables(parts []*ast.PatternPart) []string {
+	var out []string
+	seen := make(map[string]bool)
+	add := func(name string) {
+		if name != "" && !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	for _, part := range parts {
+		add(part.Var)
+		for i, n := range part.Nodes {
+			add(n.Var)
+			if i < len(part.Rels) {
+				add(part.Rels[i].Var)
+			}
+		}
+	}
+	return out
+}

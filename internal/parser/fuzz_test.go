@@ -1,0 +1,144 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// fragments is a pool of Cypher-ish tokens used to build random inputs.
+var fragments = []string{
+	"MATCH", "OPTIONAL", "CREATE", "MERGE", "ALL", "SAME", "SET", "REMOVE",
+	"DELETE", "DETACH", "RETURN", "WITH", "WHERE", "UNWIND", "AS", "FOREACH",
+	"UNION", "ORDER", "BY", "SKIP", "LIMIT", "LOAD", "CSV", "FROM", "HEADERS",
+	"(", ")", "[", "]", "{", "}", "-", "->", "<-", ":", ",", ".", "..", "|",
+	"=", "<>", "<", "<=", ">", ">=", "+", "+=", "*", "/", "%", "^",
+	"n", "m", "rel", "Label", "TYPE", "prop", "name",
+	"1", "2.5", "'str'", "\"dq\"", "$param", "true", "false", "null",
+	"count", "sum", "collect", "all", "any", "reduce", "exists",
+	"AND", "OR", "XOR", "NOT", "IN", "IS", "CASE", "WHEN", "THEN", "ELSE", "END",
+}
+
+// Parse must never panic: every input either parses or yields a *Error
+// (or a lexer error). This guards the panic/recover discipline inside
+// the recursive-descent parser.
+func TestParseNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for i := 0; i < 5000; i++ {
+		n := 1 + rng.Intn(25)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteString(fragments[rng.Intn(len(fragments))])
+			sb.WriteByte(' ')
+		}
+		src := sb.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse(%q) panicked: %v", src, r)
+				}
+			}()
+			_, _ = Parse(src)
+		}()
+	}
+}
+
+// Random byte strings must not panic the lexer or parser either.
+func TestParseRandomBytesNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(40)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = byte(rng.Intn(128))
+		}
+		src := string(b)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse(%q) panicked: %v", src, r)
+				}
+			}()
+			_, _ = Parse(src)
+		}()
+	}
+}
+
+// Valid statements drawn from a template pool must parse, and their
+// printed form must re-parse to the same printed form (printer fixpoint).
+func TestPrintParseFixpointOnTemplates(t *testing.T) {
+	templates := []string{
+		`MATCH (a:%s)-[:%s]->(b) WHERE a.%s = %d RETURN b.%s AS out ORDER BY out SKIP %d LIMIT %d`,
+		`CREATE (:%s {k: %d})-[:%s {w: %d}]->(:%s)`,
+		`MERGE ALL (:%s {id: %d})-[:%s]->(:%s {id: %d})`,
+		`MERGE SAME (a:%s {id: %d})-[:%s]->(b:%s {id: %d})`,
+		`UNWIND range(%d, %d) AS x WITH x WHERE x %% 2 = 0 RETURN collect(x) AS xs`,
+		`MATCH (n:%s) SET n.%s = %d, n:%s REMOVE n.%s`,
+		`FOREACH (i IN range(1, %d) | CREATE (:%s {i: i}))`,
+		`MATCH (n:%s) DETACH DELETE n`,
+	}
+	rng := rand.New(rand.NewSource(99))
+	names := []string{"A", "B", "Prod", "User", "T", "KNOWS", "k", "v", "w"}
+	pick := func() any { return names[rng.Intn(len(names))] }
+	num := func() any { return rng.Intn(100) }
+	for i := 0; i < 500; i++ {
+		tpl := templates[rng.Intn(len(templates))]
+		var args []any
+		for j := 0; j < strings.Count(tpl, "%")-strings.Count(tpl, "%%"); j++ {
+			if strings.Contains(tpl, "%d") && j%2 == 1 {
+				args = append(args, num())
+			} else {
+				args = append(args, pick())
+			}
+		}
+		src := sprintfTemplate(tpl, args)
+		stmt, err := Parse(src)
+		if err != nil {
+			// Some random fills are type-invalid (e.g. %d receiving a
+			// string); skip those.
+			continue
+		}
+		printed := stmt.String()
+		stmt2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form of %q does not re-parse: %q: %v", src, printed, err)
+		}
+		if stmt2.String() != printed {
+			t.Fatalf("printer not a fixpoint:\n1: %q\n2: %q", printed, stmt2.String())
+		}
+	}
+}
+
+// sprintfTemplate is a tolerant fmt.Sprintf: mismatched verbs produce a
+// skippable result instead of panicking the generator.
+func sprintfTemplate(tpl string, args []any) string {
+	defer func() { recover() }()
+	out := tpl
+	for _, a := range args {
+		switch v := a.(type) {
+		case string:
+			out = strings.Replace(out, "%s", v, 1)
+			out = strings.Replace(out, "%d", "1", 1)
+		case int:
+			if strings.Contains(out, "%d") {
+				out = strings.Replace(out, "%d", itoa(v), 1)
+			} else {
+				out = strings.Replace(out, "%s", "X", 1)
+			}
+		}
+	}
+	out = strings.ReplaceAll(out, "%%", "%")
+	return out
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var digits []byte
+	for v > 0 {
+		digits = append([]byte{byte('0' + v%10)}, digits...)
+		v /= 10
+	}
+	return string(digits)
+}

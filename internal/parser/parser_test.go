@@ -1,0 +1,443 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+func mustParse(t *testing.T, src string) *ast.Statement {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return stmt
+}
+
+func firstClause(t *testing.T, src string) ast.Clause {
+	t.Helper()
+	return mustParse(t, src).Queries[0].Clauses[0]
+}
+
+// The queries of the paper, Sections 2-4, must all parse.
+func TestPaperQueriesParse(t *testing.T) {
+	queries := []string{
+		// Query (1)
+		`MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(q:Product)
+		 WHERE p.name = "laptop"
+		 RETURN v`,
+		// Query (2)
+		`MATCH (u:User{id:89})
+		 CREATE (u)-[:ORDERED]->(:New_Product{id:0})`,
+		// Query (3)
+		`MATCH (p:New_Product{id:0})
+		 SET p:Product, p.id=120, p.name="smartphone"
+		 REMOVE p:New_Product`,
+		// DELETE examples
+		`MATCH (p:Product{id:120}) DELETE p`,
+		`MATCH ()-[r]->(p:Product{id:120}) DELETE r,p`,
+		// Query (4)
+		`MATCH (p:Product{id:120}) DETACH DELETE p`,
+		// Intertwined example from Section 3
+		`MATCH (u:User{id:89})
+		 CREATE (u)-[:ORDERED]->(p:New_Product{id:0})
+		 SET p:Product,p.id=120,p.name="phone"
+		 REMOVE p:New_Product
+		 DETACH DELETE p`,
+		// Query (5)
+		`MATCH (p:Product)
+		 MERGE (p)<-[:OFFERS]-(v:Vendor)
+		 RETURN p,v`,
+		// Example 1
+		`MATCH (p1:Product{name:"laptop"}), (p2:Product{name:"tablet"})
+		 SET p1.id = p2.id, p2.id = p1.id`,
+		// Example 2
+		`MATCH (p1:Product{id:85}),(p2:Product{id:125})
+		 SET p1.name = p2.name`,
+		// Section 4.2 DELETE example
+		`MATCH (user)-[order:ORDERED]->(product)
+		 DELETE user
+		 SET user.id = 999
+		 DELETE order
+		 RETURN user`,
+		// Example 3 / Query (6)
+		`MERGE (user)-[:ORDERED]->(product)<-[:OFFERS]-(vendor)`,
+		// MATCH (v)-[*]->(v) from Section 2
+		`MATCH (v)-[*]->(v) RETURN v`,
+		// Examples 5-7 (the MERGE ALL / MERGE SAME forms of Section 7)
+		`MERGE ALL (:User{id:cid})-[:ORDERED]->(:Product{id:pid})`,
+		`MERGE SAME (:User{id:cid})-[:ORDERED]->(:Product{id:pid})`,
+		`MERGE (:User{id:bid})-[:ORDERED]->(:Product{id:pid})<-[:OFFERS]-(:User{id:sid})`,
+		`MERGE (a)-[:TO]->(b)-[:TO]->(c)-[:TO]->(d)-[:TO]->(e)-[:BOUGHT]->(tgt)`,
+	}
+	for _, q := range queries {
+		mustParse(t, q)
+	}
+}
+
+func TestMatchClause(t *testing.T) {
+	c := firstClause(t, `MATCH (p:Product)<-[:OFFERS]-(v:Vendor) WHERE p.name = 'x' RETURN v`)
+	m, ok := c.(*ast.MatchClause)
+	if !ok {
+		t.Fatalf("got %T", c)
+	}
+	if m.Optional {
+		t.Error("should not be optional")
+	}
+	if m.Where == nil {
+		t.Error("missing WHERE")
+	}
+	part := m.Pattern[0]
+	if len(part.Nodes) != 2 || len(part.Rels) != 1 {
+		t.Fatalf("pattern shape: %d nodes %d rels", len(part.Nodes), len(part.Rels))
+	}
+	if part.Nodes[0].Var != "p" || part.Nodes[0].Labels[0] != "Product" {
+		t.Error("first node pattern wrong")
+	}
+	if part.Rels[0].Direction != ast.DirIn || part.Rels[0].Types[0] != "OFFERS" {
+		t.Errorf("rel pattern wrong: %+v", part.Rels[0])
+	}
+}
+
+func TestOptionalMatch(t *testing.T) {
+	c := firstClause(t, `OPTIONAL MATCH (n) RETURN n`)
+	m := c.(*ast.MatchClause)
+	if !m.Optional {
+		t.Error("OPTIONAL lost")
+	}
+}
+
+func TestNamedPathAndVarLength(t *testing.T) {
+	c := firstClause(t, `MATCH pth = (a)-[r:KNOWS*2..4]->(b) RETURN pth`)
+	m := c.(*ast.MatchClause)
+	if m.Pattern[0].Var != "pth" {
+		t.Error("path variable lost")
+	}
+	r := m.Pattern[0].Rels[0]
+	if !r.VarLength || r.MinHops != 2 || r.MaxHops != 4 {
+		t.Errorf("varlength parse: %+v", r)
+	}
+	// Unbounded forms.
+	r2 := firstClause(t, `MATCH (a)-[*]->(b) RETURN a`).(*ast.MatchClause).Pattern[0].Rels[0]
+	if !r2.VarLength || r2.MinHops != -1 || r2.MaxHops != -1 {
+		t.Errorf("bare star: %+v", r2)
+	}
+	r3 := firstClause(t, `MATCH (a)-[*3]->(b) RETURN a`).(*ast.MatchClause).Pattern[0].Rels[0]
+	if r3.MinHops != 3 || r3.MaxHops != 3 {
+		t.Errorf("fixed hops: %+v", r3)
+	}
+	r4 := firstClause(t, `MATCH (a)-[*..5]->(b) RETURN a`).(*ast.MatchClause).Pattern[0].Rels[0]
+	if r4.MinHops != -1 || r4.MaxHops != 5 {
+		t.Errorf("upper bound only: %+v", r4)
+	}
+	r5 := firstClause(t, `MATCH (a)-[*2..]->(b) RETURN a`).(*ast.MatchClause).Pattern[0].Rels[0]
+	if r5.MinHops != 2 || r5.MaxHops != -1 {
+		t.Errorf("lower bound only: %+v", r5)
+	}
+}
+
+func TestRelTypeAlternatives(t *testing.T) {
+	r := firstClause(t, `MATCH (a)-[:A|B|:C]->(b) RETURN a`).(*ast.MatchClause).Pattern[0].Rels[0]
+	if len(r.Types) != 3 || r.Types[0] != "A" || r.Types[1] != "B" || r.Types[2] != "C" {
+		t.Errorf("types = %v", r.Types)
+	}
+}
+
+func TestMergeForms(t *testing.T) {
+	m := firstClause(t, `MERGE (a)-[:T]->(b)`).(*ast.MergeClause)
+	if m.Form != ast.MergeLegacy {
+		t.Error("legacy form")
+	}
+	m = firstClause(t, `MERGE ALL (a)-[:T]->(b), (c)-[:U]->(d)`).(*ast.MergeClause)
+	if m.Form != ast.MergeAll || len(m.Pattern) != 2 {
+		t.Errorf("MERGE ALL: form=%v parts=%d", m.Form, len(m.Pattern))
+	}
+	m = firstClause(t, `MERGE SAME (a)-[:T]->(b)`).(*ast.MergeClause)
+	if m.Form != ast.MergeSame {
+		t.Error("MERGE SAME")
+	}
+}
+
+func TestMergeOnCreateOnMatch(t *testing.T) {
+	m := firstClause(t, `MERGE (n:N{id:1}) ON CREATE SET n.created = true ON MATCH SET n.seen = n.seen + 1`).(*ast.MergeClause)
+	if len(m.OnCreate) != 1 || len(m.OnMatch) != 1 {
+		t.Fatalf("ON CREATE %d, ON MATCH %d", len(m.OnCreate), len(m.OnMatch))
+	}
+}
+
+func TestSetItems(t *testing.T) {
+	s := firstClause(t, `SET p:Product:Sale, p.id = 120, m = {a: 1}, m += {b: 2}`).(*ast.SetClause)
+	if len(s.Items) != 4 {
+		t.Fatalf("items = %d", len(s.Items))
+	}
+	if sl, ok := s.Items[0].(*ast.SetLabels); !ok || len(sl.Labels) != 2 {
+		t.Errorf("item0 = %#v", s.Items[0])
+	}
+	if sp, ok := s.Items[1].(*ast.SetProp); !ok || sp.Key != "id" {
+		t.Errorf("item1 = %#v", s.Items[1])
+	}
+	if sa, ok := s.Items[2].(*ast.SetAllProps); !ok || sa.Add {
+		t.Errorf("item2 = %#v", s.Items[2])
+	}
+	if sa, ok := s.Items[3].(*ast.SetAllProps); !ok || !sa.Add {
+		t.Errorf("item3 = %#v", s.Items[3])
+	}
+}
+
+func TestRemoveItems(t *testing.T) {
+	r := firstClause(t, `REMOVE p:New_Product, p.name`).(*ast.RemoveClause)
+	if len(r.Items) != 2 {
+		t.Fatalf("items = %d", len(r.Items))
+	}
+	if _, ok := r.Items[0].(*ast.RemoveLabels); !ok {
+		t.Errorf("item0 = %#v", r.Items[0])
+	}
+	if rp, ok := r.Items[1].(*ast.RemoveProp); !ok || rp.Key != "name" {
+		t.Errorf("item1 = %#v", r.Items[1])
+	}
+}
+
+func TestForeach(t *testing.T) {
+	f := firstClause(t, `FOREACH (x IN [1,2,3] | CREATE (:N{v:x}) SET n.k = 1)`).(*ast.ForeachClause)
+	if f.Var != "x" || len(f.Body) != 2 {
+		t.Fatalf("foreach = %+v", f)
+	}
+	// Reading clauses in body are rejected.
+	if _, err := Parse(`FOREACH (x IN [1] | MATCH (n) RETURN n)`); err == nil {
+		t.Error("reading clause in FOREACH should fail")
+	}
+	if _, err := Parse(`FOREACH (x IN [1] | )`); err == nil {
+		t.Error("empty FOREACH should fail")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	s := mustParse(t, `MATCH (a) RETURN a UNION MATCH (b) RETURN b UNION ALL MATCH (c) RETURN c`)
+	if len(s.Queries) != 3 {
+		t.Fatalf("queries = %d", len(s.Queries))
+	}
+	if s.UnionAll[0] || !s.UnionAll[1] {
+		t.Errorf("union flags = %v", s.UnionAll)
+	}
+}
+
+func TestWithProjection(t *testing.T) {
+	c := mustParse(t, `MATCH (n) WITH DISTINCT n.a AS a, count(*) AS c ORDER BY c DESC, a SKIP 1 LIMIT 2 WHERE c > 1 RETURN a`)
+	w := c.Queries[0].Clauses[1].(*ast.WithClause)
+	if !w.Distinct || len(w.Items) != 2 {
+		t.Error("projection flags")
+	}
+	if len(w.OrderBy) != 2 || !w.OrderBy[0].Desc || w.OrderBy[1].Desc {
+		t.Error("order by")
+	}
+	if w.Skip == nil || w.Limit == nil || w.Where == nil {
+		t.Error("skip/limit/where")
+	}
+}
+
+func TestReturnStar(t *testing.T) {
+	c := firstClause(t, `RETURN *`)
+	r := c.(*ast.ReturnClause)
+	if !r.Star {
+		t.Error("star lost")
+	}
+	c2 := mustParse(t, `MATCH (n) RETURN *, n.x AS x`).Queries[0].Clauses[1].(*ast.ReturnClause)
+	if !c2.Star || len(c2.Items) != 1 {
+		t.Error("star with items")
+	}
+}
+
+func TestUnwind(t *testing.T) {
+	u := firstClause(t, `UNWIND [1,2] AS x RETURN x`).(*ast.UnwindClause)
+	if u.Var != "x" {
+		t.Error("unwind var")
+	}
+}
+
+func TestLoadCSV(t *testing.T) {
+	c := firstClause(t, `LOAD CSV WITH HEADERS FROM 'file:///orders.csv' AS row FIELDTERMINATOR ';' RETURN row`)
+	l := c.(*ast.LoadCSVClause)
+	if !l.WithHeaders || l.Var != "row" || l.FieldTerm != ";" {
+		t.Errorf("load csv = %+v", l)
+	}
+	c2 := firstClause(t, `LOAD CSV FROM 'x.csv' AS line RETURN line`).(*ast.LoadCSVClause)
+	if c2.WithHeaders {
+		t.Error("headers flag wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"MATCH",
+		"MATCH (n",
+		"MATCH (n) RETURN",
+		"FROB (n)",
+		"MATCH (n) RETURN n extra",
+		"SET 1 = 2",
+		"SET n.x",
+		"REMOVE 1+1",
+		"MERGE",
+		"MERGE (n) ON DELETE SET n.x = 1",
+		"CASE WHEN true END",             // missing THEN
+		"RETURN CASE END",                // no WHEN
+		"UNWIND [1] AS",                  // missing var
+		"MATCH (a)-[:]->(b) RETURN a",    // empty type
+		"RETURN all(x IN [1])",           // quantifier needs WHERE
+		"RETURN reduce(a, x IN [1] | x)", // reduce needs init
+		"MATCH (n) WHERE RETURN n",       // missing predicate
+		"LOAD CSV 'f' AS x RETURN x",     // missing FROM
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestErrorsHavePositions(t *testing.T) {
+	_, err := Parse("MATCH (n) RETRN n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "parse error at 1:") {
+		t.Errorf("error lacks position: %v", err)
+	}
+}
+
+func TestStatementStringRoundTrip(t *testing.T) {
+	// The printer must emit re-parseable Cypher for a representative corpus.
+	queries := []string{
+		`MATCH (p:Product)<-[:OFFERS]-(v:Vendor) WHERE p.name = 'laptop' RETURN v`,
+		`MATCH (u:User {id: 89}) CREATE (u)-[:ORDERED]->(:New_Product {id: 0})`,
+		`MERGE ALL (:User {id: cid})-[:ORDERED]->(:Product {id: pid})`,
+		`MERGE SAME (a)-[:TO]->(b)`,
+		`MATCH (a)-[r:KNOWS*2..4]->(b) RETURN a, r, b`,
+		`UNWIND [1, 2] AS x WITH x AS y RETURN y ORDER BY y DESC SKIP 1 LIMIT 1`,
+		`FOREACH (x IN [1] | CREATE (:N {v: x}))`,
+		`MATCH (n) DETACH DELETE n`,
+		`MATCH (a) RETURN a UNION ALL MATCH (b) RETURN b`,
+		`RETURN CASE WHEN 1 < 2 THEN 'a' ELSE 'b' END AS r`,
+		`RETURN [x IN [1, 2] WHERE x > 1 | x * 2] AS l`,
+		`RETURN reduce(acc = 0, x IN [1, 2] | acc + x) AS s`,
+		`RETURN all(x IN [1] WHERE x > 0) AS q`,
+		`MATCH (n) SET n += {a: 1} REMOVE n:Old RETURN n`,
+	}
+	for _, q := range queries {
+		s1 := mustParse(t, q)
+		printed := s1.String()
+		s2, err := Parse(printed)
+		if err != nil {
+			t.Errorf("reparse of %q failed: %v\n(original %q)", printed, err, q)
+			continue
+		}
+		if s2.String() != printed {
+			t.Errorf("print not stable:\n1st %q\n2nd %q", printed, s2.String())
+		}
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	cases := map[string]string{
+		"1 + 2 * 3":           "(1 + (2 * 3))",
+		"(1 + 2) * 3":         "((1 + 2) * 3)",
+		"1 < 2 AND 2 < 3":     "((1 < 2) AND (2 < 3))",
+		"NOT a OR b":          "(NOT (a) OR b)",
+		"a XOR b AND c":       "(a XOR (b AND c))",
+		"-1 + 2":              "(-(1) + 2)",
+		"2 ^ 3 ^ 2":           "((2 ^ 3) ^ 2)",
+		"a.b.c":               "a.b.c",
+		"x IN [1] AND y":      "((x IN [1]) AND y)",
+		"a + b STARTS WITH c": "((a + b) STARTS WITH c)",
+	}
+	for src, want := range cases {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", src, err)
+			continue
+		}
+		if got := e.String(); got != want {
+			t.Errorf("ParseExpr(%q) = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestChainedComparison(t *testing.T) {
+	e, err := ParseExpr("1 < 2 < 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.String(); got != "((1 < 2) AND (2 < 3))" {
+		t.Errorf("chained comparison = %q", got)
+	}
+}
+
+func TestCountStar(t *testing.T) {
+	e, err := ParseExpr("count(*)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := e.(*ast.FuncCall)
+	if !f.Star || f.Name != "count" {
+		t.Errorf("count(*) = %+v", f)
+	}
+	e2, _ := ParseExpr("count(DISTINCT x)")
+	if !e2.(*ast.FuncCall).Distinct {
+		t.Error("DISTINCT lost")
+	}
+}
+
+func TestSliceAndIndex(t *testing.T) {
+	e, err := ParseExpr("xs[1..3]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(*ast.Slice); !ok {
+		t.Errorf("slice = %T", e)
+	}
+	e2, _ := ParseExpr("xs[0]")
+	if _, ok := e2.(*ast.Index); !ok {
+		t.Errorf("index = %T", e2)
+	}
+	e3, _ := ParseExpr("xs[..2]")
+	if s, ok := e3.(*ast.Slice); !ok || s.From != nil || s.To == nil {
+		t.Errorf("open slice = %#v", e3)
+	}
+}
+
+func TestKeywordsAsNames(t *testing.T) {
+	// Keywords can be labels, types, property keys and map keys.
+	mustParse(t, "MATCH (n:Match) RETURN n.end")
+	mustParse(t, "MATCH (a)-[:IN]->(b) RETURN a")
+	mustParse(t, "RETURN {set: 1, `match`: 2, 'with space': 3} AS m")
+}
+
+func TestVariablesHelper(t *testing.T) {
+	e, err := ParseExpr("a.x + b + [c IN lst WHERE c > d | c]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := ast.Variables(e)
+	want := []string{"a", "b", "lst", "d"}
+	if len(vars) != len(want) {
+		t.Fatalf("Variables = %v, want %v", vars, want)
+	}
+	for i := range want {
+		if vars[i] != want[i] {
+			t.Fatalf("Variables = %v, want %v", vars, want)
+		}
+	}
+}
+
+func TestContainsAggregate(t *testing.T) {
+	e, _ := ParseExpr("1 + count(x)")
+	if !ast.ContainsAggregate(e) {
+		t.Error("count not detected")
+	}
+	e2, _ := ParseExpr("size(xs) + 1")
+	if ast.ContainsAggregate(e2) {
+		t.Error("size is not an aggregate")
+	}
+}

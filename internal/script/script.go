@@ -1,0 +1,81 @@
+// Package script splits Cypher script files into statements and runs
+// them against an engine. It backs cmd/cypher-run and the script corpus
+// tests under scripts/.
+package script
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/parser"
+	"repro/internal/table"
+	"repro/internal/value"
+)
+
+// Split splits Cypher source into statements at semicolons that are
+// outside string literals and line comments. A trailing statement
+// without a semicolon is included; empty statements are dropped.
+func Split(src string) []string {
+	var out []string
+	var cur strings.Builder
+	inStr := byte(0)
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case inStr != 0:
+			cur.WriteByte(c)
+			if c == '\\' && i+1 < len(src) {
+				i++
+				cur.WriteByte(src[i])
+			} else if c == inStr {
+				inStr = 0
+			}
+		case c == '\'' || c == '"':
+			inStr = c
+			cur.WriteByte(c)
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+			cur.WriteByte('\n')
+		case c == ';':
+			if stmt := strings.TrimSpace(cur.String()); stmt != "" {
+				out = append(out, stmt)
+			}
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if stmt := strings.TrimSpace(cur.String()); stmt != "" {
+		out = append(out, stmt)
+	}
+	return out
+}
+
+// StatementResult captures one statement's outcome for reporting.
+type StatementResult struct {
+	Source string
+	Table  *table.Table
+	Stats  core.UpdateStats
+}
+
+// Run executes every statement of a script against g, stopping at the
+// first error. Parameters apply to all statements.
+func Run(engine *core.Engine, g *graph.Graph, src string, params map[string]value.Value) ([]StatementResult, error) {
+	var out []StatementResult
+	for i, stmtSrc := range Split(src) {
+		stmt, err := parser.Parse(stmtSrc)
+		if err != nil {
+			return out, fmt.Errorf("statement %d: %w", i+1, err)
+		}
+		res, err := engine.ExecuteStatement(g, stmt, params)
+		if err != nil {
+			return out, fmt.Errorf("statement %d: %w", i+1, err)
+		}
+		out = append(out, StatementResult{Source: stmtSrc, Table: res.Table, Stats: res.Stats})
+	}
+	return out, nil
+}

@@ -1,0 +1,128 @@
+package script
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/value"
+)
+
+func TestSplit(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []string
+	}{
+		{"A; B", []string{"A", "B"}},
+		{"A", []string{"A"}},
+		{"RETURN ';'; B", []string{"RETURN ';'", "B"}},
+		{`RETURN "x;y"`, []string{`RETURN "x;y"`}},
+		{"// c;omment\nA;", []string{"A"}},
+		{"; ;", nil},
+		{`RETURN 'esc\';q'; B`, []string{`RETURN 'esc\';q'`, "B"}},
+	}
+	for _, c := range cases {
+		got := Split(c.src)
+		if len(got) != len(c.want) {
+			t.Errorf("Split(%q) = %v, want %v", c.src, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Split(%q)[%d] = %q, want %q", c.src, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestRun(t *testing.T) {
+	eng := core.NewEngine(core.Config{Dialect: core.DialectRevised})
+	g := graph.New()
+	results, err := Run(eng, g, `
+		CREATE (:N{v: $base});
+		MATCH (n:N) RETURN n.v AS v;
+	`, map[string]value.Value{"base": value.Int(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0].Stats.NodesCreated != 1 {
+		t.Error("stats missing")
+	}
+	if results[1].Table.Get(0, "v") != value.Int(7) {
+		t.Errorf("v = %v", results[1].Table.Get(0, "v"))
+	}
+	// Errors carry the statement number.
+	_, err = Run(eng, g, `RETURN 1 AS x; FROB;`, nil)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// Every script under scripts/ must run cleanly under its intended
+// dialect — the script corpus doubles as an end-to-end test.
+func TestScriptCorpus(t *testing.T) {
+	manifest := map[string]core.Dialect{
+		"paper_walkthrough.cypher": core.DialectCypher9,
+		"social.cypher":            core.DialectRevised,
+		"inventory.cypher":         core.DialectRevised,
+	}
+	dir := filepath.Join("..", "..", "scripts")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, e := range entries {
+		dialect, ok := manifest[e.Name()]
+		if !ok {
+			t.Errorf("script %s missing from the test manifest", e.Name())
+			continue
+		}
+		seen++
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := core.NewEngine(core.Config{Dialect: dialect})
+		g := graph.New()
+		results, err := Run(eng, g, string(src), nil)
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		if len(results) < 3 {
+			t.Errorf("%s: only %d statements, expected a real script", e.Name(), len(results))
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+		}
+	}
+	if seen != len(manifest) {
+		t.Errorf("scripts present %d, manifest %d", seen, len(manifest))
+	}
+}
+
+// The paper walkthrough script must leave the Figure 1 + Query (5) final
+// state: 7 nodes (v2 added), 7 rels.
+func TestPaperWalkthroughFinalState(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "scripts", "paper_walkthrough.cypher"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(core.Config{Dialect: core.DialectCypher9})
+	g := graph.New()
+	if _, err := Run(eng, g, string(src), nil); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 7 || g.NumRels() != 7 {
+		t.Errorf("final state: %s, want 7 nodes / 7 rels", graph.ComputeStats(g))
+	}
+	if len(g.NodeIDsByLabel("Vendor")) != 2 {
+		t.Error("v2 not created by Query (5)")
+	}
+}

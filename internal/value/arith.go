@@ -1,0 +1,170 @@
+package value
+
+import (
+	"fmt"
+	"math"
+)
+
+// TypeError reports an operation applied to values of unsupported kinds.
+type TypeError struct {
+	Op   string
+	A, B Value
+}
+
+// Error implements error.
+func (e *TypeError) Error() string {
+	if e.B == nil {
+		return fmt.Sprintf("type error: cannot apply %s to %s", e.Op, e.A.Kind())
+	}
+	return fmt.Sprintf("type error: cannot apply %s to %s and %s", e.Op, e.A.Kind(), e.B.Kind())
+}
+
+// Add implements the Cypher "+" operator: numeric addition, string
+// concatenation, and list concatenation/append/prepend. Null propagates.
+func Add(a, b Value) (Value, error) {
+	if IsNull(a) || IsNull(b) {
+		return NullValue, nil
+	}
+	if ai, ok := a.(Int); ok {
+		if bi, ok := b.(Int); ok {
+			return Int(int64(ai) + int64(bi)), nil
+		}
+	}
+	if IsNumber(a) && IsNumber(b) {
+		af, _ := AsFloat(a)
+		bf, _ := AsFloat(b)
+		return Float(af + bf), nil
+	}
+	if as, ok := a.(String); ok {
+		if bs, ok := b.(String); ok {
+			return as + bs, nil
+		}
+	}
+	if al, ok := a.(List); ok {
+		if bl, ok := b.(List); ok {
+			out := make(List, 0, len(al)+len(bl))
+			out = append(out, al...)
+			out = append(out, bl...)
+			return out, nil
+		}
+		out := make(List, 0, len(al)+1)
+		out = append(out, al...)
+		out = append(out, b)
+		return out, nil
+	}
+	if bl, ok := b.(List); ok {
+		out := make(List, 0, len(bl)+1)
+		out = append(out, a)
+		out = append(out, bl...)
+		return out, nil
+	}
+	return nil, &TypeError{Op: "+", A: a, B: b}
+}
+
+// Sub implements numeric subtraction. Null propagates.
+func Sub(a, b Value) (Value, error) {
+	if IsNull(a) || IsNull(b) {
+		return NullValue, nil
+	}
+	if ai, ok := a.(Int); ok {
+		if bi, ok := b.(Int); ok {
+			return Int(int64(ai) - int64(bi)), nil
+		}
+	}
+	if IsNumber(a) && IsNumber(b) {
+		af, _ := AsFloat(a)
+		bf, _ := AsFloat(b)
+		return Float(af - bf), nil
+	}
+	return nil, &TypeError{Op: "-", A: a, B: b}
+}
+
+// Mul implements numeric multiplication. Null propagates.
+func Mul(a, b Value) (Value, error) {
+	if IsNull(a) || IsNull(b) {
+		return NullValue, nil
+	}
+	if ai, ok := a.(Int); ok {
+		if bi, ok := b.(Int); ok {
+			return Int(int64(ai) * int64(bi)), nil
+		}
+	}
+	if IsNumber(a) && IsNumber(b) {
+		af, _ := AsFloat(a)
+		bf, _ := AsFloat(b)
+		return Float(af * bf), nil
+	}
+	return nil, &TypeError{Op: "*", A: a, B: b}
+}
+
+// Div implements Cypher division: integer division truncates; division of
+// an integer by integer zero is an error; float division by zero follows
+// IEEE 754. Null propagates.
+func Div(a, b Value) (Value, error) {
+	if IsNull(a) || IsNull(b) {
+		return NullValue, nil
+	}
+	if ai, ok := a.(Int); ok {
+		if bi, ok := b.(Int); ok {
+			if bi == 0 {
+				return nil, fmt.Errorf("division by zero")
+			}
+			return Int(int64(ai) / int64(bi)), nil
+		}
+	}
+	if IsNumber(a) && IsNumber(b) {
+		af, _ := AsFloat(a)
+		bf, _ := AsFloat(b)
+		return Float(af / bf), nil
+	}
+	return nil, &TypeError{Op: "/", A: a, B: b}
+}
+
+// Mod implements the Cypher "%" operator. Null propagates.
+func Mod(a, b Value) (Value, error) {
+	if IsNull(a) || IsNull(b) {
+		return NullValue, nil
+	}
+	if ai, ok := a.(Int); ok {
+		if bi, ok := b.(Int); ok {
+			if bi == 0 {
+				return nil, fmt.Errorf("modulo by zero")
+			}
+			return Int(int64(ai) % int64(bi)), nil
+		}
+	}
+	if IsNumber(a) && IsNumber(b) {
+		af, _ := AsFloat(a)
+		bf, _ := AsFloat(b)
+		return Float(math.Mod(af, bf)), nil
+	}
+	return nil, &TypeError{Op: "%", A: a, B: b}
+}
+
+// Pow implements the Cypher "^" operator; the result is always a float.
+// Null propagates.
+func Pow(a, b Value) (Value, error) {
+	if IsNull(a) || IsNull(b) {
+		return NullValue, nil
+	}
+	if IsNumber(a) && IsNumber(b) {
+		af, _ := AsFloat(a)
+		bf, _ := AsFloat(b)
+		return Float(math.Pow(af, bf)), nil
+	}
+	return nil, &TypeError{Op: "^", A: a, B: b}
+}
+
+// Neg implements unary minus. Null propagates.
+func Neg(a Value) (Value, error) {
+	switch x := a.(type) {
+	case Null:
+		return NullValue, nil
+	case Int:
+		return Int(-int64(x)), nil
+	case Float:
+		return Float(-float64(x)), nil
+	default:
+		return nil, &TypeError{Op: "unary -", A: a}
+	}
+}

@@ -1,0 +1,147 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAdd(t *testing.T) {
+	cases := []struct {
+		a, b, want Value
+	}{
+		{Int(1), Int(2), Int(3)},
+		{Int(1), Float(0.5), Float(1.5)},
+		{Float(0.5), Int(1), Float(1.5)},
+		{String("a"), String("b"), String("ab")},
+		{List{Int(1)}, List{Int(2)}, List{Int(1), Int(2)}},
+		{List{Int(1)}, Int(2), List{Int(1), Int(2)}},
+		{Int(0), List{Int(1)}, List{Int(0), Int(1)}},
+		{NullValue, Int(1), NullValue},
+		{Int(1), NullValue, NullValue},
+	}
+	for _, c := range cases {
+		got, err := Add(c.a, c.b)
+		if err != nil {
+			t.Errorf("Add(%v,%v): %v", c.a, c.b, err)
+			continue
+		}
+		if !Equivalent(got, c.want) {
+			t.Errorf("Add(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if _, err := Add(Bool(true), Int(1)); err == nil {
+		t.Error("Add(bool,int): want type error")
+	}
+}
+
+func TestSubMulDivModPow(t *testing.T) {
+	check := func(name string, f func(a, b Value) (Value, error), a, b, want Value) {
+		t.Helper()
+		got, err := f(a, b)
+		if err != nil {
+			t.Errorf("%s(%v,%v): %v", name, a, b, err)
+			return
+		}
+		if !Equivalent(got, want) {
+			t.Errorf("%s(%v,%v) = %v, want %v", name, a, b, got, want)
+		}
+	}
+	check("Sub", Sub, Int(5), Int(2), Int(3))
+	check("Sub", Sub, Float(5), Int(2), Float(3))
+	check("Sub", Sub, NullValue, Int(2), NullValue)
+	check("Mul", Mul, Int(5), Int(2), Int(10))
+	check("Mul", Mul, Float(2.5), Int(2), Float(5))
+	check("Div", Div, Int(7), Int(2), Int(3)) // integer division truncates
+	check("Div", Div, Int(-7), Int(2), Int(-3))
+	check("Div", Div, Float(7), Int(2), Float(3.5))
+	check("Mod", Mod, Int(7), Int(3), Int(1))
+	check("Mod", Mod, Float(7.5), Int(3), Float(1.5))
+	check("Pow", Pow, Int(2), Int(10), Float(1024))
+	check("Pow", Pow, NullValue, Int(2), NullValue)
+
+	if _, err := Div(Int(1), Int(0)); err == nil {
+		t.Error("Div by integer zero: want error")
+	}
+	if v, err := Div(Float(1), Float(0)); err != nil || !math.IsInf(float64(v.(Float)), 1) {
+		t.Errorf("Float div by zero = %v, %v; want +Inf", v, err)
+	}
+	if _, err := Mod(Int(1), Int(0)); err == nil {
+		t.Error("Mod by integer zero: want error")
+	}
+	if _, err := Sub(String("a"), Int(1)); err == nil {
+		t.Error("Sub(string,int): want type error")
+	}
+	if _, err := Mul(String("a"), Int(1)); err == nil {
+		t.Error("Mul(string,int): want type error")
+	}
+	if _, err := Pow(String("a"), Int(1)); err == nil {
+		t.Error("Pow(string,int): want type error")
+	}
+}
+
+func TestNeg(t *testing.T) {
+	if v, _ := Neg(Int(4)); v != Int(-4) {
+		t.Error("Neg(4)")
+	}
+	if v, _ := Neg(Float(1.5)); v != Float(-1.5) {
+		t.Error("Neg(1.5)")
+	}
+	if v, _ := Neg(NullValue); !IsNull(v) {
+		t.Error("Neg(null)")
+	}
+	if _, err := Neg(String("a")); err == nil {
+		t.Error("Neg(string): want error")
+	}
+}
+
+func TestTypeErrorMessages(t *testing.T) {
+	_, err := Add(Bool(true), Int(1))
+	if err == nil || err.Error() == "" {
+		t.Fatal("expected descriptive type error")
+	}
+	_, err = Neg(String("a"))
+	if err == nil || err.Error() == "" {
+		t.Fatal("expected descriptive unary type error")
+	}
+}
+
+// Property: integer addition is commutative and associative in the value
+// domain (wrapping semantics of int64 carry over).
+func TestAddCommutativeAssociative(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		ab, _ := Add(Int(a), Int(b))
+		ba, _ := Add(Int(b), Int(a))
+		if !Equivalent(ab, ba) {
+			return false
+		}
+		abc1, _ := Add(ab, Int(c))
+		bc, _ := Add(Int(b), Int(c))
+		abc2, _ := Add(Int(a), bc)
+		return Equivalent(abc1, abc2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: null propagates through every arithmetic operator.
+func TestNullPropagation(t *testing.T) {
+	ops := []func(a, b Value) (Value, error){Add, Sub, Mul, Div, Mod, Pow}
+	f := func(x int64) bool {
+		for _, op := range ops {
+			l, err := op(NullValue, Int(x))
+			if err != nil || !IsNull(l) {
+				return false
+			}
+			r, err := op(Int(x), NullValue)
+			if err != nil || !IsNull(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

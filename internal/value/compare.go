@@ -1,0 +1,489 @@
+package value
+
+import (
+	"math"
+)
+
+// Tri is the three-valued logic domain of Cypher comparisons: true, false,
+// or unknown (null).
+type Tri int
+
+// The three truth values.
+const (
+	False Tri = iota
+	True
+	Unknown
+)
+
+// Not negates a truth value; Unknown stays Unknown.
+func (t Tri) Not() Tri {
+	switch t {
+	case True:
+		return False
+	case False:
+		return True
+	default:
+		return Unknown
+	}
+}
+
+// And is Kleene conjunction.
+func (t Tri) And(u Tri) Tri {
+	if t == False || u == False {
+		return False
+	}
+	if t == True && u == True {
+		return True
+	}
+	return Unknown
+}
+
+// Or is Kleene disjunction.
+func (t Tri) Or(u Tri) Tri {
+	if t == True || u == True {
+		return True
+	}
+	if t == False && u == False {
+		return False
+	}
+	return Unknown
+}
+
+// Xor is Kleene exclusive-or: unknown if either side is unknown.
+func (t Tri) Xor(u Tri) Tri {
+	if t == Unknown || u == Unknown {
+		return Unknown
+	}
+	if (t == True) != (u == True) {
+		return True
+	}
+	return False
+}
+
+// Value converts a truth value to a Cypher value (Bool or null).
+func (t Tri) Value() Value {
+	switch t {
+	case True:
+		return Bool(true)
+	case False:
+		return Bool(false)
+	default:
+		return NullValue
+	}
+}
+
+// TriOf converts a Value to a truth value: booleans map to True/False,
+// null to Unknown. Any other kind is not a valid predicate result; it is
+// reported via ok=false.
+func TriOf(v Value) (t Tri, ok bool) {
+	switch x := v.(type) {
+	case Bool:
+		if x {
+			return True, true
+		}
+		return False, true
+	case Null:
+		return Unknown, true
+	default:
+		return Unknown, false
+	}
+}
+
+// Equal implements Cypher's ternary equality ("="):
+//
+//   - if either operand is null the result is Unknown;
+//   - numbers compare numerically across Int/Float;
+//   - lists compare element-wise with ternary logic (length mismatch is
+//     False; any Unknown element comparison with otherwise-equal prefix
+//     makes the result Unknown);
+//   - maps compare key-wise with ternary logic;
+//   - nodes/relationships compare by identity;
+//   - values of different, non-coercible kinds compare False.
+func Equal(a, b Value) Tri {
+	if IsNull(a) || IsNull(b) {
+		return Unknown
+	}
+	if IsNumber(a) && IsNumber(b) {
+		return equalNumeric(a, b)
+	}
+	if a.Kind() != b.Kind() {
+		return False
+	}
+	switch x := a.(type) {
+	case Bool:
+		return triBool(x == b.(Bool))
+	case String:
+		return triBool(x == b.(String))
+	case Node:
+		return triBool(x.ID == b.(Node).ID)
+	case Rel:
+		return triBool(x.ID == b.(Rel).ID)
+	case Path:
+		return triBool(samePath(x, b.(Path)))
+	case List:
+		return equalList(x, b.(List))
+	case Map:
+		return equalMap(x, b.(Map))
+	default:
+		return False
+	}
+}
+
+func triBool(b bool) Tri {
+	if b {
+		return True
+	}
+	return False
+}
+
+func equalNumeric(a, b Value) Tri {
+	ai, aIsInt := a.(Int)
+	bi, bIsInt := b.(Int)
+	if aIsInt && bIsInt {
+		return triBool(ai == bi)
+	}
+	af, _ := AsFloat(a)
+	bf, _ := AsFloat(b)
+	// NaN is not equal to anything under ternary equality.
+	return triBool(af == bf)
+}
+
+func equalList(a, b List) Tri {
+	if len(a) != len(b) {
+		return False
+	}
+	result := True
+	for i := range a {
+		switch Equal(a[i], b[i]) {
+		case False:
+			return False
+		case Unknown:
+			result = Unknown
+		}
+	}
+	return result
+}
+
+func equalMap(a, b Map) Tri {
+	if len(a) != len(b) {
+		return False
+	}
+	result := True
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok {
+			return False
+		}
+		switch Equal(av, bv) {
+		case False:
+			return False
+		case Unknown:
+			result = Unknown
+		}
+	}
+	return result
+}
+
+func samePath(a, b Path) bool {
+	if len(a.Nodes) != len(b.Nodes) || len(a.Rels) != len(b.Rels) {
+		return false
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			return false
+		}
+	}
+	for i := range a.Rels {
+		if a.Rels[i] != b.Rels[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equivalent is the reflexive total relation used by DISTINCT, grouping
+// and the MERGE SAME collapsibility relations: like Equal, except that
+// null is equivalent to null and NaN is equivalent to NaN.
+func Equivalent(a, b Value) bool {
+	if a == nil {
+		a = NullValue
+	}
+	if b == nil {
+		b = NullValue
+	}
+	if IsNull(a) || IsNull(b) {
+		return IsNull(a) && IsNull(b)
+	}
+	if IsNumber(a) && IsNumber(b) {
+		ai, aIsInt := a.(Int)
+		bi, bIsInt := b.(Int)
+		if aIsInt && bIsInt {
+			return ai == bi
+		}
+		af, _ := AsFloat(a)
+		bf, _ := AsFloat(b)
+		if math.IsNaN(af) || math.IsNaN(bf) {
+			return math.IsNaN(af) && math.IsNaN(bf)
+		}
+		return af == bf
+	}
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch x := a.(type) {
+	case Bool:
+		return x == b.(Bool)
+	case String:
+		return x == b.(String)
+	case Node:
+		return x.ID == b.(Node).ID
+	case Rel:
+		return x.ID == b.(Rel).ID
+	case Path:
+		return samePath(x, b.(Path))
+	case List:
+		y := b.(List)
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if !Equivalent(x[i], y[i]) {
+				return false
+			}
+		}
+		return true
+	case Map:
+		y := b.(Map)
+		if len(x) != len(y) {
+			return false
+		}
+		for k, xv := range x {
+			yv, ok := y[k]
+			if !ok || !Equivalent(xv, yv) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// CompareOrder is the global orderability total order used by ORDER BY.
+// It returns a negative number, zero, or a positive number as a sorts
+// before, the same as, or after b. The order across kinds follows Kind
+// rank (maps, nodes, relationships, lists, paths, strings, booleans,
+// numbers, null last); within numbers Int and Float interoperate, NaN
+// sorts after all other numbers.
+func CompareOrder(a, b Value) int {
+	if a == nil {
+		a = NullValue
+	}
+	if b == nil {
+		b = NullValue
+	}
+	ra, rb := orderRank(a), orderRank(b)
+	if ra != rb {
+		return ra - rb
+	}
+	switch x := a.(type) {
+	case Null:
+		return 0
+	case Bool:
+		y := b.(Bool)
+		switch {
+		case x == y:
+			return 0
+		case !bool(x): // false < true
+			return -1
+		default:
+			return 1
+		}
+	case String:
+		y := b.(String)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		default:
+			return 0
+		}
+	case Node:
+		return compareInt64(x.ID, b.(Node).ID)
+	case Rel:
+		return compareInt64(x.ID, b.(Rel).ID)
+	case Path:
+		return comparePath(x, b.(Path))
+	case List:
+		return compareList(x, b.(List))
+	case Map:
+		return compareMap(x, b.(Map))
+	default: // numbers
+		return compareNumeric(a, b)
+	}
+}
+
+func orderRank(v Value) int {
+	switch v.Kind() {
+	case KindMap:
+		return 0
+	case KindNode:
+		return 1
+	case KindRel:
+		return 2
+	case KindList:
+		return 3
+	case KindPath:
+		return 4
+	case KindString:
+		return 5
+	case KindBool:
+		return 6
+	case KindInt, KindFloat:
+		return 7
+	default: // null
+		return 8
+	}
+}
+
+func compareInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func compareNumeric(a, b Value) int {
+	ai, aIsInt := a.(Int)
+	bi, bIsInt := b.(Int)
+	if aIsInt && bIsInt {
+		return compareInt64(int64(ai), int64(bi))
+	}
+	af, _ := AsFloat(a)
+	bf, _ := AsFloat(b)
+	aNaN, bNaN := math.IsNaN(af), math.IsNaN(bf)
+	switch {
+	case aNaN && bNaN:
+		return 0
+	case aNaN:
+		return 1 // NaN sorts after all other numbers
+	case bNaN:
+		return -1
+	case af < bf:
+		return -1
+	case af > bf:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func compareList(a, b List) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := CompareOrder(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return len(a) - len(b)
+}
+
+func comparePath(a, b Path) int {
+	la := List(nil)
+	for i, n := range a.Nodes {
+		la = append(la, Node{ID: n})
+		if i < len(a.Rels) {
+			la = append(la, Rel{ID: a.Rels[i]})
+		}
+	}
+	lb := List(nil)
+	for i, n := range b.Nodes {
+		lb = append(lb, Node{ID: n})
+		if i < len(b.Rels) {
+			lb = append(lb, Rel{ID: b.Rels[i]})
+		}
+	}
+	return compareList(la, lb)
+}
+
+func compareMap(a, b Map) int {
+	ka, kb := a.Keys(), b.Keys()
+	n := len(ka)
+	if len(kb) < n {
+		n = len(kb)
+	}
+	for i := 0; i < n; i++ {
+		if ka[i] != kb[i] {
+			if ka[i] < kb[i] {
+				return -1
+			}
+			return 1
+		}
+		if c := CompareOrder(a[ka[i]], b[kb[i]]); c != 0 {
+			return c
+		}
+	}
+	return len(ka) - len(kb)
+}
+
+// Less implements the comparability semantics of the "<" operator under
+// ternary logic: numbers compare with numbers, strings with strings,
+// booleans with booleans; any null operand or cross-kind comparison is
+// Unknown.
+func Less(a, b Value) Tri {
+	if IsNull(a) || IsNull(b) {
+		return Unknown
+	}
+	if IsNumber(a) && IsNumber(b) {
+		af, _ := AsFloat(a)
+		bf, _ := AsFloat(b)
+		if math.IsNaN(af) || math.IsNaN(bf) {
+			return Unknown
+		}
+		ai, aIsInt := a.(Int)
+		bi, bIsInt := b.(Int)
+		if aIsInt && bIsInt {
+			return triBool(ai < bi)
+		}
+		return triBool(af < bf)
+	}
+	if a.Kind() != b.Kind() {
+		return Unknown
+	}
+	switch x := a.(type) {
+	case String:
+		return triBool(x < b.(String))
+	case Bool:
+		return triBool(!bool(x) && bool(b.(Bool)))
+	case List:
+		// Lists are comparable element-wise when all elements are.
+		return lessList(x, b.(List))
+	default:
+		return Unknown
+	}
+}
+
+func lessList(a, b List) Tri {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		eq := Equal(a[i], b[i])
+		if eq == Unknown {
+			return Unknown
+		}
+		if eq == False {
+			return Less(a[i], b[i])
+		}
+	}
+	return triBool(len(a) < len(b))
+}

@@ -1,0 +1,138 @@
+package value
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Key renders a canonical encoding of v such that Key(a) == Key(b) exactly
+// when Equivalent(a, b). It is used for grouping (DISTINCT, aggregation
+// keys, the Grouping MERGE strategy) and for bucketing candidates in the
+// MERGE SAME collapse pass.
+//
+// Numeric values that are equivalent across Int/Float (e.g. 1 and 1.0)
+// share a key; NaN has its own key; null has its own key.
+func Key(v Value) string {
+	var b strings.Builder
+	writeKey(&b, v)
+	return b.String()
+}
+
+// KeyList renders the canonical key of a tuple of values, used for
+// multi-column grouping.
+func KeyList(vs []Value) string {
+	var b strings.Builder
+	for _, v := range vs {
+		writeKey(&b, v)
+		b.WriteByte(0x1f) // unit separator between tuple elements
+	}
+	return b.String()
+}
+
+func writeKey(b *strings.Builder, v Value) {
+	if v == nil {
+		b.WriteString("0:")
+		return
+	}
+	switch x := v.(type) {
+	case Null:
+		b.WriteString("0:")
+	case Bool:
+		if x {
+			b.WriteString("b:1")
+		} else {
+			b.WriteString("b:0")
+		}
+	case Int:
+		writeNumericKey(b, float64(x), int64(x), true)
+	case Float:
+		f := float64(x)
+		if f == math.Trunc(f) && f >= math.MinInt64 && f <= math.MaxInt64 && !math.IsInf(f, 0) {
+			writeNumericKey(b, f, int64(f), true)
+		} else {
+			writeNumericKey(b, f, 0, false)
+		}
+	case String:
+		b.WriteString("s:")
+		b.WriteString(strconv.Quote(string(x)))
+	case Node:
+		b.WriteString("n:")
+		b.WriteString(strconv.FormatInt(x.ID, 10))
+	case Rel:
+		b.WriteString("r:")
+		b.WriteString(strconv.FormatInt(x.ID, 10))
+	case Path:
+		b.WriteString("p:[")
+		for i, n := range x.Nodes {
+			if i > 0 {
+				b.WriteString(",")
+				b.WriteString(strconv.FormatInt(x.Rels[i-1], 10))
+				b.WriteString(",")
+			}
+			b.WriteString(strconv.FormatInt(n, 10))
+		}
+		b.WriteString("]")
+	case List:
+		b.WriteString("l:[")
+		for i, e := range x {
+			if i > 0 {
+				b.WriteByte(';')
+			}
+			writeKey(b, e)
+		}
+		b.WriteString("]")
+	case Map:
+		b.WriteString("m:{")
+		for i, k := range x.Keys() {
+			if i > 0 {
+				b.WriteByte(';')
+			}
+			b.WriteString(strconv.Quote(k))
+			b.WriteByte('=')
+			writeKey(b, x[k])
+		}
+		b.WriteString("}")
+	}
+}
+
+func writeNumericKey(b *strings.Builder, f float64, i int64, integral bool) {
+	switch {
+	case math.IsNaN(f):
+		b.WriteString("d:nan")
+	case math.IsInf(f, 1):
+		b.WriteString("d:+inf")
+	case math.IsInf(f, -1):
+		b.WriteString("d:-inf")
+	case integral:
+		b.WriteString("d:")
+		b.WriteString(strconv.FormatInt(i, 10))
+	default:
+		b.WriteString("d:")
+		b.WriteString(strconv.FormatUint(math.Float64bits(f), 16))
+	}
+}
+
+// MapKey renders a canonical key for a property map, with keys mapped to
+// null treated as absent. This is the notion of "same properties" used by
+// the collapsibility relations (Definitions 1 and 2 of the paper), where
+// iota(n, k) = null means key k is not present.
+func MapKey(m Map) string {
+	var b strings.Builder
+	b.WriteString("{")
+	first := true
+	for _, k := range m.Keys() {
+		if IsNull(m[k]) {
+			continue
+		}
+		if !first {
+			b.WriteByte(';')
+		}
+		first = false
+		b.WriteString(strconv.Quote(k))
+		b.WriteByte('=')
+		writeKey(&b, m[k])
+	}
+	b.WriteString("}")
+	return b.String()
+}

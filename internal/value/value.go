@@ -1,0 +1,427 @@
+// Package value implements the Cypher value system used throughout the
+// interpreter: null, booleans, 64-bit integers, 64-bit floats, strings,
+// lists, maps, and references to graph entities (nodes, relationships,
+// paths).
+//
+// The package distinguishes the three comparison regimes of Cypher, which
+// the paper relies on:
+//
+//   - equality ("="), which follows SQL-style ternary logic where null
+//     propagates (see Equal);
+//   - equivalence, a reflexive total relation used by DISTINCT, grouping,
+//     and the collapsing relations of MERGE SAME, where null is equivalent
+//     to null (see Equivalent and Key);
+//   - orderability, a total order over all values used by ORDER BY
+//     (see Compare).
+package value
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind int
+
+// The kinds of values, in global orderability rank order (see Compare).
+const (
+	KindMap Kind = iota
+	KindNode
+	KindRel
+	KindList
+	KindPath
+	KindString
+	KindBool
+	KindInt
+	KindFloat
+	KindNull
+)
+
+// String returns the Cypher type name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindMap:
+		return "Map"
+	case KindNode:
+		return "Node"
+	case KindRel:
+		return "Relationship"
+	case KindList:
+		return "List"
+	case KindPath:
+		return "Path"
+	case KindString:
+		return "String"
+	case KindBool:
+		return "Boolean"
+	case KindInt:
+		return "Integer"
+	case KindFloat:
+		return "Float"
+	case KindNull:
+		return "Null"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Value is a Cypher runtime value.
+type Value interface {
+	// Kind reports the dynamic type of the value.
+	Kind() Kind
+	// String renders the value in Cypher literal-like notation.
+	String() string
+}
+
+// Null is the SQL-style null value. The zero Null is ready to use; the
+// package-level NullValue is the canonical instance.
+type Null struct{}
+
+// NullValue is the canonical null.
+var NullValue = Null{}
+
+// Kind implements Value.
+func (Null) Kind() Kind { return KindNull }
+
+// String implements Value.
+func (Null) String() string { return "null" }
+
+// Bool is a Cypher boolean.
+type Bool bool
+
+// Kind implements Value.
+func (Bool) Kind() Kind { return KindBool }
+
+// String implements Value.
+func (b Bool) String() string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+// Int is a Cypher 64-bit integer.
+type Int int64
+
+// Kind implements Value.
+func (Int) Kind() Kind { return KindInt }
+
+// String implements Value.
+func (i Int) String() string { return strconv.FormatInt(int64(i), 10) }
+
+// Float is a Cypher 64-bit float.
+type Float float64
+
+// Kind implements Value.
+func (Float) Kind() Kind { return KindFloat }
+
+// String implements Value.
+func (f Float) String() string {
+	if math.IsInf(float64(f), 1) {
+		return "Infinity"
+	}
+	if math.IsInf(float64(f), -1) {
+		return "-Infinity"
+	}
+	if math.IsNaN(float64(f)) {
+		return "NaN"
+	}
+	s := strconv.FormatFloat(float64(f), 'g', -1, 64)
+	// Ensure floats always render distinguishably from integers.
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+// String is a Cypher string.
+type String string
+
+// Kind implements Value.
+func (String) Kind() Kind { return KindString }
+
+// String implements Value.
+func (s String) String() string { return "'" + strings.ReplaceAll(string(s), "'", "\\'") + "'" }
+
+// List is a Cypher list. Lists are heterogeneous and may contain nulls.
+type List []Value
+
+// Kind implements Value.
+func (List) Kind() Kind { return KindList }
+
+// String implements Value.
+func (l List) String() string {
+	parts := make([]string, len(l))
+	for i, v := range l {
+		parts[i] = v.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// Map is a Cypher map with string keys. A key mapped to null is treated as
+// absent by the property-setting machinery; Map values themselves may hold
+// nulls transiently (e.g. results of projections).
+type Map map[string]Value
+
+// Kind implements Value.
+func (Map) Kind() Kind { return KindMap }
+
+// String implements Value.
+func (m Map) String() string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + ": " + m[k].String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Keys returns the map's keys in sorted order.
+func (m Map) Keys() []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Node is a reference to a graph node by id. Property and label access go
+// through the graph the expression evaluator carries.
+type Node struct {
+	ID int64
+}
+
+// Kind implements Value.
+func (Node) Kind() Kind { return KindNode }
+
+// String implements Value.
+func (n Node) String() string { return fmt.Sprintf("Node(%d)", n.ID) }
+
+// Rel is a reference to a graph relationship by id.
+type Rel struct {
+	ID int64
+}
+
+// Kind implements Value.
+func (Rel) Kind() Kind { return KindRel }
+
+// String implements Value.
+func (r Rel) String() string { return fmt.Sprintf("Rel(%d)", r.ID) }
+
+// Path is an alternating sequence of node and relationship ids,
+// beginning and ending with a node: n0 r0 n1 r1 ... n_k.
+type Path struct {
+	Nodes []int64 // len(Nodes) == len(Rels)+1
+	Rels  []int64
+}
+
+// Kind implements Value.
+func (Path) Kind() Kind { return KindPath }
+
+// String implements Value.
+func (p Path) String() string {
+	var b strings.Builder
+	b.WriteString("Path(")
+	for i, n := range p.Nodes {
+		if i > 0 {
+			fmt.Fprintf(&b, "-[%d]-", p.Rels[i-1])
+		}
+		fmt.Fprintf(&b, "(%d)", n)
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Len reports the number of relationships in the path.
+func (p Path) Len() int { return len(p.Rels) }
+
+// IsNull reports whether v is the null value (or a nil interface).
+func IsNull(v Value) bool {
+	if v == nil {
+		return true
+	}
+	return v.Kind() == KindNull
+}
+
+// AsBool extracts a boolean; ok is false for any non-boolean value.
+func AsBool(v Value) (b, ok bool) {
+	bv, ok := v.(Bool)
+	return bool(bv), ok
+}
+
+// AsInt extracts an integer; ok is false for any non-integer value.
+func AsInt(v Value) (int64, bool) {
+	iv, ok := v.(Int)
+	return int64(iv), ok
+}
+
+// AsFloat extracts a numeric value as float64; ok is false for
+// non-numeric values.
+func AsFloat(v Value) (float64, bool) {
+	switch x := v.(type) {
+	case Int:
+		return float64(x), true
+	case Float:
+		return float64(x), true
+	}
+	return 0, false
+}
+
+// AsString extracts a string; ok is false for any non-string value.
+func AsString(v Value) (string, bool) {
+	sv, ok := v.(String)
+	return string(sv), ok
+}
+
+// AsList extracts a list; ok is false for any non-list value.
+func AsList(v Value) (List, bool) {
+	lv, ok := v.(List)
+	return lv, ok
+}
+
+// AsMap extracts a map; ok is false for any non-map value.
+func AsMap(v Value) (Map, bool) {
+	mv, ok := v.(Map)
+	return mv, ok
+}
+
+// IsNumber reports whether v is an Int or Float.
+func IsNumber(v Value) bool {
+	k := v.Kind()
+	return k == KindInt || k == KindFloat
+}
+
+// FromGo converts a native Go value into a Value. Supported inputs:
+// nil, bool, all int/uint widths, float32/64, string, []any,
+// map[string]any, []string, []int, []int64, []float64, and Value itself.
+// Unsupported types yield an error.
+func FromGo(x any) (Value, error) {
+	switch v := x.(type) {
+	case nil:
+		return NullValue, nil
+	case Value:
+		return v, nil
+	case bool:
+		return Bool(v), nil
+	case int:
+		return Int(v), nil
+	case int8:
+		return Int(v), nil
+	case int16:
+		return Int(v), nil
+	case int32:
+		return Int(v), nil
+	case int64:
+		return Int(v), nil
+	case uint:
+		return Int(v), nil
+	case uint8:
+		return Int(v), nil
+	case uint16:
+		return Int(v), nil
+	case uint32:
+		return Int(v), nil
+	case uint64:
+		if v > math.MaxInt64 {
+			return nil, fmt.Errorf("value: uint64 %d overflows Cypher integer", v)
+		}
+		return Int(v), nil
+	case float32:
+		return Float(v), nil
+	case float64:
+		return Float(v), nil
+	case string:
+		return String(v), nil
+	case []string:
+		l := make(List, len(v))
+		for i, e := range v {
+			l[i] = String(e)
+		}
+		return l, nil
+	case []int:
+		l := make(List, len(v))
+		for i, e := range v {
+			l[i] = Int(e)
+		}
+		return l, nil
+	case []int64:
+		l := make(List, len(v))
+		for i, e := range v {
+			l[i] = Int(e)
+		}
+		return l, nil
+	case []float64:
+		l := make(List, len(v))
+		for i, e := range v {
+			l[i] = Float(e)
+		}
+		return l, nil
+	case []any:
+		l := make(List, len(v))
+		for i, e := range v {
+			ev, err := FromGo(e)
+			if err != nil {
+				return nil, err
+			}
+			l[i] = ev
+		}
+		return l, nil
+	case map[string]any:
+		m := make(Map, len(v))
+		for k, e := range v {
+			ev, err := FromGo(e)
+			if err != nil {
+				return nil, err
+			}
+			m[k] = ev
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("value: unsupported Go type %T", x)
+	}
+}
+
+// ToGo converts a Value back into a plain Go value (inverse of FromGo for
+// scalar, list and map kinds). Entity references convert to their ids.
+func ToGo(v Value) any {
+	switch x := v.(type) {
+	case Null:
+		return nil
+	case Bool:
+		return bool(x)
+	case Int:
+		return int64(x)
+	case Float:
+		return float64(x)
+	case String:
+		return string(x)
+	case List:
+		out := make([]any, len(x))
+		for i, e := range x {
+			out[i] = ToGo(e)
+		}
+		return out
+	case Map:
+		out := make(map[string]any, len(x))
+		for k, e := range x {
+			out[k] = ToGo(e)
+		}
+		return out
+	case Node:
+		return x.ID
+	case Rel:
+		return x.ID
+	case Path:
+		return x
+	default:
+		return nil
+	}
+}

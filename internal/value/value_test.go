@@ -1,0 +1,152 @@
+package value
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "Null", KindBool: "Boolean", KindInt: "Integer",
+		KindFloat: "Float", KindString: "String", KindList: "List",
+		KindMap: "Map", KindNode: "Node", KindRel: "Relationship",
+		KindPath: "Path",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestValueStrings(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{NullValue, "null"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{Int(42), "42"},
+		{Int(-7), "-7"},
+		{Float(1.5), "1.5"},
+		{Float(2), "2.0"},
+		{Float(math.Inf(1)), "Infinity"},
+		{Float(math.Inf(-1)), "-Infinity"},
+		{Float(math.NaN()), "NaN"},
+		{String("hi"), "'hi'"},
+		{List{Int(1), String("a")}, "[1, 'a']"},
+		{Map{"b": Int(2), "a": Int(1)}, "{a: 1, b: 2}"},
+		{Node{ID: 3}, "Node(3)"},
+		{Rel{ID: 4}, "Rel(4)"},
+		{Path{Nodes: []int64{1, 2}, Rels: []int64{9}}, "Path((1)-[9]-(2))"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", c.v.Kind(), got, c.want)
+		}
+	}
+}
+
+func TestFromGoRoundTrip(t *testing.T) {
+	in := map[string]any{
+		"n":    nil,
+		"b":    true,
+		"i":    int(5),
+		"i64":  int64(6),
+		"f":    1.25,
+		"s":    "x",
+		"list": []any{int64(1), "two", nil},
+		"m":    map[string]any{"k": int64(9)},
+	}
+	v, err := FromGo(in)
+	if err != nil {
+		t.Fatalf("FromGo: %v", err)
+	}
+	m, ok := v.(Map)
+	if !ok {
+		t.Fatalf("FromGo returned %T, want Map", v)
+	}
+	if got := m["i"]; got != Int(5) {
+		t.Errorf("m[i] = %v", got)
+	}
+	if got := m["n"]; !IsNull(got) {
+		t.Errorf("m[n] = %v, want null", got)
+	}
+	back := ToGo(v).(map[string]any)
+	if back["s"] != "x" {
+		t.Errorf("ToGo round trip s = %v", back["s"])
+	}
+	if back["n"] != nil {
+		t.Errorf("ToGo round trip n = %v, want nil", back["n"])
+	}
+	if lst := back["list"].([]any); lst[1] != "two" {
+		t.Errorf("ToGo list = %v", lst)
+	}
+}
+
+func TestFromGoErrors(t *testing.T) {
+	if _, err := FromGo(struct{}{}); err == nil {
+		t.Error("FromGo(struct{}{}): want error")
+	}
+	if _, err := FromGo(uint64(math.MaxUint64)); err == nil {
+		t.Error("FromGo(maxuint64): want overflow error")
+	}
+	if _, err := FromGo([]any{struct{}{}}); err == nil {
+		t.Error("FromGo(list with bad element): want error")
+	}
+	if _, err := FromGo(map[string]any{"k": struct{}{}}); err == nil {
+		t.Error("FromGo(map with bad element): want error")
+	}
+}
+
+func TestAsAccessors(t *testing.T) {
+	if b, ok := AsBool(Bool(true)); !ok || !b {
+		t.Error("AsBool(true) failed")
+	}
+	if _, ok := AsBool(Int(1)); ok {
+		t.Error("AsBool(Int) should fail")
+	}
+	if i, ok := AsInt(Int(7)); !ok || i != 7 {
+		t.Error("AsInt(7) failed")
+	}
+	if f, ok := AsFloat(Int(7)); !ok || f != 7 {
+		t.Error("AsFloat(Int 7) failed")
+	}
+	if f, ok := AsFloat(Float(2.5)); !ok || f != 2.5 {
+		t.Error("AsFloat(2.5) failed")
+	}
+	if _, ok := AsFloat(String("x")); ok {
+		t.Error("AsFloat(String) should fail")
+	}
+	if s, ok := AsString(String("x")); !ok || s != "x" {
+		t.Error("AsString failed")
+	}
+	if l, ok := AsList(List{Int(1)}); !ok || len(l) != 1 {
+		t.Error("AsList failed")
+	}
+	if m, ok := AsMap(Map{"a": Int(1)}); !ok || len(m) != 1 {
+		t.Error("AsMap failed")
+	}
+	if !IsNull(nil) || !IsNull(NullValue) || IsNull(Int(0)) {
+		t.Error("IsNull misbehaves")
+	}
+}
+
+func TestMapKeysSorted(t *testing.T) {
+	m := Map{"z": Int(1), "a": Int(2), "m": Int(3)}
+	keys := m.Keys()
+	want := []string{"a", "m", "z"}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Keys() = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestPathLen(t *testing.T) {
+	p := Path{Nodes: []int64{1, 2, 3}, Rels: []int64{10, 11}}
+	if p.Len() != 2 {
+		t.Errorf("Len = %d, want 2", p.Len())
+	}
+}

@@ -1,0 +1,226 @@
+// Package workload generates synthetic graphs and driving tables that
+// scale the paper's example workloads up for benchmarking:
+//
+//   - marketplace graphs shaped like Figure 1 (vendors offering
+//     products, users ordering them);
+//   - order-import tables shaped like Example 5 (cid/pid pairs with
+//     configurable duplicate and null rates) — the CSV/relational import
+//     scenario that Sections 5-6 identify as the dominant MERGE use case;
+//   - clickstream path tables shaped like Example 7;
+//   - merge-path tables shaped like Example 3.
+//
+// All generators are deterministic for a given seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/table"
+	"repro/internal/value"
+)
+
+// Marketplace describes a Figure 1-shaped graph at scale.
+type Marketplace struct {
+	Vendors  int
+	Products int
+	Users    int
+	// OffersPerVendor and OrdersPerUser control relationship fan-out.
+	OffersPerVendor int
+	OrdersPerUser   int
+	Seed            int64
+}
+
+// DefaultMarketplace returns a medium-sized configuration.
+func DefaultMarketplace() Marketplace {
+	return Marketplace{
+		Vendors:         20,
+		Products:        500,
+		Users:           200,
+		OffersPerVendor: 50,
+		OrdersPerUser:   5,
+		Seed:            1,
+	}
+}
+
+// Build materializes the marketplace into a fresh graph.
+func (m Marketplace) Build() *graph.Graph {
+	rng := rand.New(rand.NewSource(m.Seed))
+	g := graph.New()
+	products := make([]graph.NodeID, m.Products)
+	for i := range products {
+		products[i] = g.CreateNode([]string{"Product"}, value.Map{
+			"id":   value.Int(int64(i)),
+			"name": value.String(fmt.Sprintf("product-%d", i)),
+		}).ID
+	}
+	for v := 0; v < m.Vendors; v++ {
+		vid := g.CreateNode([]string{"Vendor"}, value.Map{
+			"id":   value.Int(int64(v)),
+			"name": value.String(fmt.Sprintf("vendor-%d", v)),
+		}).ID
+		for k := 0; k < m.OffersPerVendor && len(products) > 0; k++ {
+			p := products[rng.Intn(len(products))]
+			if _, err := g.CreateRel(vid, p, "OFFERS", nil); err != nil {
+				panic(err)
+			}
+		}
+	}
+	for u := 0; u < m.Users; u++ {
+		uid := g.CreateNode([]string{"User"}, value.Map{
+			"id":   value.Int(int64(u)),
+			"name": value.String(fmt.Sprintf("user-%d", u)),
+		}).ID
+		for k := 0; k < m.OrdersPerUser && len(products) > 0; k++ {
+			p := products[rng.Intn(len(products))]
+			if _, err := g.CreateRel(uid, p, "ORDERED", nil); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return g
+}
+
+// OrderImport describes an Example 5-shaped driving table.
+type OrderImport struct {
+	Rows int
+	// Customers and Products bound the id domains; smaller domains mean
+	// more duplicates (the paper's dirty-data scenario).
+	Customers int
+	Products  int
+	// NullRate is the probability that a row's pid is null (an order of
+	// an unknown product), as in Example 5's table.
+	NullRate float64
+	Seed     int64
+}
+
+// DefaultOrderImport returns a configuration mirroring Example 5's
+// shape at 1000 rows.
+func DefaultOrderImport(rows int) OrderImport {
+	return OrderImport{
+		Rows:      rows,
+		Customers: rows / 4,
+		Products:  rows / 8,
+		NullRate:  0.2,
+		Seed:      1,
+	}
+}
+
+// Build materializes the driving table with columns cid, pid, date.
+func (o OrderImport) Build() *table.Table {
+	rng := rand.New(rand.NewSource(o.Seed))
+	t := table.New("cid", "pid", "date")
+	for i := 0; i < o.Rows; i++ {
+		cid := value.Value(value.Int(int64(rng.Intn(max(o.Customers, 1)))))
+		var pid value.Value = value.NullValue
+		var date value.Value = value.NullValue
+		if rng.Float64() >= o.NullRate {
+			pid = value.Int(int64(rng.Intn(max(o.Products, 1))))
+			date = value.String(fmt.Sprintf("2018-%02d-%02d", 1+rng.Intn(12), 1+rng.Intn(28)))
+		}
+		t.AppendRow(cid, pid, date)
+	}
+	return t
+}
+
+// Clickstream describes an Example 7-shaped workload: per session, a
+// path of product-page visits ending in a purchase. Sessions revisit
+// pages, producing the duplicate edges the collapse strategies differ on.
+type Clickstream struct {
+	Sessions int
+	PathLen  int
+	Products int
+	Seed     int64
+}
+
+// Build returns the product graph (nodes only) plus the driving table
+// with one column per path position (v0..v<PathLen-1>, tgt), each bound
+// to a product node.
+func (c Clickstream) Build() (*graph.Graph, *table.Table) {
+	rng := rand.New(rand.NewSource(c.Seed))
+	g := graph.New()
+	products := make([]graph.NodeID, c.Products)
+	for i := range products {
+		products[i] = g.CreateNode([]string{"Product"}, value.Map{"id": value.Int(int64(i))}).ID
+	}
+	cols := make([]string, 0, c.PathLen+1)
+	for i := 0; i < c.PathLen; i++ {
+		cols = append(cols, fmt.Sprintf("v%d", i))
+	}
+	cols = append(cols, "tgt")
+	t := table.New(cols...)
+	for s := 0; s < c.Sessions; s++ {
+		row := make([]value.Value, 0, c.PathLen+1)
+		for i := 0; i < c.PathLen+1; i++ {
+			p := products[rng.Intn(len(products))]
+			row = append(row, value.Node{ID: int64(p)})
+		}
+		t.AppendRow(row...)
+	}
+	return g, t
+}
+
+// PathQuery renders the Example 7 MERGE pattern for the clickstream's
+// column layout, e.g.
+//
+//	(v0)-[:TO]->(v1)-[:TO]->(v2)-[:BOUGHT]->(tgt)
+func (c Clickstream) PathQuery() string {
+	s := ""
+	for i := 0; i < c.PathLen; i++ {
+		if i > 0 {
+			s += "-[:TO]->"
+		}
+		s += fmt.Sprintf("(v%d)", i)
+	}
+	return s + "-[:BOUGHT]->(tgt)"
+}
+
+// MergePaths describes an Example 3-shaped workload: a table of
+// (user, product, vendor) node triples over a relationship-free graph.
+type MergePaths struct {
+	Rows     int
+	Users    int
+	Products int
+	Vendors  int
+	Seed     int64
+}
+
+// Build returns the node-only graph and the user/product/vendor table.
+func (w MergePaths) Build() (*graph.Graph, *table.Table) {
+	rng := rand.New(rand.NewSource(w.Seed))
+	g := graph.New()
+	mk := func(n int, label string) []graph.NodeID {
+		out := make([]graph.NodeID, n)
+		for i := range out {
+			out[i] = g.CreateNode([]string{label}, value.Map{"id": value.Int(int64(i))}).ID
+		}
+		return out
+	}
+	users := mk(w.Users, "User")
+	products := mk(w.Products, "Product")
+	vendors := mk(w.Vendors, "Vendor")
+	t := table.New("user", "product", "vendor")
+	for i := 0; i < w.Rows; i++ {
+		t.AppendRow(
+			value.Node{ID: int64(users[rng.Intn(len(users))])},
+			value.Node{ID: int64(products[rng.Intn(len(products))])},
+			value.Node{ID: int64(vendors[rng.Intn(len(vendors))])},
+		)
+	}
+	return g, t
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Shuffle returns a random permutation of [0, n) for the given seed,
+// used by determinism experiments to permute driving tables.
+func Shuffle(n int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Perm(n)
+}
