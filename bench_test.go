@@ -131,7 +131,8 @@ func BenchmarkB4Delete(b *testing.B) {
 	}
 }
 
-// B5: read-only pattern matching (the Query 1 shape) at two scales.
+// B5: read-only pattern matching (the Query 1 shape) at two scales,
+// under the streaming (default) and materializing executors.
 func BenchmarkB5Match(b *testing.B) {
 	for _, scale := range []int{1, 4} {
 		m := workload.DefaultMarketplace()
@@ -143,12 +144,14 @@ func BenchmarkB5Match(b *testing.B) {
 			MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(q:Product)
 			WHERE p.id < 10
 			RETURN count(*) AS c`
-		cfg := core.Config{Dialect: core.DialectRevised}
-		b.Run(fmt.Sprintf("scale=%d", scale), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				execBench(b, cfg, g, query, nil)
-			}
-		})
+		for _, ex := range []core.Executor{core.ExecStreaming, core.ExecMaterializing} {
+			cfg := core.Config{Dialect: core.DialectRevised, Executor: ex}
+			b.Run(fmt.Sprintf("%s/scale=%d", ex, scale), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					execBench(b, cfg, g, query, nil)
+				}
+			})
+		}
 	}
 }
 
@@ -195,12 +198,14 @@ func BenchmarkB8MatchModes(b *testing.B) {
 		{"isomorphism", match.Isomorphism},
 		{"homomorphism", match.Homomorphism},
 	} {
-		cfg := core.Config{Dialect: core.DialectRevised, MatchMode: c.mode}
-		b.Run(c.name, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				execBench(b, cfg, g, query, nil)
-			}
-		})
+		for _, ex := range []core.Executor{core.ExecStreaming, core.ExecMaterializing} {
+			cfg := core.Config{Dialect: core.DialectRevised, MatchMode: c.mode, Executor: ex}
+			b.Run(fmt.Sprintf("%s/%s", c.name, ex), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					execBench(b, cfg, g, query, nil)
+				}
+			})
+		}
 	}
 }
 
@@ -219,6 +224,29 @@ func BenchmarkB9ClickstreamCollapse(b *testing.B) {
 				g, tbl := c.Build()
 				b.StartTimer()
 				execBench(b, cfg, g, query, tbl)
+			}
+		})
+	}
+}
+
+// B10: LIMIT early exit. The streaming executor stops pattern
+// enumeration after k rows; the materializing executor enumerates every
+// match before slicing. The gap grows with graph size.
+func BenchmarkB10LimitEarlyExit(b *testing.B) {
+	g := graph.New()
+	const n = 20000
+	for i := 0; i < n; i++ {
+		g.CreateNode([]string{"N"}, value.Map{"i": value.Int(int64(i))})
+	}
+	query := `MATCH (m:N) WHERE m.i % 3 = 0 RETURN m.i AS i LIMIT 5`
+	for _, ex := range []core.Executor{core.ExecStreaming, core.ExecMaterializing} {
+		cfg := core.Config{Dialect: core.DialectRevised, Executor: ex}
+		b.Run(ex.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := execBench(b, cfg, g, query, nil)
+				if res.Table.Len() != 5 {
+					b.Fatal("expected 5 rows")
+				}
 			}
 		})
 	}

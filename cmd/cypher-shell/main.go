@@ -12,6 +12,9 @@
 //	:clear                reset the database
 //	:quit                 exit
 //
+// A statement prefixed with EXPLAIN prints the streaming operator plan
+// instead of executing it.
+//
 // Switching dialects preserves the graph contents.
 package main
 
@@ -71,7 +74,7 @@ func meta(db *cypher.DB, dialect, cmd string) (*cypher.DB, string, bool) {
 	case ":quit", ":exit", ":q":
 		return db, dialect, true
 	case ":help":
-		fmt.Println("statements end with ';'. Meta: :dialect cypher9|revised, :merge <strategy>, :stats, :clear, :quit")
+		fmt.Println("statements end with ';'. EXPLAIN <query>; prints the operator plan. Meta: :dialect cypher9|revised, :merge <strategy>, :stats, :clear, :quit")
 	case ":stats":
 		fmt.Println(db.Stats())
 	case ":clear":
@@ -122,6 +125,17 @@ func execute(db *cypher.DB, query string) {
 	if query == "" {
 		return
 	}
+	// EXPLAIN <query> prints the streaming operator plan instead of
+	// executing the statement.
+	if rest, ok := cutPrefixFold(query, "EXPLAIN"); ok {
+		tree, err := db.Explain(strings.TrimSpace(rest))
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println(tree)
+		return
+	}
 	res, err := db.Exec(query, nil)
 	if err != nil {
 		fmt.Println("error:", err)
@@ -144,4 +158,18 @@ func execute(db *cypher.DB, query string) {
 			st.NodesCreated, st.NodesDeleted, st.RelsCreated, st.RelsDeleted,
 			st.PropsSet, st.LabelsAdded, st.LabelsRemoved)
 	}
+}
+
+// cutPrefixFold strips a case-insensitive keyword prefix, requiring a
+// word boundary after it (so a query starting with an identifier like
+// `explainFoo` is not treated as EXPLAIN).
+func cutPrefixFold(s, prefix string) (string, bool) {
+	if len(s) <= len(prefix) || !strings.EqualFold(s[:len(prefix)], prefix) {
+		return s, false
+	}
+	rest := s[len(prefix):]
+	if rest[0] != ' ' && rest[0] != '\t' && rest[0] != '\n' && rest[0] != '\r' {
+		return s, false
+	}
+	return rest, true
 }

@@ -222,6 +222,20 @@ func (db *DB) ExecTable(query string, t *Table, params map[string]any) (*Result,
 	return wrapResult(res), nil
 }
 
+// Explain returns the streaming operator plan for a statement without
+// executing it: one operator per line, children indented, with
+// `[barrier]` marking the materialization points (ORDER BY,
+// aggregation, and every update clause).
+func (db *DB) Explain(query string) (string, error) {
+	stmt, err := parser.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.engine.ExplainStatement(db.graph, stmt, nil)
+}
+
 // Parse checks a statement for syntactic and dialect validity without
 // executing it.
 func (db *DB) Parse(query string) error {

@@ -1,14 +1,12 @@
 package core
 
 import (
-	"encoding/csv"
 	"fmt"
-	"os"
-	"strings"
 
 	"repro/internal/ast"
 	"repro/internal/expr"
 	"repro/internal/match"
+	"repro/internal/plan"
 	"repro/internal/table"
 	"repro/internal/value"
 )
@@ -111,72 +109,17 @@ func (x *executor) execLoadCSV(cl *ast.LoadCSVClause, t *table.Table) (*table.Ta
 		if !ok {
 			return nil, fmt.Errorf("LOAD CSV FROM expects a string, got %s", urlVal.Kind())
 		}
-		rows, err := readCSV(string(url), cl.FieldTerm)
+		bound, err := plan.BindCSV(string(url), cl.FieldTerm, cl.WithHeaders)
 		if err != nil {
 			return nil, err
 		}
-		if len(rows) == 0 {
-			continue
-		}
-		start := 0
-		var headers []string
-		if cl.WithHeaders {
-			headers = rows[0]
-			start = 1
-		}
-		for _, rec := range rows[start:] {
-			var bound value.Value
-			if cl.WithHeaders {
-				m := make(value.Map, len(headers))
-				for j, h := range headers {
-					if j < len(rec) {
-						m[h] = csvField(rec[j])
-					} else {
-						m[h] = value.NullValue
-					}
-				}
-				bound = m
-			} else {
-				lst := make(value.List, len(rec))
-				for j, f := range rec {
-					lst[j] = value.String(f)
-				}
-				bound = lst
-			}
+		for _, bv := range bound {
 			row := t.Row(i)
-			row[cl.Var] = bound
+			row[cl.Var] = bv
 			out.AppendMap(row)
 		}
 	}
 	return out, nil
-}
-
-// csvField maps the empty CSV field to null, matching the common
-// relational-import convention the paper's Example 5 relies on.
-func csvField(s string) value.Value {
-	if s == "" {
-		return value.NullValue
-	}
-	return value.String(s)
-}
-
-func readCSV(url, fieldTerm string) ([][]string, error) {
-	path := strings.TrimPrefix(url, "file://")
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("LOAD CSV: %w", err)
-	}
-	defer f.Close()
-	r := csv.NewReader(f)
-	r.FieldsPerRecord = -1
-	if fieldTerm != "" {
-		runes := []rune(fieldTerm)
-		if len(runes) != 1 {
-			return nil, fmt.Errorf("FIELDTERMINATOR must be a single character")
-		}
-		r.Comma = runes[0]
-	}
-	return r.ReadAll()
 }
 
 // execProjection implements WITH and RETURN: expansion of *, aliasing,

@@ -27,6 +27,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/graph"
 	"repro/internal/match"
+	"repro/internal/plan"
 	"repro/internal/table"
 	"repro/internal/value"
 )
@@ -110,6 +111,34 @@ const (
 	ScanReverse
 )
 
+// Executor selects the evaluation strategy for a statement's reading
+// pipeline. Update clauses execute identically under both: the
+// streaming executor inserts a materialization barrier before every
+// update clause (and before ORDER BY/aggregation), so the paper's
+// record-order-dependent legacy semantics and the revised two-phase
+// semantics are preserved bit-for-bit.
+type Executor int
+
+// Executors.
+const (
+	// ExecStreaming (the default) lowers the statement to a tree of
+	// cursor-driven operators (package plan): read-only pipelines
+	// stream row-at-a-time and LIMIT/EXISTS exit early.
+	ExecStreaming Executor = iota
+	// ExecMaterializing is the original clause-at-a-time interpreter
+	// that builds every intermediate table in full. It is retained as
+	// the executable specification the streaming executor is tested
+	// against (golden equivalence), and for A/B benchmarking.
+	ExecMaterializing
+)
+
+func (e Executor) String() string {
+	if e == ExecMaterializing {
+		return "materializing"
+	}
+	return "streaming"
+}
+
 // Config configures an Engine.
 type Config struct {
 	Dialect Dialect
@@ -124,6 +153,14 @@ type Config struct {
 	// SkipValidation disables dialect grammar validation (used by tests
 	// that exercise runtime errors directly).
 	SkipValidation bool
+	// Executor selects the streaming (default) or materializing
+	// evaluation strategy.
+	Executor Executor
+
+	// onPlan, when set, receives the root operator of every streaming
+	// statement after execution finishes (tests use it to assert
+	// early-exit visit counts).
+	onPlan func(plan.Operator)
 }
 
 // UpdateStats counts the effects of a statement.
@@ -212,8 +249,13 @@ func (e *Engine) ExecuteWithTable(g *graph.Graph, stmt *ast.Statement, params ma
 
 // executeUnion applies UNION members left to right: each query sees the
 // graph as modified by its predecessors, and the output tables are
-// unioned (Section 8.2, "Composition of clauses").
+// unioned (Section 8.2, "Composition of clauses"). The streaming
+// executor expresses the same composition as a sequential Union
+// operator; the materializing executor loops over the members.
 func (e *Engine) executeUnion(g *graph.Graph, stmt *ast.Statement, params map[string]value.Value, t0 *table.Table) (*Result, error) {
+	if e.cfg.Executor == ExecStreaming {
+		return e.executeStreaming(g, stmt, params, t0)
+	}
 	var out *table.Table
 	stats := UpdateStats{}
 	for i, q := range stmt.Queries {
@@ -273,6 +315,70 @@ func unionCompatible(a, b *table.Table) error {
 	return nil
 }
 
+// executeStreaming lowers the statement to a streaming operator plan
+// and drains it. Update clauses run behind materialization barriers via
+// the same per-clause functions as the materializing executor, so both
+// dialects' update semantics are identical across executors.
+func (e *Engine) executeStreaming(g *graph.Graph, stmt *ast.Statement, params map[string]value.Value, t0 *table.Table) (*Result, error) {
+	x := &executor{
+		cfg:    e.cfg,
+		graph:  g,
+		params: params,
+		ev:     &expr.Evaluator{Graph: g, Params: params},
+	}
+	root, err := x.buildPlan(stmt, t0)
+	if err != nil {
+		return nil, err
+	}
+	if e.cfg.onPlan != nil {
+		defer e.cfg.onPlan(root)
+	}
+	out, err := plan.Collect(root)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Table: out, Stats: x.stats}, nil
+}
+
+// buildPlan constructs the statement's operator tree. The builder's
+// Write hook closes over this executor, so update barriers apply the
+// dialect-selected clause functions and accumulate stats here.
+func (x *executor) buildPlan(stmt *ast.Statement, t0 *table.Table) (plan.Operator, error) {
+	b := &plan.Builder{
+		Ev:         x.ev,
+		NewMatcher: x.matcher,
+		Write: func(c ast.Clause, in *table.Table) (*table.Table, error) {
+			return x.clause(c, in)
+		},
+	}
+	return b.BuildStatement(stmt, t0)
+}
+
+// ExplainStatement renders the streaming operator plan for a statement
+// without executing it (the cypher-shell EXPLAIN command).
+func (e *Engine) ExplainStatement(g *graph.Graph, stmt *ast.Statement, params map[string]value.Value) (string, error) {
+	if !e.cfg.SkipValidation {
+		if err := Validate(stmt, e.cfg.Dialect); err != nil {
+			return "", err
+		}
+	}
+	if params == nil {
+		params = map[string]value.Value{}
+	}
+	x := &executor{
+		cfg:    e.cfg,
+		graph:  g,
+		params: params,
+		ev:     &expr.Evaluator{Graph: g, Params: params},
+	}
+	root, err := x.buildPlan(stmt, nil)
+	if err != nil {
+		return "", err
+	}
+	defer root.Close()
+	return plan.Explain(root), nil
+}
+
 // executor runs one single query's clause list.
 type executor struct {
 	cfg    Config
@@ -286,7 +392,9 @@ func (x *executor) matcher() *match.Matcher {
 	return &match.Matcher{Graph: x.graph, Ev: x.ev, Mode: x.cfg.MatchMode}
 }
 
-// run folds the clause semantics over the driving table, left to right.
+// run folds the clause semantics over the driving table, left to right
+// (the materializing executor: every clause builds its full output
+// table before the next one starts).
 func (x *executor) run(clauses []ast.Clause, t *table.Table) (*table.Table, error) {
 	var err error
 	returned := false

@@ -1,0 +1,366 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/parser"
+	"repro/internal/plan"
+	"repro/internal/value"
+)
+
+// renderTable flattens a result table to "col | col" header plus one
+// rendered line per row, for exact cross-executor comparison.
+func renderTable(t *Result) string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(t.Table.Columns(), " | "))
+	for i := 0; i < t.Table.Len(); i++ {
+		var parts []string
+		for _, v := range t.Table.Values(i) {
+			parts = append(parts, renderValue(v))
+		}
+		sb.WriteString("\n" + strings.Join(parts, " | "))
+	}
+	return sb.String()
+}
+
+// TestStreamingMatchesMaterializingGolden replays every query of both
+// golden corpora under the streaming and the materializing executor and
+// requires identical output tables, identical update stats, and
+// isomorphic final graphs — the plan-vs-legacy equivalence contract in
+// both dialects.
+func TestStreamingMatchesMaterializingGolden(t *testing.T) {
+	suites := []struct {
+		name    string
+		dialect Dialect
+		cases   []goldenCase
+	}{
+		{"revised", DialectRevised, goldenCorpus},
+		{"legacy", DialectCypher9, legacyGoldenCorpus},
+	}
+	for _, suite := range suites {
+		for _, c := range suite.cases {
+			t.Run(suite.name+"/"+c.name, func(t *testing.T) {
+				base := graph.New()
+				setupEng := NewEngine(Config{Dialect: suite.dialect})
+				for _, s := range c.setup {
+					stmt, err := parser.Parse(s)
+					if err != nil {
+						t.Fatalf("setup parse: %v", err)
+					}
+					if _, err := setupEng.ExecuteStatement(base, stmt, nil); err != nil {
+						t.Fatalf("setup exec %q: %v", s, err)
+					}
+				}
+				stmt, err := parser.Parse(c.query)
+				if err != nil {
+					t.Fatalf("parse: %v", err)
+				}
+
+				gS, gM := base.Clone(), base.Clone()
+				resS, errS := NewEngine(Config{Dialect: suite.dialect, Executor: ExecStreaming}).
+					ExecuteStatement(gS, stmt, nil)
+				resM, errM := NewEngine(Config{Dialect: suite.dialect, Executor: ExecMaterializing}).
+					ExecuteStatement(gM, stmt, nil)
+				if (errS == nil) != (errM == nil) {
+					t.Fatalf("error divergence: streaming=%v materializing=%v", errS, errM)
+				}
+				if errS != nil {
+					return
+				}
+				if got, want := renderTable(resS), renderTable(resM); got != want {
+					t.Errorf("table divergence:\nstreaming:\n%s\nmaterializing:\n%s", got, want)
+				}
+				if resS.Stats != resM.Stats {
+					t.Errorf("stats divergence: streaming=%v materializing=%v", resS.Stats, resM.Stats)
+				}
+				if graph.Fingerprint(gS) != graph.Fingerprint(gM) {
+					t.Error("final graph divergence between executors")
+				}
+			})
+		}
+	}
+}
+
+// TestStreamingMatchesMaterializingScanOrders replays an order-sensitive
+// legacy MERGE (the Example 3 nondeterminism) under both scan orders and
+// both executors: the streaming barrier must feed update clauses the
+// records in exactly the materializing order.
+func TestStreamingMatchesMaterializingScanOrders(t *testing.T) {
+	setup := []string{
+		`CREATE (:U{n:'u1'}), (:U{n:'u2'}), (:P{n:'p'})`,
+	}
+	query := `
+		UNWIND ['u1','u2','u1'] AS un
+		MATCH (u:U{n:un}), (p:P)
+		WITH u, p
+		MERGE (u)-[:ORDERED]->(p)
+		RETURN count(*) AS c`
+	for _, order := range []ScanOrder{ScanForward, ScanReverse} {
+		t.Run(order.String(), func(t *testing.T) {
+			var graphs []*graph.Graph
+			var rendered []string
+			for _, ex := range []Executor{ExecStreaming, ExecMaterializing} {
+				g := graph.New()
+				eng := NewEngine(Config{Dialect: DialectCypher9, ScanOrder: order, Executor: ex})
+				for _, s := range setup {
+					stmt, err := parser.Parse(s)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := eng.ExecuteStatement(g, stmt, nil); err != nil {
+						t.Fatal(err)
+					}
+				}
+				stmt, err := parser.Parse(query)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := eng.ExecuteStatement(g, stmt, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				graphs = append(graphs, g)
+				rendered = append(rendered, renderTable(res))
+			}
+			if rendered[0] != rendered[1] {
+				t.Errorf("table divergence:\nstreaming:\n%s\nmaterializing:\n%s", rendered[0], rendered[1])
+			}
+			if graph.Fingerprint(graphs[0]) != graph.Fingerprint(graphs[1]) {
+				t.Error("final graph divergence between executors")
+			}
+		})
+	}
+}
+
+func (s ScanOrder) String() string {
+	if s == ScanReverse {
+		return "reverse"
+	}
+	return "forward"
+}
+
+// findMatchOps walks a plan collecting its Match operators.
+func findMatchOps(root plan.Operator) []*plan.Match {
+	var out []*plan.Match
+	var rec func(op plan.Operator)
+	rec = func(op plan.Operator) {
+		if m, ok := op.(*plan.Match); ok {
+			out = append(out, m)
+		}
+		for _, c := range op.Children() {
+			rec(c)
+		}
+	}
+	rec(root)
+	return out
+}
+
+// TestLimitEarlyExitStopsEnumeration is the streaming-semantics
+// acceptance test: MATCH … RETURN … LIMIT k must stop pattern
+// enumeration after k rows instead of visiting all n nodes.
+func TestLimitEarlyExitStopsEnumeration(t *testing.T) {
+	const n = 5000
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.CreateNode([]string{"N"}, value.Map{"i": value.Int(int64(i))})
+	}
+
+	var root plan.Operator
+	cfg := Config{Dialect: DialectRevised}
+	cfg.onPlan = func(op plan.Operator) { root = op }
+	eng := NewEngine(cfg)
+	stmt, err := parser.Parse(`MATCH (m:N) RETURN m.i AS i LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.ExecuteStatement(g, stmt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.Len() != 3 {
+		t.Fatalf("rows = %d, want 3", res.Table.Len())
+	}
+	if root == nil {
+		t.Fatal("onPlan hook not invoked")
+	}
+	matches := findMatchOps(root)
+	if len(matches) != 1 {
+		t.Fatalf("match operators = %d, want 1", len(matches))
+	}
+	st := matches[0].MatchStats()
+	if st.Emitted != 3 {
+		t.Errorf("match emitted %d environments, want exactly 3", st.Emitted)
+	}
+	// The scan must have visited only the candidates needed for 3 rows,
+	// not the full node set.
+	if st.NodeVisits >= n/10 {
+		t.Errorf("match visited %d of %d nodes; early exit did not prune", st.NodeVisits, n)
+	}
+	if got := matches[0].RowsEmitted(); got != 3 {
+		t.Errorf("match operator emitted %d rows, want 3", got)
+	}
+}
+
+// TestLimitEarlyExitExpand covers the relationship-expansion side: a
+// two-hop pattern under LIMIT must not enumerate the whole adjacency
+// structure.
+func TestLimitEarlyExitExpand(t *testing.T) {
+	const hubs = 50
+	g := graph.New()
+	for h := 0; h < hubs; h++ {
+		hub := g.CreateNode([]string{"Hub"}, value.Map{"h": value.Int(int64(h))})
+		for i := 0; i < 40; i++ {
+			spoke := g.CreateNode([]string{"Spoke"}, nil)
+			if _, err := g.CreateRel(hub.ID, spoke.ID, "T", nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var root plan.Operator
+	cfg := Config{Dialect: DialectRevised}
+	cfg.onPlan = func(op plan.Operator) { root = op }
+	stmt, err := parser.Parse(`MATCH (h:Hub)-[:T]->(s:Spoke) RETURN h.h AS h LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewEngine(cfg).ExecuteStatement(g, stmt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.Len() != 2 {
+		t.Fatalf("rows = %d, want 2", res.Table.Len())
+	}
+	st := findMatchOps(root)[0].MatchStats()
+	if st.RelVisits >= 100 {
+		t.Errorf("expand visited %d relationships for LIMIT 2; early exit did not prune", st.RelVisits)
+	}
+}
+
+// TestExplainStatement exercises the plan rendering used by the shell's
+// EXPLAIN command.
+func TestExplainStatement(t *testing.T) {
+	eng := NewEngine(Config{Dialect: DialectRevised})
+	g := graph.New()
+	stmt, err := parser.Parse(`MATCH (a:User)-[:KNOWS]->(b) WHERE a.age > 30 CREATE (b)-[:SEEN]->(:Event) RETURN b.name AS name ORDER BY name LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := eng.ExplainStatement(g, stmt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Limit(5)", "Sort[barrier]", "Project[name]",
+		"Update[barrier](CREATE)", "Match(", "WHERE …", "Unit",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	// The plan must be a single chain: each line below the first is
+	// indented under its parent.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 6 {
+		t.Errorf("explain output too shallow:\n%s", out)
+	}
+}
+
+// TestExplainUnion checks member sequencing and statement-level
+// deduplication in the rendered plan.
+func TestExplainUnion(t *testing.T) {
+	eng := NewEngine(Config{Dialect: DialectRevised})
+	stmt, err := parser.Parse(`RETURN 1 AS x UNION RETURN 2 AS x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := eng.ExplainStatement(graph.New(), stmt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Union(2 members)") || !strings.Contains(out, "Distinct") {
+		t.Errorf("union plan missing Union/Distinct:\n%s", out)
+	}
+}
+
+// TestStreamingStatementErrorsRollBack ensures a mid-stream error in the
+// new executor still restores the pre-statement graph.
+func TestStreamingStatementErrorsRollBack(t *testing.T) {
+	g := graph.New()
+	eng := NewEngine(Config{Dialect: DialectRevised})
+	mustExec := func(q string) {
+		stmt, err := parser.Parse(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.ExecuteStatement(g, stmt, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustExec(`CREATE (:A{v:1}), (:A{v:2})`)
+	before := graph.Fingerprint(g)
+	stmt, err := parser.Parse(`MATCH (a:A) CREATE (:B{v:a.v}) WITH a RETURN a.v + 'boom' AS x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ExecuteStatement(g, stmt, nil); err == nil {
+		t.Fatal("expected type error")
+	}
+	if graph.Fingerprint(g) != before {
+		t.Error("failed streaming statement must roll back its writes")
+	}
+}
+
+// TestStreamingPropertyRandomQueries cross-checks the executors over a
+// generated mix of read pipelines on a random-ish graph.
+func TestStreamingPropertyRandomQueries(t *testing.T) {
+	g := graph.New()
+	eng := NewEngine(Config{Dialect: DialectRevised})
+	var setup strings.Builder
+	setup.WriteString("UNWIND range(0, 40) AS i CREATE (:P{i:i, g:i % 5})")
+	stmt, err := parser.Parse(setup.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ExecuteStatement(g, stmt, nil); err != nil {
+		t.Fatal(err)
+	}
+	stmt, err = parser.Parse(`MATCH (a:P), (b:P) WHERE a.g = b.g AND a.i < b.i CREATE (a)-[:SAME]->(b)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.ExecuteStatement(g, stmt, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{
+		`MATCH (a:P) RETURN a.i AS i ORDER BY i DESC SKIP 3 LIMIT 7`,
+		`MATCH (a:P)-[:SAME]->(b:P) RETURN a.g AS g, count(*) AS c ORDER BY g`,
+		`MATCH (a:P) WHERE a.i % 3 = 0 WITH a.g AS g, collect(a.i) AS xs RETURN g, size(xs) AS n ORDER BY g`,
+		`MATCH (a:P)-[:SAME]->(b) WITH DISTINCT a.g AS g ORDER BY g RETURN g`,
+		`MATCH (a:P) OPTIONAL MATCH (a)-[:SAME]->(b:P{i:999}) RETURN a.i AS i, b ORDER BY i LIMIT 5`,
+		`UNWIND range(1,5) AS x MATCH (a:P{i:x}) RETURN x, a.g AS g`,
+		`MATCH (a:P{g:0}) RETURN a.i AS i UNION MATCH (a:P{g:1}) RETURN a.i AS i`,
+		`MATCH (a:P{g:0}) RETURN a.g AS g UNION MATCH (b:P{g:0}) RETURN b.g AS g`,
+	}
+	for qi, q := range queries {
+		stmt, err := parser.Parse(q)
+		if err != nil {
+			t.Fatalf("q%d parse: %v", qi, err)
+		}
+		resS, errS := NewEngine(Config{Dialect: DialectRevised, Executor: ExecStreaming}).
+			ExecuteStatement(g.Clone(), stmt, nil)
+		resM, errM := NewEngine(Config{Dialect: DialectRevised, Executor: ExecMaterializing}).
+			ExecuteStatement(g.Clone(), stmt, nil)
+		if (errS == nil) != (errM == nil) {
+			t.Fatalf("q%d error divergence: %v vs %v", qi, errS, errM)
+		}
+		if errS != nil {
+			continue
+		}
+		if got, want := renderTable(resS), renderTable(resM); got != want {
+			t.Errorf("q%d (%s) divergence:\nstreaming:\n%s\nmaterializing:\n%s", qi, q, got, want)
+		}
+	}
+}

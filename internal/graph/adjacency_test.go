@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func sortedAscending(ids []RelID) bool {
+	return sort.SliceIsSorted(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// Adjacency lists are maintained sorted on insert so Outgoing/Incoming
+// can return the cached slice without a per-call sort-copy. The
+// invariant must survive interleaved creation, deletion, rollback
+// restore, and codec round-trips.
+func TestAdjacencyStaysSorted(t *testing.T) {
+	g := New()
+	hub := g.CreateNode([]string{"Hub"}, nil)
+	var rels []RelID
+	for i := 0; i < 20; i++ {
+		other := g.CreateNode(nil, nil)
+		r, err := g.CreateRel(hub.ID, other.ID, "T", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rels = append(rels, r.ID)
+	}
+	if !sortedAscending(g.Outgoing(hub.ID)) {
+		t.Fatal("outgoing unsorted after creation")
+	}
+
+	// Delete some middle relationships inside a journal, create new ones
+	// (higher ids), then roll back: the restore path must insert the old
+	// ids back into sorted position, not append them.
+	j := g.BeginJournal()
+	g.DeleteRel(rels[3])
+	g.DeleteRel(rels[10])
+	other := g.CreateNode(nil, nil)
+	if _, err := g.CreateRel(hub.ID, other.ID, "T", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !sortedAscending(g.Outgoing(hub.ID)) {
+		t.Fatal("outgoing unsorted mid-statement")
+	}
+	j.Rollback()
+	out := g.Outgoing(hub.ID)
+	if !sortedAscending(out) {
+		t.Fatalf("outgoing unsorted after rollback: %v", out)
+	}
+	if len(out) != 20 {
+		t.Fatalf("outgoing len = %d, want 20", len(out))
+	}
+
+	// Committed deletions keep order too.
+	g.DeleteRel(rels[0])
+	g.DeleteRel(rels[19])
+	if !sortedAscending(g.Outgoing(hub.ID)) {
+		t.Fatal("outgoing unsorted after deletions")
+	}
+	if !sortedAscending(g.Incoming(hub.ID)) {
+		t.Fatal("incoming unsorted")
+	}
+}
+
+func TestDetachDeleteWithSharedAdjacency(t *testing.T) {
+	g := New()
+	a := g.CreateNode(nil, nil)
+	b := g.CreateNode(nil, nil)
+	for i := 0; i < 5; i++ {
+		if _, err := g.CreateRel(a.ID, b.ID, "T", nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.CreateRel(b.ID, a.ID, "U", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Self-loops exercise the same-list mutation path.
+	if _, err := g.CreateRel(a.ID, a.ID, "S", nil); err != nil {
+		t.Fatal(err)
+	}
+	g.DetachDeleteNode(a.ID)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumRels() != 0 || g.NumNodes() != 1 {
+		t.Fatalf("got %d nodes / %d rels after detach delete", g.NumNodes(), g.NumRels())
+	}
+}
+
+// BenchmarkAdjacency is the regression benchmark for the Outgoing /
+// Incoming hot path: before caching, every call sort-copied the
+// adjacency slice (O(d log d) per call); now it returns the maintained
+// slice in O(1).
+func BenchmarkAdjacency(b *testing.B) {
+	for _, degree := range []int{16, 256, 4096} {
+		g := New()
+		hub := g.CreateNode([]string{"Hub"}, nil)
+		for i := 0; i < degree; i++ {
+			other := g.CreateNode(nil, value.Map{"i": value.Int(int64(i))})
+			if _, err := g.CreateRel(hub.ID, other.ID, "T", nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(fmt.Sprintf("degree=%d", degree), func(b *testing.B) {
+			total := 0
+			for i := 0; i < b.N; i++ {
+				total += len(g.Outgoing(hub.ID))
+			}
+			_ = total
+		})
+	}
+}

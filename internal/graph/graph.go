@@ -161,22 +161,32 @@ func (g *Graph) NodeIDsByLabel(label string) []NodeID {
 }
 
 // Outgoing returns the ids of relationships whose source is the node,
-// in ascending order.
+// in ascending order. The returned slice is the store's own adjacency
+// list — a read-only view that is invalidated by the next mutation of
+// the graph; callers must not modify it or hold it across writes.
+// (Adjacency lists are maintained sorted on insert: ids are monotonic,
+// so creation appends in order, and deletion/restore preserve order.)
 func (g *Graph) Outgoing(id NodeID) []RelID {
-	return sortedRelIDs(g.outgoing[id])
+	return g.outgoing[id]
 }
 
 // Incoming returns the ids of relationships whose target is the node,
-// in ascending order.
+// in ascending order, under the same read-only-view contract as
+// Outgoing.
 func (g *Graph) Incoming(id NodeID) []RelID {
-	return sortedRelIDs(g.incoming[id])
+	return g.incoming[id]
 }
 
-func sortedRelIDs(in []RelID) []RelID {
-	out := make([]RelID, len(in))
-	copy(out, in)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+// insertRelIDSorted inserts id into an ascending slice, keeping it
+// sorted. Restores (rollback, codec decode) may reinstate a
+// relationship with an id smaller than later-created survivors, so a
+// plain append would break the sorted-adjacency invariant.
+func insertRelIDSorted(ids []RelID, id RelID) []RelID {
+	i := sort.Search(len(ids), func(k int) bool { return ids[k] >= id })
+	ids = append(ids, 0)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = id
+	return ids
 }
 
 // Degree reports the total number of relationships attached to the node
@@ -316,10 +326,11 @@ func (g *Graph) DetachDeleteNode(id NodeID) {
 	if !g.HasNode(id) {
 		return
 	}
-	for _, rid := range g.Outgoing(id) {
+	// Copy the adjacency lists before deleting: DeleteRel mutates them.
+	for _, rid := range append([]RelID(nil), g.outgoing[id]...) {
 		g.DeleteRel(rid)
 	}
-	for _, rid := range g.Incoming(id) {
+	for _, rid := range append([]RelID(nil), g.incoming[id]...) {
 		g.DeleteRel(rid)
 	}
 	g.DeleteNodeUnchecked(id)
@@ -521,9 +532,11 @@ func (g *Graph) restoreNode(n *Node) {
 	}
 }
 
-// restoreRel reinstates a relationship with its original id (journal rollback).
+// restoreRel reinstates a relationship with its original id (journal
+// rollback, codec decode). The insert keeps adjacency lists sorted:
+// restored ids may be smaller than those of surviving relationships.
 func (g *Graph) restoreRel(r *Rel) {
 	g.rels[r.ID] = r
-	g.outgoing[r.Src] = append(g.outgoing[r.Src], r.ID)
-	g.incoming[r.Tgt] = append(g.incoming[r.Tgt], r.ID)
+	g.outgoing[r.Src] = insertRelIDSorted(g.outgoing[r.Src], r.ID)
+	g.incoming[r.Tgt] = insertRelIDSorted(g.incoming[r.Tgt], r.ID)
 }

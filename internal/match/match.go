@@ -19,6 +19,7 @@
 package match
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/ast"
@@ -36,21 +37,63 @@ const (
 	Homomorphism
 )
 
+// Stats counts the work a Matcher performs. The streaming executor
+// attaches one per MATCH operator so tests (and EXPLAIN output) can
+// observe how much of the search space an early-exiting pipeline
+// actually visited.
+type Stats struct {
+	// NodeVisits counts candidate nodes considered for a node pattern.
+	NodeVisits int64
+	// RelVisits counts candidate relationships considered for expansion.
+	RelVisits int64
+	// Emitted counts environments yielded to the consumer.
+	Emitted int64
+}
+
 // Matcher finds pattern matches in a graph.
 type Matcher struct {
 	Graph *graph.Graph
 	Ev    *expr.Evaluator
 	Mode  Mode
+	// Stats, when non-nil, accumulates visit counters during matching.
+	Stats *Stats
 }
 
-// Match enumerates all extensions of env that satisfy all pattern parts.
-// Variables already bound in env constrain the match; unbound pattern
-// variables are bound in the returned environments. Named paths bind
-// their path variable to a value.Path.
-func (m *Matcher) Match(parts []*ast.PatternPart, env expr.Env) ([]expr.Env, error) {
-	var results []expr.Env
+// ErrStop, returned from a Stream yield callback, terminates enumeration
+// early without error: Stream swallows it and returns nil.
+var ErrStop = errors.New("match: stop enumeration")
+
+// Stream enumerates all extensions of env that satisfy all pattern
+// parts, invoking yield for each one as soon as it is found — no
+// intermediate collection is built, so a consumer that stops early (via
+// ErrStop) prunes the remaining search space. Variables already bound in
+// env constrain the match; unbound pattern variables are bound in the
+// yielded environments. Named paths bind their path variable to a
+// value.Path.
+//
+// The yielded environment shares structure with env; consumers that
+// retain it across yields must copy it (the engine's operators do so by
+// normalizing rows into their own column sets).
+func (m *Matcher) Stream(parts []*ast.PatternPart, env expr.Env, yield func(expr.Env) error) error {
 	used := make(map[graph.RelID]bool)
 	err := m.matchParts(parts, 0, env, used, func(e expr.Env) error {
+		if m.Stats != nil {
+			m.Stats.Emitted++
+		}
+		return yield(e)
+	})
+	if errors.Is(err, ErrStop) {
+		return nil
+	}
+	return err
+}
+
+// Match enumerates all matches eagerly, collecting them into a slice.
+// It is retained for the materializing executor and for callers that
+// genuinely need the full set (e.g. legacy MERGE outcome bookkeeping).
+func (m *Matcher) Match(parts []*ast.PatternPart, env expr.Env) ([]expr.Env, error) {
+	var results []expr.Env
+	err := m.Stream(parts, env, func(e expr.Env) error {
 		results = append(results, e)
 		return nil
 	})
@@ -63,18 +106,15 @@ func (m *Matcher) Match(parts []*ast.PatternPart, env expr.Env) ([]expr.Env, err
 // MatchExists reports whether at least one match exists (early exit).
 func (m *Matcher) MatchExists(parts []*ast.PatternPart, env expr.Env) (bool, error) {
 	found := false
-	used := make(map[graph.RelID]bool)
-	err := m.matchParts(parts, 0, env, used, func(expr.Env) error {
+	err := m.Stream(parts, env, func(expr.Env) error {
 		found = true
-		return errStop
+		return ErrStop
 	})
-	if err != nil && err != errStop {
+	if err != nil {
 		return false, err
 	}
 	return found, nil
 }
-
-var errStop = fmt.Errorf("match: stop")
 
 func (m *Matcher) matchParts(parts []*ast.PatternPart, i int, env expr.Env, used map[graph.RelID]bool, yield func(expr.Env) error) error {
 	if i == len(parts) {
@@ -151,6 +191,9 @@ func (m *Matcher) matchNode(np *ast.NodePattern, env expr.Env, yield func(graph.
 	}
 	candidates := m.nodeCandidates(np)
 	for _, id := range candidates {
+		if m.Stats != nil {
+			m.Stats.NodeVisits++
+		}
 		ok, err := m.nodeSatisfies(id, np, env)
 		if err != nil {
 			return err
@@ -239,6 +282,9 @@ func (m *Matcher) expandRel(rp *ast.RelPattern, np *ast.NodePattern, at graph.No
 	}
 
 	tryCandidate := func(rid graph.RelID, end graph.NodeID) error {
+		if m.Stats != nil {
+			m.Stats.RelVisits++
+		}
 		if m.Mode == Isomorphism && used[rid] {
 			return nil
 		}
@@ -403,6 +449,9 @@ func (m *Matcher) expandVarLength(rp *ast.RelPattern, np *ast.NodePattern, at gr
 			return nil
 		}
 		for _, c := range m.relCandidates(rp, cur, nil) {
+			if m.Stats != nil {
+				m.Stats.RelVisits++
+			}
 			if inPath[c.rid] {
 				continue
 			}

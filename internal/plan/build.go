@@ -1,0 +1,279 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/expr"
+	"repro/internal/match"
+	"repro/internal/table"
+)
+
+// Builder lowers parsed statements into operator trees. The engine
+// supplies the evaluator, a matcher factory (so each Match operator
+// carries its own visit counters), and the update-clause hook: plan
+// knows *where* a write barrier goes, core knows *what* the write does
+// (dialect, merge strategy, scan order).
+type Builder struct {
+	// Ev evaluates expressions; shared with the engine so aggregate
+	// result plumbing and parameters behave identically in both
+	// executors.
+	Ev *expr.Evaluator
+	// NewMatcher returns a fresh matcher for one MATCH operator.
+	NewMatcher func() *match.Matcher
+	// Write applies an update clause to a materialized driving table
+	// and returns the clause's output table (the [[C]](G, T) of the
+	// paper, with the graph mutated in place).
+	Write func(c ast.Clause, in *table.Table) (*table.Table, error)
+}
+
+// BuildStatement lowers a whole statement: one pipeline per UNION
+// member over its own copy of the initial table (nil t0 means the unit
+// table), a sequential Union on top, and a Distinct when any plain
+// UNION asks for bag deduplication.
+func (b *Builder) BuildStatement(stmt *ast.Statement, t0 *table.Table) (Operator, error) {
+	members := make([]Operator, 0, len(stmt.Queries))
+	for _, q := range stmt.Queries {
+		var src Operator
+		if t0 != nil {
+			src = NewTableScan(t0.Clone())
+		} else {
+			src = NewUnit()
+		}
+		root, err := b.BuildQuery(q.Clauses, src)
+		if err != nil {
+			return nil, err
+		}
+		members = append(members, root)
+	}
+	if len(members) == 1 {
+		return members[0], nil
+	}
+	first := members[0].Columns()
+	for _, m := range members[1:] {
+		if err := unionCompatible(first, m.Columns()); err != nil {
+			return nil, err
+		}
+	}
+	var root Operator = NewUnion(members)
+	// Plain UNION deduplicates; UNION ALL everywhere keeps duplicates
+	// (mixed unions apply the strictest form, as in the materializing
+	// executor).
+	allAll := true
+	for _, a := range stmt.UnionAll {
+		if !a {
+			allAll = false
+		}
+	}
+	if !allAll {
+		root = NewDistinct(root)
+	}
+	return root, nil
+}
+
+func unionCompatible(a, b []string) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("UNION requires the same return columns (%v vs %v)", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("UNION requires the same return columns (%v vs %v)", a, b)
+		}
+	}
+	return nil
+}
+
+// BuildQuery lowers one single query's clause list over the given
+// source operator. Reading clauses and projections become streaming
+// operators; every update clause becomes an Apply barrier delegating to
+// the Write hook; a query without RETURN is wrapped in Discard (it
+// outputs no table, only effects).
+func (b *Builder) BuildQuery(clauses []ast.Clause, src Operator) (Operator, error) {
+	cur := src
+	returned := false
+	for _, c := range clauses {
+		var err error
+		switch cl := c.(type) {
+		case *ast.MatchClause:
+			newVars := freshVars(match.PatternVariables(cl.Pattern), cur.Columns())
+			cur = NewMatch(cur, cl, b.NewMatcher(), b.Ev, newVars)
+		case *ast.UnwindClause:
+			if hasColumn(cur.Columns(), cl.Var) {
+				return nil, fmt.Errorf("variable `%s` already declared", cl.Var)
+			}
+			cur = NewUnwind(cur, cl, b.Ev)
+		case *ast.LoadCSVClause:
+			if hasColumn(cur.Columns(), cl.Var) {
+				return nil, fmt.Errorf("variable `%s` already declared", cl.Var)
+			}
+			cur = NewLoadCSV(cur, cl, b.Ev)
+		case *ast.WithClause:
+			cur, err = b.buildProjection(cur, &cl.Projection, cl.Where)
+		case *ast.ReturnClause:
+			cur, err = b.buildProjection(cur, &cl.Projection, nil)
+			returned = true
+		default:
+			cur, err = b.buildWrite(cur, c)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !returned {
+		cur = NewDiscard(cur)
+	}
+	return cur, nil
+}
+
+// buildWrite wraps an update clause in an Apply barrier, predicting its
+// output columns (CREATE and MERGE extend the table with the pattern's
+// fresh variables; SET, REMOVE, DELETE and FOREACH preserve columns).
+func (b *Builder) buildWrite(child Operator, c ast.Clause) (Operator, error) {
+	if b.Write == nil {
+		return nil, fmt.Errorf("unsupported clause %T", c)
+	}
+	cols := append([]string(nil), child.Columns()...)
+	label := fmt.Sprintf("%T", c)
+	switch cl := c.(type) {
+	case *ast.CreateClause:
+		cols = append(cols, freshVars(patternVarsCreateOrder(cl.Pattern), cols)...)
+		label = "CREATE"
+	case *ast.MergeClause:
+		cols = append(cols, freshVars(patternVarsCreateOrder(cl.Pattern), cols)...)
+		label = cl.Form.String()
+	case *ast.SetClause:
+		label = "SET"
+	case *ast.RemoveClause:
+		label = "REMOVE"
+	case *ast.DeleteClause:
+		label = "DELETE"
+		if cl.Detach {
+			label = "DETACH DELETE"
+		}
+	case *ast.ForeachClause:
+		label = "FOREACH"
+	}
+	fn := func(in *table.Table) (*table.Table, error) { return b.Write(c, in) }
+	return NewApply(child, label, cols, fn), nil
+}
+
+func (b *Builder) buildProjection(child Operator, proj *ast.Projection, where ast.Expr) (Operator, error) {
+	items, err := expandItems(proj, child.Columns())
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]string, len(items))
+	seen := make(map[string]bool, len(items))
+	for i, it := range items {
+		cols[i] = it.Alias
+		if seen[it.Alias] {
+			return nil, fmt.Errorf("duplicate column name %q in projection", it.Alias)
+		}
+		seen[it.Alias] = true
+	}
+
+	hasAgg := false
+	for _, it := range items {
+		if ast.ContainsAggregate(it.Expr) {
+			hasAgg = true
+			break
+		}
+	}
+
+	var cur Operator
+	if hasAgg {
+		cur = NewAggregate(child, items, cols, b.Ev)
+	} else {
+		// ORDER BY over a plain projection may also reference the
+		// pre-projection variables (the projection is row-to-row), so
+		// keep each record's source environment until the sort — unless
+		// DISTINCT breaks the correspondence first.
+		keepSrc := len(proj.OrderBy) > 0 && !proj.Distinct
+		cur = NewProject(child, items, cols, b.Ev, keepSrc)
+	}
+	if proj.Distinct {
+		cur = NewDistinct(cur)
+	}
+	if len(proj.OrderBy) > 0 {
+		cur = NewSort(cur, proj.OrderBy, b.Ev)
+	}
+	if proj.Skip != nil {
+		cur = NewSkip(cur, proj.Skip, b.Ev)
+	}
+	if proj.Limit != nil {
+		cur = NewLimit(cur, proj.Limit, b.Ev)
+	}
+	if where != nil {
+		cur = NewFilter(cur, where, b.Ev)
+	}
+	return cur, nil
+}
+
+// expandItems resolves * and default aliases against the columns in
+// scope, mirroring the materializing executor.
+func expandItems(proj *ast.Projection, cols []string) ([]Item, error) {
+	var items []Item
+	if proj.Star {
+		if len(cols) == 0 && len(proj.Items) == 0 {
+			return nil, fmt.Errorf("RETURN * is not allowed when there are no variables in scope")
+		}
+		for _, c := range cols {
+			items = append(items, Item{Expr: &ast.Variable{Name: c}, Alias: c})
+		}
+	}
+	for _, it := range proj.Items {
+		alias := it.Alias
+		if alias == "" {
+			if v, ok := it.Expr.(*ast.Variable); ok {
+				alias = v.Name
+			} else {
+				alias = it.Expr.String()
+			}
+		}
+		items = append(items, Item{Expr: it.Expr, Alias: alias})
+	}
+	return items, nil
+}
+
+// patternVarsCreateOrder lists a pattern tuple's variables in the order
+// CREATE/MERGE bind them: per part, the path variable, then node and
+// relationship variables interleaved left to right.
+func patternVarsCreateOrder(parts []*ast.PatternPart) []string {
+	var out []string
+	seen := make(map[string]bool)
+	add := func(name string) {
+		if name != "" && !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	for _, part := range parts {
+		add(part.Var)
+		for i, n := range part.Nodes {
+			add(n.Var)
+			if i < len(part.Rels) {
+				add(part.Rels[i].Var)
+			}
+		}
+	}
+	return out
+}
+
+func freshVars(vars, cols []string) []string {
+	var out []string
+	for _, v := range vars {
+		if !hasColumn(cols, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func hasColumn(cols []string, name string) bool {
+	for _, c := range cols {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,1200 @@
+package plan
+
+import (
+	"fmt"
+	"iter"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/expr"
+	"repro/internal/match"
+	"repro/internal/table"
+	"repro/internal/value"
+)
+
+var nullValue = value.NullValue
+
+// ---------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------
+
+// Unit emits the single empty record T() that starts query evaluation
+// (Section 8.1 of the paper).
+type Unit struct {
+	done bool
+	rows int64
+}
+
+// NewUnit returns the unit source.
+func NewUnit() *Unit { return &Unit{} }
+
+// Columns implements Operator.
+func (o *Unit) Columns() []string { return nil }
+
+// Open implements Operator.
+func (o *Unit) Open() error { o.done = false; return nil }
+
+// Next implements Operator.
+func (o *Unit) Next() (Row, bool, error) {
+	if o.done {
+		return Row{}, false, nil
+	}
+	o.done = true
+	o.rows++
+	return Row{Env: expr.Env{}}, true, nil
+}
+
+// Close implements Operator.
+func (o *Unit) Close() {}
+
+// Name implements Operator.
+func (o *Unit) Name() string { return "Unit" }
+
+// Children implements Operator.
+func (o *Unit) Children() []Operator { return nil }
+
+// RowsEmitted implements Operator.
+func (o *Unit) RowsEmitted() int64 { return o.rows }
+
+// TableScan streams the records of a pre-built driving table (the
+// ExecuteWithTable entry point of the Section 6 experiments, and the
+// output side of every materialization barrier).
+type TableScan struct {
+	t    *table.Table
+	cur  *table.Cursor
+	rows int64
+}
+
+// NewTableScan returns a scan over t.
+func NewTableScan(t *table.Table) *TableScan { return &TableScan{t: t} }
+
+// Columns implements Operator.
+func (o *TableScan) Columns() []string { return o.t.Columns() }
+
+// Open implements Operator.
+func (o *TableScan) Open() error { o.cur = o.t.Iter(); return nil }
+
+// Next implements Operator.
+func (o *TableScan) Next() (Row, bool, error) {
+	if !o.cur.Next() {
+		return Row{}, false, nil
+	}
+	o.rows++
+	return Row{Env: o.cur.Row()}, true, nil
+}
+
+// Close implements Operator.
+func (o *TableScan) Close() {}
+
+// Name implements Operator.
+func (o *TableScan) Name() string {
+	return fmt.Sprintf("Scan(%d×%d)", o.t.Len(), len(o.t.Columns()))
+}
+
+// Children implements Operator.
+func (o *TableScan) Children() []Operator { return nil }
+
+// RowsEmitted implements Operator.
+func (o *TableScan) RowsEmitted() int64 { return o.rows }
+
+// ---------------------------------------------------------------------
+// Match
+// ---------------------------------------------------------------------
+
+// Match implements MATCH and OPTIONAL MATCH as a streaming expansion:
+// for each input record it pulls pattern matches one at a time from the
+// matcher's enumeration, applying the clause's WHERE inside the stream.
+// A consumer that stops pulling (LIMIT, EXISTS) aborts the enumeration
+// mid-search; MatchStats exposes how many candidates were visited.
+type Match struct {
+	child   Operator
+	cl      *ast.MatchClause
+	matcher *match.Matcher
+	ev      *expr.Evaluator
+	cols    []string
+	stats   match.Stats
+
+	cur     *matchCursor
+	curRow  expr.Env
+	emitted int
+	rows    int64
+}
+
+// NewMatch builds a Match operator over child. newVars are the pattern
+// variables not already bound by the child's columns.
+func NewMatch(child Operator, cl *ast.MatchClause, m *match.Matcher, ev *expr.Evaluator, newVars []string) *Match {
+	o := &Match{
+		child:   child,
+		cl:      cl,
+		matcher: m,
+		ev:      ev,
+		cols:    append(append([]string(nil), child.Columns()...), newVars...),
+	}
+	o.matcher.Stats = &o.stats
+	return o
+}
+
+// matchCursor adapts the matcher's push-style enumeration (Stream) to
+// the pull discipline using iter.Pull: the enumeration runs in a
+// coroutine that is suspended between yields, so pulling row k performs
+// only the search work needed to find match k.
+type matchCursor struct {
+	next func() (expr.Env, bool)
+	stop func()
+	err  *error
+}
+
+func newMatchCursor(m *match.Matcher, ev *expr.Evaluator, cl *ast.MatchClause, env expr.Env) *matchCursor {
+	var streamErr error
+	seq := func(yield func(expr.Env) bool) {
+		streamErr = m.Stream(cl.Pattern, env, func(me expr.Env) error {
+			if cl.Where != nil {
+				ok, err := ev.EvalBool(cl.Where, me)
+				if err != nil {
+					return err
+				}
+				if ok != value.True {
+					return nil
+				}
+			}
+			if !yield(me) {
+				return match.ErrStop
+			}
+			return nil
+		})
+	}
+	next, stop := iter.Pull(seq)
+	return &matchCursor{next: next, stop: stop, err: &streamErr}
+}
+
+// Columns implements Operator.
+func (o *Match) Columns() []string { return o.cols }
+
+// Open implements Operator.
+func (o *Match) Open() error { return o.child.Open() }
+
+// Next implements Operator.
+func (o *Match) Next() (Row, bool, error) {
+	for {
+		if o.cur == nil {
+			in, ok, err := o.child.Next()
+			if err != nil || !ok {
+				return Row{}, false, err
+			}
+			o.curRow = in.Env
+			o.emitted = 0
+			o.cur = newMatchCursor(o.matcher, o.ev, o.cl, in.Env)
+		}
+		me, ok := o.cur.next()
+		if ok {
+			o.emitted++
+			o.rows++
+			return Row{Env: normalize(o.cols, me)}, true, nil
+		}
+		// Enumeration for the current input record is exhausted.
+		o.cur.stop()
+		err := *o.cur.err
+		optional := o.cl.Optional && o.emitted == 0
+		o.cur = nil
+		if err != nil {
+			return Row{}, false, err
+		}
+		if optional {
+			// normalize fills the unbound pattern variables with nulls.
+			row := normalize(o.cols, o.curRow)
+			o.rows++
+			return Row{Env: row}, true, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (o *Match) Close() {
+	if o.cur != nil {
+		o.cur.stop()
+		o.cur = nil
+	}
+	o.child.Close()
+}
+
+// Name implements Operator.
+func (o *Match) Name() string {
+	kw := "Match"
+	if o.cl.Optional {
+		kw = "OptionalMatch"
+	}
+	var parts []string
+	for _, p := range o.cl.Pattern {
+		parts = append(parts, p.String())
+	}
+	s := fmt.Sprintf("%s(%s)", kw, joinTrunc(parts, 60))
+	if o.cl.Where != nil {
+		s += " WHERE …"
+	}
+	return s
+}
+
+// Children implements Operator.
+func (o *Match) Children() []Operator { return []Operator{o.child} }
+
+// RowsEmitted implements Operator.
+func (o *Match) RowsEmitted() int64 { return o.rows }
+
+// MatchStats reports the matcher's visit counters (candidates
+// considered so far), for early-exit assertions and EXPLAIN.
+func (o *Match) MatchStats() match.Stats { return o.stats }
+
+func joinTrunc(parts []string, max int) string {
+	s := ""
+	for i, p := range parts {
+		if i > 0 {
+			s += ", "
+		}
+		s += p
+	}
+	if len(s) > max {
+		r := []rune(s)
+		if len(r) > max-1 {
+			r = r[:max-1]
+		}
+		s = string(r) + "…"
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// Unwind / LoadCSV
+// ---------------------------------------------------------------------
+
+// Unwind expands a list expression into one record per element. Null
+// yields no records; a non-list value is treated as a singleton.
+type Unwind struct {
+	child Operator
+	cl    *ast.UnwindClause
+	ev    *expr.Evaluator
+	cols  []string
+
+	curRow expr.Env
+	elems  value.List
+	idx    int
+	rows   int64
+}
+
+// NewUnwind builds an Unwind operator over child.
+func NewUnwind(child Operator, cl *ast.UnwindClause, ev *expr.Evaluator) *Unwind {
+	return &Unwind{
+		child: child, cl: cl, ev: ev,
+		cols: append(append([]string(nil), child.Columns()...), cl.Var),
+	}
+}
+
+// Columns implements Operator.
+func (o *Unwind) Columns() []string { return o.cols }
+
+// Open implements Operator.
+func (o *Unwind) Open() error { o.elems, o.idx = nil, 0; return o.child.Open() }
+
+// Next implements Operator.
+func (o *Unwind) Next() (Row, bool, error) {
+	for {
+		if o.idx < len(o.elems) {
+			row := normalize(o.cols, o.curRow)
+			row[o.cl.Var] = o.elems[o.idx]
+			o.idx++
+			o.rows++
+			return Row{Env: row}, true, nil
+		}
+		in, ok, err := o.child.Next()
+		if err != nil || !ok {
+			return Row{}, false, err
+		}
+		v, err := o.ev.Eval(o.cl.Expr, in.Env)
+		if err != nil {
+			return Row{}, false, err
+		}
+		switch lv := v.(type) {
+		case value.Null:
+			continue
+		case value.List:
+			o.curRow, o.elems, o.idx = in.Env, lv, 0
+		default:
+			o.curRow, o.elems, o.idx = in.Env, value.List{v}, 0
+		}
+	}
+}
+
+// Close implements Operator.
+func (o *Unwind) Close() { o.child.Close() }
+
+// Name implements Operator.
+func (o *Unwind) Name() string {
+	return fmt.Sprintf("Unwind(%s AS %s)", o.cl.Expr.String(), o.cl.Var)
+}
+
+// Children implements Operator.
+func (o *Unwind) Children() []Operator { return []Operator{o.child} }
+
+// RowsEmitted implements Operator.
+func (o *Unwind) RowsEmitted() int64 { return o.rows }
+
+// LoadCSV reads a CSV file per input record, binding each data row to
+// the clause variable: a map with WITH HEADERS, a list of strings
+// otherwise. The file is loaded when the record is reached; its rows
+// then stream.
+type LoadCSV struct {
+	child Operator
+	cl    *ast.LoadCSVClause
+	ev    *expr.Evaluator
+	cols  []string
+
+	curRow  expr.Env
+	pending []value.Value
+	idx     int
+	rows    int64
+}
+
+// NewLoadCSV builds a LoadCSV operator over child.
+func NewLoadCSV(child Operator, cl *ast.LoadCSVClause, ev *expr.Evaluator) *LoadCSV {
+	return &LoadCSV{
+		child: child, cl: cl, ev: ev,
+		cols: append(append([]string(nil), child.Columns()...), cl.Var),
+	}
+}
+
+// Columns implements Operator.
+func (o *LoadCSV) Columns() []string { return o.cols }
+
+// Open implements Operator.
+func (o *LoadCSV) Open() error { o.pending, o.idx = nil, 0; return o.child.Open() }
+
+// Next implements Operator.
+func (o *LoadCSV) Next() (Row, bool, error) {
+	for {
+		if o.idx < len(o.pending) {
+			row := normalize(o.cols, o.curRow)
+			row[o.cl.Var] = o.pending[o.idx]
+			o.idx++
+			o.rows++
+			return Row{Env: row}, true, nil
+		}
+		in, ok, err := o.child.Next()
+		if err != nil || !ok {
+			return Row{}, false, err
+		}
+		urlVal, err := o.ev.Eval(o.cl.URL, in.Env)
+		if err != nil {
+			return Row{}, false, err
+		}
+		url, oks := value.AsString(urlVal)
+		if !oks {
+			return Row{}, false, fmt.Errorf("LOAD CSV FROM expects a string, got %s", urlVal.Kind())
+		}
+		bound, err := BindCSV(string(url), o.cl.FieldTerm, o.cl.WithHeaders)
+		if err != nil {
+			return Row{}, false, err
+		}
+		o.curRow, o.pending, o.idx = in.Env, bound, 0
+	}
+}
+
+// Close implements Operator.
+func (o *LoadCSV) Close() { o.child.Close() }
+
+// Name implements Operator.
+func (o *LoadCSV) Name() string {
+	return fmt.Sprintf("LoadCSV(%s AS %s)", o.cl.URL.String(), o.cl.Var)
+}
+
+// Children implements Operator.
+func (o *LoadCSV) Children() []Operator { return []Operator{o.child} }
+
+// RowsEmitted implements Operator.
+func (o *LoadCSV) RowsEmitted() int64 { return o.rows }
+
+// ---------------------------------------------------------------------
+// Filter / Project / Distinct / Skip / Limit
+// ---------------------------------------------------------------------
+
+// Filter keeps records whose predicate evaluates to True (ternary
+// logic: null and false are both dropped). It implements WITH … WHERE.
+type Filter struct {
+	child Operator
+	pred  ast.Expr
+	ev    *expr.Evaluator
+	rows  int64
+}
+
+// NewFilter builds a Filter over child.
+func NewFilter(child Operator, pred ast.Expr, ev *expr.Evaluator) *Filter {
+	return &Filter{child: child, pred: pred, ev: ev}
+}
+
+// Columns implements Operator.
+func (o *Filter) Columns() []string { return o.child.Columns() }
+
+// Open implements Operator.
+func (o *Filter) Open() error { return o.child.Open() }
+
+// Next implements Operator.
+func (o *Filter) Next() (Row, bool, error) {
+	for {
+		in, ok, err := o.child.Next()
+		if err != nil || !ok {
+			return Row{}, false, err
+		}
+		keep, err := o.ev.EvalBool(o.pred, in.Env)
+		if err != nil {
+			return Row{}, false, err
+		}
+		if keep == value.True {
+			o.rows++
+			return in, true, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (o *Filter) Close() { o.child.Close() }
+
+// Name implements Operator.
+func (o *Filter) Name() string { return fmt.Sprintf("Filter(%s)", o.pred.String()) }
+
+// Children implements Operator.
+func (o *Filter) Children() []Operator { return []Operator{o.child} }
+
+// RowsEmitted implements Operator.
+func (o *Filter) RowsEmitted() int64 { return o.rows }
+
+// Item is one projection item: an expression and its output column.
+type Item struct {
+	Expr  ast.Expr
+	Alias string
+}
+
+// Project evaluates a non-aggregating projection record by record. With
+// keepSrc it attaches each input environment to the output row so a
+// downstream Sort can evaluate ORDER BY keys over pre-projection
+// variables (legal when the projection neither aggregates nor
+// deduplicates — the cardinality is unchanged).
+type Project struct {
+	child   Operator
+	items   []Item
+	cols    []string
+	ev      *expr.Evaluator
+	keepSrc bool
+	rows    int64
+}
+
+// NewProject builds a Project over child.
+func NewProject(child Operator, items []Item, cols []string, ev *expr.Evaluator, keepSrc bool) *Project {
+	return &Project{child: child, items: items, cols: cols, ev: ev, keepSrc: keepSrc}
+}
+
+// Columns implements Operator.
+func (o *Project) Columns() []string { return o.cols }
+
+// Open implements Operator.
+func (o *Project) Open() error { return o.child.Open() }
+
+// Next implements Operator.
+func (o *Project) Next() (Row, bool, error) {
+	in, ok, err := o.child.Next()
+	if err != nil || !ok {
+		return Row{}, false, err
+	}
+	out := make(expr.Env, len(o.items))
+	for _, it := range o.items {
+		v, err := o.ev.Eval(it.Expr, in.Env)
+		if err != nil {
+			return Row{}, false, err
+		}
+		out[it.Alias] = v
+	}
+	row := Row{Env: normalize(o.cols, out)}
+	if o.keepSrc {
+		row.Src = in.Env
+	}
+	o.rows++
+	return row, true, nil
+}
+
+// Close implements Operator.
+func (o *Project) Close() { o.child.Close() }
+
+// Name implements Operator.
+func (o *Project) Name() string { return "Project" + describeItems(o.items) }
+
+// Children implements Operator.
+func (o *Project) Children() []Operator { return []Operator{o.child} }
+
+// RowsEmitted implements Operator.
+func (o *Project) RowsEmitted() int64 { return o.rows }
+
+func describeItems(items []Item) string {
+	var parts []string
+	for _, it := range items {
+		parts = append(parts, it.Alias)
+	}
+	return "[" + joinTrunc(parts, 60) + "]"
+}
+
+// Distinct drops duplicate records under value equivalence, keeping
+// first occurrences in order. Unlike Sort it needs no barrier: the
+// first occurrence can be forwarded the moment it arrives.
+type Distinct struct {
+	child Operator
+	seen  map[string]bool
+	rows  int64
+}
+
+// NewDistinct builds a Distinct over child.
+func NewDistinct(child Operator) *Distinct { return &Distinct{child: child} }
+
+// Columns implements Operator.
+func (o *Distinct) Columns() []string { return o.child.Columns() }
+
+// Open implements Operator.
+func (o *Distinct) Open() error { o.seen = make(map[string]bool); return o.child.Open() }
+
+// Next implements Operator.
+func (o *Distinct) Next() (Row, bool, error) {
+	cols := o.child.Columns()
+	for {
+		in, ok, err := o.child.Next()
+		if err != nil || !ok {
+			return Row{}, false, err
+		}
+		vals := make([]value.Value, len(cols))
+		for i, c := range cols {
+			vals[i] = in.Env[c]
+		}
+		k := value.KeyList(vals)
+		if o.seen[k] {
+			continue
+		}
+		o.seen[k] = true
+		o.rows++
+		// Distinct breaks the row/source-record correspondence, so the
+		// source environment must not travel past it.
+		return Row{Env: in.Env}, true, nil
+	}
+}
+
+// Close implements Operator.
+func (o *Distinct) Close() { o.child.Close() }
+
+// Name implements Operator.
+func (o *Distinct) Name() string { return "Distinct" }
+
+// Children implements Operator.
+func (o *Distinct) Children() []Operator { return []Operator{o.child} }
+
+// RowsEmitted implements Operator.
+func (o *Distinct) RowsEmitted() int64 { return o.rows }
+
+// Skip drops the first n records; Limit stops after n. Both evaluate
+// their count expression lazily on first pull (parameters only — the
+// expression has no variables in scope).
+type Skip struct {
+	child Operator
+	expr  ast.Expr
+	ev    *expr.Evaluator
+	n     int
+	ready bool
+	rows  int64
+}
+
+// NewSkip builds a Skip over child.
+func NewSkip(child Operator, e ast.Expr, ev *expr.Evaluator) *Skip {
+	return &Skip{child: child, expr: e, ev: ev}
+}
+
+// Columns implements Operator.
+func (o *Skip) Columns() []string { return o.child.Columns() }
+
+// Open implements Operator.
+func (o *Skip) Open() error { o.ready = false; return o.child.Open() }
+
+// Next implements Operator.
+func (o *Skip) Next() (Row, bool, error) {
+	if !o.ready {
+		v, err := o.ev.Eval(o.expr, expr.Env{})
+		if err != nil {
+			return Row{}, false, err
+		}
+		s, ok := value.AsInt(v)
+		if !ok || s < 0 {
+			return Row{}, false, fmt.Errorf("SKIP expects a non-negative integer, got %s", v)
+		}
+		o.n, o.ready = int(s), true
+		for i := 0; i < o.n; i++ {
+			if _, ok, err := o.child.Next(); err != nil || !ok {
+				return Row{}, false, err
+			}
+		}
+	}
+	row, ok, err := o.child.Next()
+	if ok {
+		o.rows++
+	}
+	return row, ok, err
+}
+
+// Close implements Operator.
+func (o *Skip) Close() { o.child.Close() }
+
+// Name implements Operator.
+func (o *Skip) Name() string { return fmt.Sprintf("Skip(%s)", o.expr.String()) }
+
+// Children implements Operator.
+func (o *Skip) Children() []Operator { return []Operator{o.child} }
+
+// RowsEmitted implements Operator.
+func (o *Skip) RowsEmitted() int64 { return o.rows }
+
+// Limit forwards at most n records, then reports end of stream without
+// pulling its child again — the early exit that prunes upstream
+// enumeration.
+type Limit struct {
+	child Operator
+	expr  ast.Expr
+	ev    *expr.Evaluator
+	n     int
+	ready bool
+	rows  int64
+}
+
+// NewLimit builds a Limit over child.
+func NewLimit(child Operator, e ast.Expr, ev *expr.Evaluator) *Limit {
+	return &Limit{child: child, expr: e, ev: ev}
+}
+
+// Columns implements Operator.
+func (o *Limit) Columns() []string { return o.child.Columns() }
+
+// Open implements Operator.
+func (o *Limit) Open() error { o.ready = false; o.rows = 0; return o.child.Open() }
+
+// Next implements Operator.
+func (o *Limit) Next() (Row, bool, error) {
+	if !o.ready {
+		v, err := o.ev.Eval(o.expr, expr.Env{})
+		if err != nil {
+			return Row{}, false, err
+		}
+		l, ok := value.AsInt(v)
+		if !ok || l < 0 {
+			return Row{}, false, fmt.Errorf("LIMIT expects a non-negative integer, got %s", v)
+		}
+		o.n, o.ready = int(l), true
+	}
+	if o.rows >= int64(o.n) {
+		return Row{}, false, nil
+	}
+	row, ok, err := o.child.Next()
+	if ok {
+		o.rows++
+	}
+	return row, ok, err
+}
+
+// Close implements Operator.
+func (o *Limit) Close() { o.child.Close() }
+
+// Name implements Operator.
+func (o *Limit) Name() string { return fmt.Sprintf("Limit(%s)", o.expr.String()) }
+
+// Children implements Operator.
+func (o *Limit) Children() []Operator { return []Operator{o.child} }
+
+// RowsEmitted implements Operator.
+func (o *Limit) RowsEmitted() int64 { return o.rows }
+
+// ---------------------------------------------------------------------
+// Barriers: Sort, Aggregate, Apply, Discard
+// ---------------------------------------------------------------------
+
+// Sort is a materialization barrier implementing ORDER BY: it drains
+// its child, sorts stably by the key expressions, and replays. Keys may
+// reference pre-projection variables when the rows carry their source
+// environments (see Project.keepSrc).
+type Sort struct {
+	child Operator
+	sorts []*ast.SortItem
+	ev    *expr.Evaluator
+
+	out  []Row
+	idx  int
+	done bool
+	rows int64
+}
+
+// NewSort builds a Sort barrier over child.
+func NewSort(child Operator, sorts []*ast.SortItem, ev *expr.Evaluator) *Sort {
+	return &Sort{child: child, sorts: sorts, ev: ev}
+}
+
+// Columns implements Operator.
+func (o *Sort) Columns() []string { return o.child.Columns() }
+
+// Open implements Operator.
+func (o *Sort) Open() error { o.out, o.idx, o.done = nil, 0, false; return o.child.Open() }
+
+func (o *Sort) fill() error {
+	var rows []Row
+	for {
+		in, ok, err := o.child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		rows = append(rows, in)
+	}
+	keys := make([][]value.Value, len(rows))
+	for i, r := range rows {
+		env := expr.Env{}
+		for k, v := range r.Src {
+			env[k] = v
+		}
+		for k, v := range r.Env {
+			env[k] = v
+		}
+		keys[i] = make([]value.Value, len(o.sorts))
+		for s, item := range o.sorts {
+			v, err := o.ev.Eval(item.Expr, env)
+			if err != nil {
+				return err
+			}
+			keys[i][s] = v
+		}
+	}
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		for s, item := range o.sorts {
+			c := value.CompareOrder(keys[idx[a]][s], keys[idx[b]][s])
+			if item.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	o.out = make([]Row, len(rows))
+	for i, p := range idx {
+		// The source environments have served their purpose.
+		o.out[i] = Row{Env: rows[p].Env}
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (o *Sort) Next() (Row, bool, error) {
+	if !o.done {
+		if err := o.fill(); err != nil {
+			return Row{}, false, err
+		}
+		o.done = true
+	}
+	if o.idx >= len(o.out) {
+		return Row{}, false, nil
+	}
+	row := o.out[o.idx]
+	o.idx++
+	o.rows++
+	return row, true, nil
+}
+
+// Close implements Operator.
+func (o *Sort) Close() { o.child.Close() }
+
+// Name implements Operator.
+func (o *Sort) Name() string {
+	var parts []string
+	for _, s := range o.sorts {
+		p := s.Expr.String()
+		if s.Desc {
+			p += " DESC"
+		}
+		parts = append(parts, p)
+	}
+	return fmt.Sprintf("Sort[barrier](%s)", joinTrunc(parts, 50))
+}
+
+// Children implements Operator.
+func (o *Sort) Children() []Operator { return []Operator{o.child} }
+
+// RowsEmitted implements Operator.
+func (o *Sort) RowsEmitted() int64 { return o.rows }
+
+// Aggregate is a materialization barrier implementing grouped
+// projection: records group by the non-aggregating items, aggregates
+// accumulate per group, and one row per group is emitted in
+// first-appearance order. Zero input records with no grouping keys
+// produce the single global group (count(*) = 0).
+type Aggregate struct {
+	child Operator
+	items []Item
+	cols  []string
+	ev    *expr.Evaluator
+
+	out  []expr.Env
+	idx  int
+	done bool
+	rows int64
+}
+
+// NewAggregate builds an Aggregate barrier over child.
+func NewAggregate(child Operator, items []Item, cols []string, ev *expr.Evaluator) *Aggregate {
+	return &Aggregate{child: child, items: items, cols: cols, ev: ev}
+}
+
+// Columns implements Operator.
+func (o *Aggregate) Columns() []string { return o.cols }
+
+// Open implements Operator.
+func (o *Aggregate) Open() error { o.out, o.idx, o.done = nil, 0, false; return o.child.Open() }
+
+func (o *Aggregate) fill() error {
+	var keyItems []int
+	var aggCalls []*ast.FuncCall
+	for idx, it := range o.items {
+		if !ast.ContainsAggregate(it.Expr) {
+			keyItems = append(keyItems, idx)
+		}
+		ast.Walk(it.Expr, func(e ast.Expr) bool {
+			if f, ok := e.(*ast.FuncCall); ok && ast.AggregateFuncs[f.Name] {
+				aggCalls = append(aggCalls, f)
+				return false // aggregates cannot nest
+			}
+			return true
+		})
+	}
+
+	type group struct {
+		rep  expr.Env
+		aggs []expr.Aggregator
+	}
+	newGroup := func(rep expr.Env) (*group, error) {
+		grp := &group{rep: rep}
+		for _, f := range aggCalls {
+			agg, err := expr.NewAggregator(f.Name, f.Distinct, f.Star)
+			if err != nil {
+				return nil, err
+			}
+			grp.aggs = append(grp.aggs, agg)
+		}
+		return grp, nil
+	}
+	groups := make(map[string]*group)
+	var order []string
+
+	n := 0
+	for {
+		in, ok, err := o.child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		n++
+		env := in.Env
+		keyVals := make([]value.Value, len(keyItems))
+		for k, ki := range keyItems {
+			v, err := o.ev.Eval(o.items[ki].Expr, env)
+			if err != nil {
+				return err
+			}
+			keyVals[k] = v
+		}
+		key := value.KeyList(keyVals)
+		grp, ok2 := groups[key]
+		if !ok2 {
+			var err error
+			grp, err = newGroup(env)
+			if err != nil {
+				return err
+			}
+			groups[key] = grp
+			order = append(order, key)
+		}
+		for ai, f := range aggCalls {
+			var v value.Value = nullValue
+			if !f.Star {
+				if len(f.Args) != 1 {
+					return fmt.Errorf("%s() expects 1 argument", f.Name)
+				}
+				var err error
+				v, err = o.ev.Eval(f.Args[0], env)
+				if err != nil {
+					return err
+				}
+			}
+			if err := grp.aggs[ai].Add(v); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Zero input rows with no grouping keys: a single global group.
+	if n == 0 && len(keyItems) == 0 {
+		grp, err := newGroup(expr.Env{})
+		if err != nil {
+			return err
+		}
+		groups["_"] = grp
+		order = append(order, "_")
+	}
+
+	for _, key := range order {
+		grp := groups[key]
+		aggResults := make(map[ast.Expr]value.Value, len(aggCalls))
+		for ai, f := range aggCalls {
+			aggResults[f] = grp.aggs[ai].Result()
+		}
+		o.ev.AggResults = aggResults
+		out := make(expr.Env, len(o.items))
+		for _, it := range o.items {
+			v, err := o.ev.Eval(it.Expr, grp.rep)
+			if err != nil {
+				o.ev.AggResults = nil
+				return err
+			}
+			out[it.Alias] = v
+		}
+		o.ev.AggResults = nil
+		o.out = append(o.out, normalize(o.cols, out))
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (o *Aggregate) Next() (Row, bool, error) {
+	if !o.done {
+		if err := o.fill(); err != nil {
+			return Row{}, false, err
+		}
+		o.done = true
+	}
+	if o.idx >= len(o.out) {
+		return Row{}, false, nil
+	}
+	env := o.out[o.idx]
+	o.idx++
+	o.rows++
+	return Row{Env: env}, true, nil
+}
+
+// Close implements Operator.
+func (o *Aggregate) Close() { o.child.Close() }
+
+// Name implements Operator.
+func (o *Aggregate) Name() string { return "Aggregate[barrier]" + describeItems(o.items) }
+
+// Children implements Operator.
+func (o *Aggregate) Children() []Operator { return []Operator{o.child} }
+
+// RowsEmitted implements Operator.
+func (o *Aggregate) RowsEmitted() int64 { return o.rows }
+
+// Apply is the update barrier: it materializes its child into a driving
+// table (in stream order — exactly the table the materializing executor
+// would hand the clause) and applies an update-clause function to it,
+// then streams the clause's output table. The barrier is what preserves
+// the legacy dialect's record-order-dependent semantics (Section 4,
+// Example 3) and the revised dialect's two-phase ChangeSet semantics
+// under the streaming executor.
+type Apply struct {
+	child Operator
+	label string
+	cols  []string
+	fn    func(*table.Table) (*table.Table, error)
+
+	cur  *table.Cursor
+	done bool
+	rows int64
+}
+
+// NewApply builds an update barrier over child. cols is the planner's
+// prediction of the clause's output columns; fn's result must match.
+func NewApply(child Operator, label string, cols []string, fn func(*table.Table) (*table.Table, error)) *Apply {
+	return &Apply{child: child, label: label, cols: cols, fn: fn}
+}
+
+// Columns implements Operator.
+func (o *Apply) Columns() []string { return o.cols }
+
+// Open implements Operator.
+func (o *Apply) Open() error { o.cur, o.done = nil, false; return o.child.Open() }
+
+func (o *Apply) fill() error {
+	in := table.New(o.child.Columns()...)
+	for {
+		row, ok, err := o.child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		in.AppendMap(row.Env)
+	}
+	out, err := o.fn(in)
+	if err != nil {
+		return err
+	}
+	got := out.Columns()
+	if len(got) != len(o.cols) {
+		return internalErrorf("%s produced columns %v, planner predicted %v", o.label, got, o.cols)
+	}
+	for i := range got {
+		if got[i] != o.cols[i] {
+			return internalErrorf("%s produced columns %v, planner predicted %v", o.label, got, o.cols)
+		}
+	}
+	o.cur = out.Iter()
+	return nil
+}
+
+// Next implements Operator.
+func (o *Apply) Next() (Row, bool, error) {
+	if !o.done {
+		if err := o.fill(); err != nil {
+			return Row{}, false, err
+		}
+		o.done = true
+	}
+	if !o.cur.Next() {
+		return Row{}, false, nil
+	}
+	o.rows++
+	return Row{Env: o.cur.Row()}, true, nil
+}
+
+// Close implements Operator.
+func (o *Apply) Close() { o.child.Close() }
+
+// Name implements Operator.
+func (o *Apply) Name() string { return fmt.Sprintf("Update[barrier](%s)", o.label) }
+
+// Children implements Operator.
+func (o *Apply) Children() []Operator { return []Operator{o.child} }
+
+// RowsEmitted implements Operator.
+func (o *Apply) RowsEmitted() int64 { return o.rows }
+
+// Discard drains its child for effects and emits nothing: the plan of a
+// query without RETURN, which outputs the empty zero-column table.
+type Discard struct {
+	child Operator
+	done  bool
+}
+
+// NewDiscard builds a Discard over child.
+func NewDiscard(child Operator) *Discard { return &Discard{child: child} }
+
+// Columns implements Operator.
+func (o *Discard) Columns() []string { return nil }
+
+// Open implements Operator.
+func (o *Discard) Open() error { o.done = false; return o.child.Open() }
+
+// Next implements Operator.
+func (o *Discard) Next() (Row, bool, error) {
+	if o.done {
+		return Row{}, false, nil
+	}
+	o.done = true
+	for {
+		_, ok, err := o.child.Next()
+		if err != nil {
+			return Row{}, false, err
+		}
+		if !ok {
+			return Row{}, false, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (o *Discard) Close() { o.child.Close() }
+
+// Name implements Operator.
+func (o *Discard) Name() string { return "Discard" }
+
+// Children implements Operator.
+func (o *Discard) Children() []Operator { return []Operator{o.child} }
+
+// RowsEmitted implements Operator.
+func (o *Discard) RowsEmitted() int64 { return 0 }
+
+// ---------------------------------------------------------------------
+// Union
+// ---------------------------------------------------------------------
+
+// Union streams its members left to right: member i+1 is not pulled
+// (and so none of its update barriers fire) until member i is
+// exhausted, preserving the paper's sequential UNION semantics — each
+// member sees the graph as modified by its predecessors (Section 8.2).
+type Union struct {
+	children []Operator
+	idx      int
+	rows     int64
+}
+
+// NewUnion builds a Union. Members must agree on columns (checked by
+// the builder).
+func NewUnion(children []Operator) *Union { return &Union{children: children} }
+
+// Columns implements Operator.
+func (o *Union) Columns() []string { return o.children[0].Columns() }
+
+// Open implements Operator.
+func (o *Union) Open() error {
+	o.idx = 0
+	for _, c := range o.children {
+		if err := c.Open(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (o *Union) Next() (Row, bool, error) {
+	for o.idx < len(o.children) {
+		row, ok, err := o.children[o.idx].Next()
+		if err != nil {
+			return Row{}, false, err
+		}
+		if ok {
+			o.rows++
+			return row, true, nil
+		}
+		o.idx++
+	}
+	return Row{}, false, nil
+}
+
+// Close implements Operator.
+func (o *Union) Close() {
+	for _, c := range o.children {
+		c.Close()
+	}
+}
+
+// Name implements Operator.
+func (o *Union) Name() string { return fmt.Sprintf("Union(%d members)", len(o.children)) }
+
+// Children implements Operator.
+func (o *Union) Children() []Operator { return o.children }
+
+// RowsEmitted implements Operator.
+func (o *Union) RowsEmitted() int64 { return o.rows }

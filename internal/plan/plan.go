@@ -1,0 +1,138 @@
+// Package plan lowers parsed Cypher statements into trees of streaming
+// operators and executes them with a cursor (Volcano-style pull) model.
+//
+// The paper's clause semantics [[C]] : (G, T) -> (G', T') composes
+// clauses as functions over whole driving tables. Operationally that
+// composition does not require materializing every intermediate table:
+// read-only clauses (MATCH, UNWIND, WITH/RETURN projections, WHERE,
+// SKIP/LIMIT, DISTINCT) are linear in the records they consume and can
+// stream row-at-a-time, which makes LIMIT-style early exit prune the
+// pattern-match search space instead of enumerating it fully.
+//
+// Two kinds of operators deliberately break the stream with an explicit
+// materialization barrier:
+//
+//   - Sort and Aggregate, which need the whole input by definition; and
+//   - Apply, which wraps an update clause (CREATE, SET, REMOVE, DELETE,
+//     MERGE, FOREACH). Updates consume their entire driving table before
+//     any downstream clause runs, in both dialects: the legacy Cypher 9
+//     semantics is record-order dependent (the paper's Section 4,
+//     Example 3), so the barrier hands the update function a fully
+//     materialized table in exactly the order the stream produced —
+//     bit-for-bit the table the materializing executor would have built
+//     — and the revised dialect's two-phase ChangeSet semantics needs
+//     the full table for conflict detection anyway.
+//
+// Row order is deterministic end to end: every streaming operator
+// preserves its input order and the pull discipline reproduces the
+// nested-loop order of the materializing executor, so the paper's
+// record-order reproductions (ScanOrder, Example 3) are unaffected.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/table"
+)
+
+// Row is one record flowing through a pipeline: an environment defined
+// on exactly the operator's columns (absent values are explicit nulls,
+// mirroring table.Row). Src optionally carries the pre-projection
+// environment of the record so a downstream Sort can evaluate ORDER BY
+// keys over the input variables (Cypher allows this when the projection
+// neither aggregates nor deduplicates).
+type Row struct {
+	Env expr.Env
+	Src expr.Env
+}
+
+// Operator is a streaming operator: a cursor over records. The contract
+// is Open, then Next until it reports no row, then Close. Operators are
+// single-use; Close must be called even after an error (it releases
+// match cursors and child resources).
+type Operator interface {
+	// Columns is the output column set, in order, known at build time.
+	Columns() []string
+	// Open prepares the operator and its children. It performs no work
+	// on the graph: all effects and errors of execution surface in Next.
+	Open() error
+	// Next returns the next record. ok=false means end of stream.
+	Next() (row Row, ok bool, err error)
+	// Close releases resources, cascading to children. Idempotent.
+	Close()
+	// Name is a one-line description for EXPLAIN output.
+	Name() string
+	// Children returns the operator's inputs, for plan inspection.
+	Children() []Operator
+	// RowsEmitted reports how many records Next has returned so far,
+	// making early-exit behaviour observable in tests and EXPLAIN.
+	RowsEmitted() int64
+}
+
+// Collect executes a plan to completion, materializing its output into
+// a table (the engine's statement boundary). Close is always called.
+func Collect(root Operator) (*table.Table, error) {
+	defer root.Close()
+	if err := root.Open(); err != nil {
+		return nil, err
+	}
+	out := table.New(root.Columns()...)
+	for {
+		row, ok, err := root.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out.AppendMap(row.Env)
+	}
+}
+
+// Explain renders the operator tree, one operator per line, children
+// indented under their parent.
+func Explain(root Operator) string {
+	var sb strings.Builder
+	var rec func(op Operator, prefix string, childPrefix string)
+	rec = func(op Operator, prefix, childPrefix string) {
+		sb.WriteString(prefix)
+		sb.WriteString(op.Name())
+		sb.WriteString("\n")
+		kids := op.Children()
+		for i, k := range kids {
+			if i == len(kids)-1 {
+				rec(k, childPrefix+"└─ ", childPrefix+"   ")
+			} else {
+				rec(k, childPrefix+"├─ ", childPrefix+"│  ")
+			}
+		}
+	}
+	rec(root, "", "")
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+// normalize returns an environment defined on exactly cols, copying
+// values from env and filling absent columns with explicit nulls. Every
+// operator emits normalized rows so downstream pattern matching treats
+// a projected-away or optional-null variable exactly like a null table
+// cell (the materializing executor gets this from table.Row).
+func normalize(cols []string, env expr.Env) expr.Env {
+	out := make(expr.Env, len(cols))
+	for _, c := range cols {
+		if v, ok := env[c]; ok && v != nil {
+			out[c] = v
+		} else {
+			out[c] = nullValue
+		}
+	}
+	return out
+}
+
+// internalErrorf marks invariant violations of the planner itself
+// (e.g. an update clause producing columns the planner did not
+// predict); user-level errors never use it.
+func internalErrorf(format string, args ...any) error {
+	return fmt.Errorf("plan: internal error: "+format, args...)
+}

@@ -1,0 +1,36 @@
+package table
+
+import "repro/internal/value"
+
+// Cursor iterates a table's records one at a time, in row order. It is
+// the read-side primitive of the streaming executor: source operators
+// pull records through a cursor instead of indexing the whole table, so
+// a pipeline that stops early (LIMIT, EXISTS) never touches the
+// remaining rows.
+//
+// A cursor is invalidated by any structural mutation of its table
+// (append, sort, slice); the engine only cursors over tables it has
+// finished building.
+type Cursor struct {
+	t *Table
+	i int
+}
+
+// Iter returns a cursor positioned before the first record.
+func (t *Table) Iter() *Cursor { return &Cursor{t: t, i: -1} }
+
+// Next advances to the next record, reporting whether one exists.
+func (c *Cursor) Next() bool {
+	if c.i+1 >= len(c.t.rows) {
+		return false
+	}
+	c.i++
+	return true
+}
+
+// Row returns the current record as a freshly allocated column-name map
+// (missing values are explicit nulls, like Table.Row).
+func (c *Cursor) Row() map[string]value.Value { return c.t.Row(c.i) }
+
+// Values returns the current record as a value slice in column order.
+func (c *Cursor) Values() []value.Value { return c.t.Values(c.i) }

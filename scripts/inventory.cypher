@@ -1,0 +1,29 @@
+// An inventory/import workload for the revised dialect, in the spirit
+// of the paper's Example 5 bulk import: MERGE ALL for per-record
+// inserts, MERGE SAME for deduplicated dimension nodes.
+
+UNWIND [
+  {sku:'A-1', name:'bolt',   bin:'N1', qty:120},
+  {sku:'A-2', name:'nut',    bin:'N1', qty:300},
+  {sku:'B-1', name:'washer', bin:'S4', qty:80},
+  {sku:'B-2', name:'screw',  bin:'S4', qty:200}
+] AS row
+MERGE SAME (:Item{sku:row.sku, name:row.name})-[:STORED_IN]->(:Bin{code:row.bin});
+
+// Quantities arrive separately; atomic SET applies them in one step.
+UNWIND [
+  {sku:'A-1', qty:120}, {sku:'A-2', qty:300},
+  {sku:'B-1', qty:80},  {sku:'B-2', qty:200}
+] AS row
+MATCH (i:Item{sku:row.sku})
+SET i.qty = row.qty;
+
+// Restock low items (MERGE ALL: one restock order per failing record).
+MATCH (i:Item)
+WITH i WHERE i.qty < 100
+MERGE ALL (i)-[:NEEDS]->(:Restock{open:true});
+
+// Bin occupancy report.
+MATCH (b:Bin)<-[:STORED_IN]-(i:Item)
+RETURN b.code AS bin, count(i) AS items, sum(i.qty) AS units
+ORDER BY bin;

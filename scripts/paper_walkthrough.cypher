@@ -1,0 +1,51 @@
+// The running example of "Updating Graph Databases with Cypher"
+// (Green et al., PVLDB 2019), Sections 2-3: the Figure 1 marketplace
+// graph and Queries (1)-(5). Intended dialect: cypher9 (the legacy
+// semantics the paper walks through). Final state: 7 nodes / 7 rels,
+// two :Vendor nodes (v2 added by Query (5)).
+
+// Figure 1, solid lines: one vendor, three products, two users.
+CREATE (v1:Vendor{id:60, name:'cStore'}),
+       (p1:Product{id:125, name:'laptop'}),
+       (p2:Product{id:125, name:'notebook'}),
+       (u1:User{id:89, name:'Bob'}),
+       (u2:User{id:99, name:'Jane'}),
+       (p3:Product{id:85, name:'tablet'}),
+       (v1)-[:OFFERS]->(p1),
+       (v1)-[:OFFERS]->(p2),
+       (u1)-[:ORDERED]->(p1),
+       (u1)-[:ORDERED]->(p3),
+       (u2)-[:ORDERED]->(p3),
+       (u2)-[:ORDERED]->(p2);
+
+// Query (1): vendors offering the laptop together with another product.
+MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(q:Product)
+WHERE p.name = 'laptop'
+RETURN v;
+
+// Query (2): Bob orders a new product (dotted additions of Figure 1).
+MATCH (u:User{id:89})
+CREATE (u)-[:ORDERED]->(:New_Product{id:0});
+
+// Query (3): promote the placeholder to a real product.
+MATCH (p:New_Product{id:0})
+SET p:Product, p.id = 120, p.name = 'smartphone'
+REMOVE p:New_Product;
+
+// Deleting the attached product requires deleting its relationship too
+// (plain DELETE of just the node "would fail", Section 3).
+MATCH ()-[rel]->(p:Product{id:120})
+DELETE rel, p;
+
+// Query (4): the same removal via DETACH DELETE.
+MATCH (u:User{id:89})
+CREATE (u)-[:ORDERED]->(:Product{id:120});
+MATCH (p:Product{id:120})
+DETACH DELETE p;
+
+// Query (5): ensure every product has a vendor — the legacy MERGE
+// creates a fresh :Vendor (v2) with an OFFERS relationship for the
+// unoffered tablet.
+MATCH (p:Product)
+MERGE (p)<-[:OFFERS]-(v:Vendor)
+RETURN p, v;

@@ -1,0 +1,34 @@
+// A small social-network workload for the revised (Section 7) dialect:
+// atomic SET, strict DELETE with null replacement, and MERGE ALL /
+// MERGE SAME instead of the legacy MERGE.
+
+CREATE (:Person{name:'Ada', joined:2019}),
+       (:Person{name:'Bob', joined:2020}),
+       (:Person{name:'Cay', joined:2021}),
+       (:Person{name:'Dan', joined:2021});
+
+MATCH (a:Person{name:'Ada'}), (b:Person{name:'Bob'})
+CREATE (a)-[:FOLLOWS{since:2020}]->(b);
+
+MATCH (b:Person{name:'Bob'}), (c:Person{name:'Cay'})
+CREATE (b)-[:FOLLOWS{since:2021}]->(c), (c)-[:FOLLOWS{since:2021}]->(b);
+
+// MERGE SAME collapses equal instances: every follower pair gets at
+// most one INTERACTED edge even when matched twice.
+MATCH (x:Person)-[:FOLLOWS]->(y:Person)
+MERGE SAME (x)-[:INTERACTED]->(y);
+
+// Atomic SET: everyone's follower count is computed against the input
+// graph, then applied in one step.
+MATCH (p:Person)
+OPTIONAL MATCH (f:Person)-[:FOLLOWS]->(p)
+WITH p, count(f) AS followers
+SET p.followers = followers;
+
+// Revised DELETE is strict: detach-delete a leaver, references null out.
+MATCH (p:Person{name:'Dan'})
+DETACH DELETE p;
+
+MATCH (p:Person)
+RETURN p.name AS name, p.followers AS followers
+ORDER BY followers DESC, name;
