@@ -1,0 +1,31 @@
+# Build, test and benchmark entry points. CI runs `make test` and the
+# short bench smoke; `make bench` records the perf trajectory into
+# BENCH_pr2.json (one file per PR so regressions are diffable).
+
+BENCH_OUT ?= BENCH_pr2.json
+
+.PHONY: all test vet bench bench-smoke
+
+all: test
+
+test:
+	go build ./...
+	go test ./...
+
+vet:
+	go vet ./...
+
+# Full benchmark run, serialized to JSON. -benchtime is modest because
+# the B-suite covers 12 benchmark families; raise it for stable numbers.
+# The go test exit status gates the JSON step, so a panicking benchmark
+# cannot record a silently truncated BENCH file.
+bench:
+	go test -run '^$$' -bench 'BenchmarkB' -benchmem -benchtime 10x . > bench.out
+	cat bench.out
+	go run ./cmd/benchjson -in bench.out -out $(BENCH_OUT)
+	rm -f bench.out
+
+# One iteration of every benchmark: catches panics and broken bench
+# inputs on every push without CI paying for real measurement.
+bench-smoke:
+	go test -run '^$$' -bench 'BenchmarkB' -benchtime 1x .

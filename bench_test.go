@@ -14,6 +14,9 @@
 //	B7  isomorphism checking (the determinism-verification primitive)
 //	B8  relationship-isomorphic vs homomorphic matching
 //	B9  collapse strategies on the Example 7 clickstream shape
+//	B10 LIMIT early exit under the streaming executor
+//	B11 cost-based anchor selection on a label-skewed graph
+//	B12 WHERE pushdown pruning relationship expansion
 package repro_test
 
 import (
@@ -246,6 +249,85 @@ func BenchmarkB10LimitEarlyExit(b *testing.B) {
 				res := execBench(b, cfg, g, query, nil)
 				if res.Table.Len() != 5 {
 					b.Fatal("expected 5 rows")
+				}
+			}
+		})
+	}
+}
+
+// B11: cost-based anchor selection. The rare label sits at the RIGHT
+// end of the path over a heavily skewed graph, so the pre-planner
+// enumeration (left-to-right from the first node) scans every :Common
+// node, while the planner anchors at :Rare and expands backwards.
+func BenchmarkB11SelectiveAnchor(b *testing.B) {
+	g := graph.New()
+	const common, rare = 20000, 10
+	var rares []graph.NodeID
+	for i := 0; i < rare; i++ {
+		rares = append(rares, g.CreateNode([]string{"Rare"}, value.Map{"r": value.Int(int64(i))}).ID)
+	}
+	for i := 0; i < common; i++ {
+		c := g.CreateNode([]string{"Common"}, value.Map{"i": value.Int(int64(i))})
+		// One in twenty Common nodes links to a Rare node, spread
+		// round-robin across the Rare nodes.
+		if i%20 == 0 {
+			if _, err := g.CreateRel(c.ID, rares[(i/20)%rare], "R", nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	query := `MATCH (c:Common)-[:R]->(r:Rare) RETURN count(*) AS n`
+	for _, c := range []struct {
+		name    string
+		planner core.PlannerMode
+	}{
+		{"naive", core.PlannerLeftToRight},
+		{"planned", core.PlannerCostBased},
+	} {
+		cfg := core.Config{Dialect: core.DialectRevised, Planner: c.planner}
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := execBench(b, cfg, g, query, nil)
+				if n, _ := value.AsInt(res.Table.Get(0, "n")); n != common/20 {
+					b.Fatalf("count = %v, want %d", res.Table.Get(0, "n"), common/20)
+				}
+			}
+		})
+	}
+}
+
+// B12: WHERE pushdown. The predicate on the anchor node decides 99% of
+// candidates before their relationships are expanded; without pushdown
+// every node's adjacency is enumerated and the filter runs on complete
+// rows only.
+func BenchmarkB12WherePushdown(b *testing.B) {
+	g := graph.New()
+	const nodes, fanout = 5000, 8
+	var ids []graph.NodeID
+	for i := 0; i < nodes; i++ {
+		ids = append(ids, g.CreateNode([]string{"N"}, value.Map{"hot": value.Bool(i%100 == 0)}).ID)
+	}
+	for i, id := range ids {
+		for j := 1; j <= fanout; j++ {
+			if _, err := g.CreateRel(id, ids[(i+j)%nodes], "T", nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	query := `MATCH (a:N)-[:T]->(b:N) WHERE a.hot RETURN count(*) AS n`
+	for _, c := range []struct {
+		name    string
+		planner core.PlannerMode
+	}{
+		{"naive", core.PlannerLeftToRight},
+		{"planned", core.PlannerCostBased},
+	} {
+		cfg := core.Config{Dialect: core.DialectRevised, Planner: c.planner}
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := execBench(b, cfg, g, query, nil)
+				if n, _ := value.AsInt(res.Table.Get(0, "n")); n != nodes/100*fanout {
+					b.Fatalf("count = %v, want %d", res.Table.Get(0, "n"), nodes/100*fanout)
 				}
 			}
 		})

@@ -18,6 +18,10 @@ func (x *executor) execMatch(cl *ast.MatchClause, t *table.Table) (*table.Table,
 	newVars := freshVars(match.PatternVariables(cl.Pattern), t)
 	out := table.New(append(t.Columns(), newVars...)...)
 	m := x.matcher()
+	// Pushed WHERE conjuncts prune during enumeration; the full WHERE
+	// below still runs on every complete match, so results (and their
+	// order) are identical with or without the pushdown.
+	m.SetPushdown(match.NewPushdown(cl.Where, cl.Pattern, t.Columns()))
 	for i := 0; i < t.Len(); i++ {
 		env := expr.Env(t.Row(i))
 		matches, err := m.Match(cl.Pattern, env)

@@ -139,6 +139,28 @@ func (e Executor) String() string {
 	return "streaming"
 }
 
+// PlannerMode selects how MATCH enumeration is planned.
+type PlannerMode int
+
+// Planner modes.
+const (
+	// PlannerCostBased (the default) picks scan anchors, part order and
+	// walk direction from the graph's incrementally maintained
+	// statistics, and prunes with pushed WHERE conjuncts.
+	PlannerCostBased PlannerMode = iota
+	// PlannerLeftToRight is the pre-planner enumeration: every part
+	// starts at its first node and parts run in written order. Kept for
+	// A/B benchmarking (B11/B12) and bisecting planner issues.
+	PlannerLeftToRight
+)
+
+func (p PlannerMode) String() string {
+	if p == PlannerLeftToRight {
+		return "left-to-right"
+	}
+	return "cost-based"
+}
+
 // Config configures an Engine.
 type Config struct {
 	Dialect Dialect
@@ -156,11 +178,19 @@ type Config struct {
 	// Executor selects the streaming (default) or materializing
 	// evaluation strategy.
 	Executor Executor
+	// Planner selects cost-based match planning (default) or the naive
+	// left-to-right enumeration. Both executors honour it, so golden
+	// cross-executor comparisons hold in either mode.
+	Planner PlannerMode
 
 	// onPlan, when set, receives the root operator of every streaming
 	// statement after execution finishes (tests use it to assert
 	// early-exit visit counts).
 	onPlan func(plan.Operator)
+	// forceAnchor, when set, overrides the planner's anchor choice per
+	// pattern part (the planner-equivalence test hook; see
+	// match.Matcher.ForceAnchor).
+	forceAnchor func(partIdx int, part *ast.PatternPart) int
 }
 
 // UpdateStats counts the effects of a statement.
@@ -389,7 +419,13 @@ type executor struct {
 }
 
 func (x *executor) matcher() *match.Matcher {
-	return &match.Matcher{Graph: x.graph, Ev: x.ev, Mode: x.cfg.MatchMode}
+	return &match.Matcher{
+		Graph:       x.graph,
+		Ev:          x.ev,
+		Mode:        x.cfg.MatchMode,
+		DisablePlan: x.cfg.Planner == PlannerLeftToRight,
+		ForceAnchor: x.cfg.forceAnchor,
+	}
 }
 
 // run folds the clause semantics over the driving table, left to right

@@ -96,6 +96,15 @@ type Graph struct {
 	nextNode NodeID
 	nextRel  RelID
 
+	// stats holds the incrementally maintained planner statistics
+	// (stats.go); every mutation path below keeps it in sync with a
+	// from-scratch recount.
+	stats statsCounters
+	// version counts structural mutations (nodes, relationships,
+	// labels — everything the planner statistics reflect; property
+	// writes excluded). The match planner caches plans against it.
+	version int64
+
 	journal *Journal // non-nil while a statement's undo journal is active
 }
 
@@ -109,6 +118,11 @@ func New() *Graph {
 		byLabel:  make(map[string]map[NodeID]struct{}),
 	}
 }
+
+// Version reports the structural mutation counter: it changes whenever
+// nodes, relationships or labels do (but not on property writes), so
+// cached match plans can be invalidated cheaply.
+func (g *Graph) Version() int64 { return g.version }
 
 // NumNodes reports the number of nodes.
 func (g *Graph) NumNodes() int { return len(g.nodes) }
@@ -199,6 +213,7 @@ func (g *Graph) Degree(id NodeID) int {
 // it. Properties mapped to null are not stored (iota(n,k)=null means
 // "absent" in the formal model).
 func (g *Graph) CreateNode(labels []string, props value.Map) *Node {
+	g.version++
 	g.nextNode++
 	n := &Node{
 		ID:     g.nextNode,
@@ -253,6 +268,7 @@ func (g *Graph) CreateRel(src, tgt NodeID, relType string, props value.Map) (*Re
 	g.rels[r.ID] = r
 	g.outgoing[src] = append(g.outgoing[src], r.ID)
 	g.incoming[tgt] = append(g.incoming[tgt], r.ID)
+	g.statsRel(r, +1)
 	if g.journal != nil {
 		g.journal.record(undoCreateRel{id: r.ID})
 	}
@@ -269,6 +285,7 @@ func (g *Graph) DeleteRel(id RelID) {
 	if g.journal != nil {
 		g.journal.record(undoDeleteRel{rel: copyRel(r)})
 	}
+	g.statsRel(r, -1)
 	delete(g.rels, id)
 	g.outgoing[r.Src] = removeRelID(g.outgoing[r.Src], id)
 	g.incoming[r.Tgt] = removeRelID(g.incoming[r.Tgt], id)
@@ -307,6 +324,11 @@ func (g *Graph) DeleteNodeUnchecked(id NodeID) {
 }
 
 func (g *Graph) removeNodeInternal(n *Node) {
+	g.version++
+	// The node's labels stop contributing to the degree counters; any
+	// relationships it leaves dangling (legacy unchecked deletion) keep
+	// only their surviving endpoint's contribution.
+	g.statsNodeRels(n, -1)
 	delete(g.nodes, n.ID)
 	for l := range n.Labels {
 		g.unindexLabel(l, n.ID)
@@ -386,6 +408,7 @@ func (g *Graph) AddLabel(id NodeID, label string) error {
 	}
 	n.Labels[label] = struct{}{}
 	g.indexLabel(label, id)
+	g.statsLabel(id, label, +1)
 	return nil
 }
 
@@ -401,6 +424,7 @@ func (g *Graph) RemoveLabel(id NodeID, label string) error {
 	if g.journal != nil {
 		g.journal.record(undoRemoveLabel{id: id, label: label})
 	}
+	g.statsLabel(id, label, -1)
 	delete(n.Labels, label)
 	g.unindexLabel(label, id)
 	return nil
@@ -472,6 +496,7 @@ func (g *Graph) Clone() *Graph {
 		byLabel:  make(map[string]map[NodeID]struct{}, len(g.byLabel)),
 		nextNode: g.nextNode,
 		nextRel:  g.nextRel,
+		version:  g.version,
 	}
 	for id, n := range g.nodes {
 		ng.nodes[id] = copyNode(n)
@@ -492,6 +517,7 @@ func (g *Graph) Clone() *Graph {
 		}
 		ng.byLabel[l] = ns
 	}
+	ng.stats = g.stats.clone()
 	return ng
 }
 
@@ -526,10 +552,14 @@ func copyRel(r *Rel) *Rel {
 
 // restoreNode reinstates a node with its original id (journal rollback).
 func (g *Graph) restoreNode(n *Node) {
+	g.version++
 	g.nodes[n.ID] = n
 	for l := range n.Labels {
 		g.indexLabel(l, n.ID)
 	}
+	// Attached relationships that survived (or were restored first)
+	// regain this endpoint's label contribution.
+	g.statsNodeRels(n, +1)
 }
 
 // restoreRel reinstates a relationship with its original id (journal
@@ -539,4 +569,5 @@ func (g *Graph) restoreRel(r *Rel) {
 	g.rels[r.ID] = r
 	g.outgoing[r.Src] = insertRelIDSorted(g.outgoing[r.Src], r.ID)
 	g.incoming[r.Tgt] = insertRelIDSorted(g.incoming[r.Tgt], r.ID)
+	g.statsRel(r, +1)
 }

@@ -201,21 +201,29 @@ func relsConsistent(a, b *Graph, mapping map[NodeID]NodeID) bool {
 	return true
 }
 
-// Stats summarizes a graph for experiment reporting.
+// Stats summarizes a graph: entity counts plus the degree counters the
+// match planner's cost model reads. Graph.Stats() assembles it from the
+// incrementally maintained counters; ComputeStats recounts from scratch
+// (the reference implementation the incremental counters are tested
+// against).
 type Stats struct {
 	Nodes    int
 	Rels     int
-	Labels   map[string]int // nodes per label
-	RelTypes map[string]int // rels per type
+	Labels   map[string]int    // nodes per label
+	RelTypes map[string]int    // rels per type
+	OutDeg   map[LabelType]int // rels of Type whose existing source carries Label
+	InDeg    map[LabelType]int // rels of Type whose existing target carries Label
 }
 
-// ComputeStats gathers summary statistics.
+// ComputeStats gathers summary statistics by a full recount.
 func ComputeStats(g *Graph) Stats {
 	s := Stats{
 		Nodes:    g.NumNodes(),
 		Rels:     g.NumRels(),
 		Labels:   make(map[string]int),
 		RelTypes: make(map[string]int),
+		OutDeg:   make(map[LabelType]int),
+		InDeg:    make(map[LabelType]int),
 	}
 	for _, id := range g.NodeIDs() {
 		for l := range g.Node(id).Labels {
@@ -223,7 +231,18 @@ func ComputeStats(g *Graph) Stats {
 		}
 	}
 	for _, id := range g.RelIDs() {
-		s.RelTypes[g.Rel(id).Type]++
+		r := g.Rel(id)
+		s.RelTypes[r.Type]++
+		if src := g.Node(r.Src); src != nil {
+			for l := range src.Labels {
+				s.OutDeg[LabelType{l, r.Type}]++
+			}
+		}
+		if tgt := g.Node(r.Tgt); tgt != nil {
+			for l := range tgt.Labels {
+				s.InDeg[LabelType{l, r.Type}]++
+			}
+		}
 	}
 	return s
 }

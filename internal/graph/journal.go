@@ -68,6 +68,7 @@ func (u undoCreateRel) undo(g *Graph) {
 	if !ok {
 		return
 	}
+	g.statsRel(r, -1)
 	delete(g.rels, u.id)
 	g.outgoing[r.Src] = removeRelID(g.outgoing[r.Src], u.id)
 	g.incoming[r.Tgt] = removeRelID(g.incoming[r.Tgt], u.id)
@@ -129,6 +130,7 @@ func (u undoAddLabel) undo(g *Graph) {
 	if !ok {
 		return
 	}
+	g.statsLabel(u.id, u.label, -1)
 	delete(n.Labels, u.label)
 	g.unindexLabel(u.label, u.id)
 }
@@ -145,4 +147,5 @@ func (u undoRemoveLabel) undo(g *Graph) {
 	}
 	n.Labels[u.label] = struct{}{}
 	g.indexLabel(u.label, u.id)
+	g.statsLabel(u.id, u.label, +1)
 }

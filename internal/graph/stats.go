@@ -1,0 +1,249 @@
+package graph
+
+// Graph statistics maintained incrementally under mutation.
+//
+// The match planner (internal/match) picks scan anchors and orders
+// pattern parts by cardinality estimates; because the source paper is
+// about updates, those estimates must stay correct while CREATE, DELETE,
+// SET, REMOVE and statement rollback mutate the graph. Rather than
+// recounting, every mutation entry point of the store adjusts a set of
+// counters, so all reads here are O(1):
+//
+//   - nodes per label (derived from the label index, which is already
+//     maintained incrementally);
+//   - relationships per type;
+//   - relationship endpoints per (endpoint label, relationship type) and
+//     per endpoint label — the "degree sums" from which average out/in
+//     degrees are computed.
+//
+// The degree counters follow the convention of the from-scratch recount
+// in ComputeStats: a relationship contributes to out-degree counters
+// once per label of its source node and to in-degree counters once per
+// label of its target node, counting only endpoints that currently
+// exist. Legacy Cypher 9 DELETE may leave relationships dangling
+// mid-statement (Section 4.2 of the paper); a dangling endpoint simply
+// stops contributing until the node is restored.
+//
+// The invariant "counters == ComputeStats(g)" is exercised by a
+// property-style test over random mutation/rollback sequences
+// (stats_test.go).
+
+// LabelType keys degree counters by endpoint label and relationship type.
+type LabelType struct {
+	Label string
+	Type  string
+}
+
+// statsCounters holds the incrementally maintained counters. Maps are
+// allocated lazily and entries are deleted when they reach zero, so two
+// graphs with equal content have equal (canonical) counters.
+type statsCounters struct {
+	relType  map[string]int    // relationships per type
+	out      map[LabelType]int // rels of Type whose source carries Label
+	in       map[LabelType]int // rels of Type whose target carries Label
+	outLabel map[string]int    // rels (any type) whose source carries Label
+	inLabel  map[string]int    // rels (any type) whose target carries Label
+}
+
+func bump[K comparable](m map[K]int, k K, delta int) map[K]int {
+	if m == nil {
+		m = make(map[K]int)
+	}
+	n := m[k] + delta
+	if n == 0 {
+		delete(m, k)
+	} else {
+		m[k] = n
+	}
+	return m
+}
+
+// statsRel adjusts the counters for relationship r by delta (+1 on
+// create/restore, -1 on delete). Endpoint label contributions are
+// counted only for endpoints that currently exist; restoreNode and
+// removeNodeInternal account for the missing side.
+func (g *Graph) statsRel(r *Rel, delta int) {
+	g.version++
+	g.stats.relType = bump(g.stats.relType, r.Type, delta)
+	if src, ok := g.nodes[r.Src]; ok {
+		for l := range src.Labels {
+			g.stats.out = bump(g.stats.out, LabelType{l, r.Type}, delta)
+			g.stats.outLabel = bump(g.stats.outLabel, l, delta)
+		}
+	}
+	if tgt, ok := g.nodes[r.Tgt]; ok {
+		for l := range tgt.Labels {
+			g.stats.in = bump(g.stats.in, LabelType{l, r.Type}, delta)
+			g.stats.inLabel = bump(g.stats.inLabel, l, delta)
+		}
+	}
+}
+
+// statsNodeRels adjusts the degree contribution of node n's labels
+// across its attached, still-existing relationships. Called when a node
+// appears (restore) or disappears (removal, including the unchecked
+// legacy deletion that leaves relationships dangling).
+func (g *Graph) statsNodeRels(n *Node, delta int) {
+	for _, rid := range g.outgoing[n.ID] {
+		r, ok := g.rels[rid]
+		if !ok {
+			continue
+		}
+		for l := range n.Labels {
+			g.stats.out = bump(g.stats.out, LabelType{l, r.Type}, delta)
+			g.stats.outLabel = bump(g.stats.outLabel, l, delta)
+		}
+	}
+	for _, rid := range g.incoming[n.ID] {
+		r, ok := g.rels[rid]
+		if !ok {
+			continue
+		}
+		for l := range n.Labels {
+			g.stats.in = bump(g.stats.in, LabelType{l, r.Type}, delta)
+			g.stats.inLabel = bump(g.stats.inLabel, l, delta)
+		}
+	}
+}
+
+// statsLabel adjusts the degree contribution of one label gained
+// (delta=+1) or lost (delta=-1) by node id, across its attached,
+// still-existing relationships.
+func (g *Graph) statsLabel(id NodeID, label string, delta int) {
+	g.version++
+	for _, rid := range g.outgoing[id] {
+		if r, ok := g.rels[rid]; ok {
+			g.stats.out = bump(g.stats.out, LabelType{label, r.Type}, delta)
+			g.stats.outLabel = bump(g.stats.outLabel, label, delta)
+		}
+	}
+	for _, rid := range g.incoming[id] {
+		if r, ok := g.rels[rid]; ok {
+			g.stats.in = bump(g.stats.in, LabelType{label, r.Type}, delta)
+			g.stats.inLabel = bump(g.stats.inLabel, label, delta)
+		}
+	}
+}
+
+func (s statsCounters) clone() statsCounters {
+	cp := func(m map[string]int) map[string]int {
+		if len(m) == 0 {
+			return nil
+		}
+		out := make(map[string]int, len(m))
+		for k, v := range m {
+			out[k] = v
+		}
+		return out
+	}
+	c := statsCounters{relType: cp(s.relType), outLabel: cp(s.outLabel), inLabel: cp(s.inLabel)}
+	if len(s.out) > 0 {
+		c.out = make(map[LabelType]int, len(s.out))
+		for k, v := range s.out {
+			c.out[k] = v
+		}
+	}
+	if len(s.in) > 0 {
+		c.in = make(map[LabelType]int, len(s.in))
+		for k, v := range s.in {
+			c.in[k] = v
+		}
+	}
+	return c
+}
+
+// ---------------------------------------------------------------------
+// O(1) read API (the planner's cost-model inputs)
+// ---------------------------------------------------------------------
+
+// NodeCountByLabel reports the number of nodes carrying the label, O(1).
+func (g *Graph) NodeCountByLabel(label string) int { return len(g.byLabel[label]) }
+
+// RelCountByType reports the number of relationships of the type, O(1).
+func (g *Graph) RelCountByType(relType string) int { return g.stats.relType[relType] }
+
+// OutRelCount reports how many relationships of relType have a source
+// node carrying label; relType "" means any type. O(1).
+func (g *Graph) OutRelCount(label, relType string) int {
+	if relType == "" {
+		return g.stats.outLabel[label]
+	}
+	return g.stats.out[LabelType{label, relType}]
+}
+
+// InRelCount reports how many relationships of relType have a target
+// node carrying label; relType "" means any type. O(1).
+func (g *Graph) InRelCount(label, relType string) int {
+	if relType == "" {
+		return g.stats.inLabel[label]
+	}
+	return g.stats.in[LabelType{label, relType}]
+}
+
+// AvgOutDegree estimates the average number of relType relationships
+// leaving a node with the given label ("" label means any node, ""
+// relType means any type). O(1).
+func (g *Graph) AvgOutDegree(label, relType string) float64 {
+	return avgDegree(g.degreeCount(label, relType, true), g.nodeBase(label))
+}
+
+// AvgInDegree estimates the average number of relType relationships
+// entering a node with the given label. O(1).
+func (g *Graph) AvgInDegree(label, relType string) float64 {
+	return avgDegree(g.degreeCount(label, relType, false), g.nodeBase(label))
+}
+
+func (g *Graph) degreeCount(label, relType string, out bool) int {
+	if label == "" {
+		if relType == "" {
+			return len(g.rels)
+		}
+		return g.stats.relType[relType]
+	}
+	if out {
+		return g.OutRelCount(label, relType)
+	}
+	return g.InRelCount(label, relType)
+}
+
+func (g *Graph) nodeBase(label string) int {
+	if label == "" {
+		return len(g.nodes)
+	}
+	return len(g.byLabel[label])
+}
+
+func avgDegree(rels, nodes int) float64 {
+	if nodes == 0 {
+		return 0
+	}
+	return float64(rels) / float64(nodes)
+}
+
+// Stats returns a snapshot of the incrementally maintained statistics.
+// It is equal to ComputeStats(g) at all times (the invariant the
+// property tests check), but is assembled from O(1) counters rather
+// than a full recount.
+func (g *Graph) Stats() Stats {
+	s := Stats{
+		Nodes:    len(g.nodes),
+		Rels:     len(g.rels),
+		Labels:   make(map[string]int, len(g.byLabel)),
+		RelTypes: make(map[string]int, len(g.stats.relType)),
+		OutDeg:   make(map[LabelType]int, len(g.stats.out)),
+		InDeg:    make(map[LabelType]int, len(g.stats.in)),
+	}
+	for l, set := range g.byLabel {
+		s.Labels[l] = len(set)
+	}
+	for t, c := range g.stats.relType {
+		s.RelTypes[t] = c
+	}
+	for k, c := range g.stats.out {
+		s.OutDeg[k] = c
+	}
+	for k, c := range g.stats.in {
+		s.InDeg[k] = c
+	}
+	return s
+}

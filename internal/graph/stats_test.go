@@ -1,0 +1,227 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// normalizeStats drops empty maps so reflect.DeepEqual compares the
+// counted content, not nil-vs-allocated representation.
+func normalizeStats(s Stats) Stats {
+	if len(s.Labels) == 0 {
+		s.Labels = nil
+	}
+	if len(s.RelTypes) == 0 {
+		s.RelTypes = nil
+	}
+	if len(s.OutDeg) == 0 {
+		s.OutDeg = nil
+	}
+	if len(s.InDeg) == 0 {
+		s.InDeg = nil
+	}
+	return s
+}
+
+// checkStats asserts the incremental counters equal a from-scratch
+// recount, including the O(1) read API derived from them.
+func checkStats(t *testing.T, g *Graph, ctx string) {
+	t.Helper()
+	want := normalizeStats(ComputeStats(g))
+	got := normalizeStats(g.Stats())
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: incremental stats diverged\n got: %+v\nwant: %+v", ctx, got, want)
+	}
+	// The any-type degree counters must be the per-type sums.
+	perLabelOut := map[string]int{}
+	perLabelIn := map[string]int{}
+	for k, c := range want.OutDeg {
+		perLabelOut[k.Label] += c
+	}
+	for k, c := range want.InDeg {
+		perLabelIn[k.Label] += c
+	}
+	for l, c := range perLabelOut {
+		if got := g.OutRelCount(l, ""); got != c {
+			t.Fatalf("%s: OutRelCount(%s, any) = %d, want %d", ctx, l, got, c)
+		}
+	}
+	for l, c := range perLabelIn {
+		if got := g.InRelCount(l, ""); got != c {
+			t.Fatalf("%s: InRelCount(%s, any) = %d, want %d", ctx, l, got, c)
+		}
+	}
+	for l, c := range want.Labels {
+		if got := g.NodeCountByLabel(l); got != c {
+			t.Fatalf("%s: NodeCountByLabel(%s) = %d, want %d", ctx, l, got, c)
+		}
+	}
+	for ty, c := range want.RelTypes {
+		if got := g.RelCountByType(ty); got != c {
+			t.Fatalf("%s: RelCountByType(%s) = %d, want %d", ctx, ty, got, c)
+		}
+	}
+}
+
+// TestStatsIncrementalMatchesRecount drives random mutation sequences —
+// CREATE/DELETE of nodes and relationships, label changes, unchecked
+// legacy deletions that leave dangling relationships, and journal
+// rollbacks — and requires the incremental counters to equal a full
+// recount after every batch.
+func TestStatsIncrementalMatchesRecount(t *testing.T) {
+	labels := []string{"A", "B", "C"}
+	types := []string{"R", "S"}
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		var nodes []NodeID
+		var rels []RelID
+
+		randomLabels := func() []string {
+			var out []string
+			for _, l := range labels {
+				if rng.Intn(2) == 0 {
+					out = append(out, l)
+				}
+			}
+			return out
+		}
+		pickNode := func() (NodeID, bool) {
+			for len(nodes) > 0 {
+				i := rng.Intn(len(nodes))
+				if g.HasNode(nodes[i]) {
+					return nodes[i], true
+				}
+				nodes = append(nodes[:i], nodes[i+1:]...)
+			}
+			return 0, false
+		}
+		pickRel := func() (RelID, bool) {
+			for len(rels) > 0 {
+				i := rng.Intn(len(rels))
+				if g.HasRel(rels[i]) {
+					return rels[i], true
+				}
+				rels = append(rels[:i], rels[i+1:]...)
+			}
+			return 0, false
+		}
+
+		mutate := func() {
+			switch op := rng.Intn(10); op {
+			case 0, 1, 2:
+				n := g.CreateNode(randomLabels(), value.Map{"v": value.Int(int64(rng.Intn(10)))})
+				nodes = append(nodes, n.ID)
+			case 3, 4:
+				src, ok1 := pickNode()
+				tgt, ok2 := pickNode()
+				if ok1 && ok2 {
+					r, err := g.CreateRel(src, tgt, types[rng.Intn(len(types))], nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rels = append(rels, r.ID)
+				}
+			case 5:
+				if id, ok := pickRel(); ok {
+					g.DeleteRel(id)
+				}
+			case 6:
+				if id, ok := pickNode(); ok {
+					g.DetachDeleteNode(id)
+				}
+			case 7:
+				// Legacy unchecked deletion: may leave dangling rels whose
+				// endpoint label contributions must vanish.
+				if id, ok := pickNode(); ok {
+					g.DeleteNodeUnchecked(id)
+				}
+			case 8:
+				if id, ok := pickNode(); ok {
+					if err := g.AddLabel(id, labels[rng.Intn(len(labels))]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case 9:
+				if id, ok := pickNode(); ok {
+					if err := g.RemoveLabel(id, labels[rng.Intn(len(labels))]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+
+		for batch := 0; batch < 40; batch++ {
+			useJournal := rng.Intn(3) != 0
+			rollback := useJournal && rng.Intn(2) == 0
+			var j *Journal
+			if useJournal {
+				j = g.BeginJournal()
+			}
+			for i := 0; i < 1+rng.Intn(8); i++ {
+				mutate()
+			}
+			if j != nil {
+				if rollback {
+					j.Rollback()
+				} else {
+					j.Commit()
+				}
+			}
+			checkStats(t, g, fmt.Sprintf("seed=%d batch=%d rollback=%v", seed, batch, rollback))
+		}
+
+		// Clone and codec round-trip must carry (or rebuild) the counters.
+		checkStats(t, g.Clone(), fmt.Sprintf("seed=%d clone", seed))
+		// The codec refuses dangling relationships; repair the structural
+		// invariant first (as a statement-end commit check would insist).
+		for _, id := range g.RelIDs() {
+			r := g.Rel(id)
+			if !g.HasNode(r.Src) || !g.HasNode(r.Tgt) {
+				g.DeleteRel(id)
+			}
+		}
+		checkStats(t, g, fmt.Sprintf("seed=%d repaired", seed))
+		var buf bytes.Buffer
+		if err := g.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkStats(t, g2, fmt.Sprintf("seed=%d codec", seed))
+	}
+}
+
+// TestStatsDegreeAverages pins the degree estimates the planner reads.
+func TestStatsDegreeAverages(t *testing.T) {
+	g := New()
+	var users []NodeID
+	for i := 0; i < 4; i++ {
+		users = append(users, g.CreateNode([]string{"User"}, nil).ID)
+	}
+	item := g.CreateNode([]string{"Item"}, nil).ID
+	for _, u := range users {
+		if _, err := g.CreateRel(u, item, "BUYS", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := g.AvgOutDegree("User", "BUYS"); got != 1 {
+		t.Errorf("AvgOutDegree(User, BUYS) = %v, want 1", got)
+	}
+	if got := g.AvgInDegree("Item", "BUYS"); got != 4 {
+		t.Errorf("AvgInDegree(Item, BUYS) = %v, want 4", got)
+	}
+	if got := g.AvgInDegree("User", "BUYS"); got != 0 {
+		t.Errorf("AvgInDegree(User, BUYS) = %v, want 0", got)
+	}
+	if got := g.AvgOutDegree("", "BUYS"); got != 4.0/5.0 {
+		t.Errorf("AvgOutDegree(any, BUYS) = %v, want 0.8", got)
+	}
+}

@@ -14,8 +14,13 @@
 //     MERGE with Strong Collapse semantics can only be re-matched under
 //     homomorphism.
 //
-// Enumeration order is deterministic (ascending entity ids), which the
-// engine relies on for reproducible legacy-mode runs.
+// Enumeration is cost-based (planner.go): statistics maintained by the
+// graph store choose each part's anchor node, the walk direction, and
+// the order of comma-separated parts. The order of results is still
+// deterministic for a given graph state — anchor candidates ascend by
+// entity id and expansions follow sorted adjacency — which the engine
+// relies on for reproducible legacy-mode runs; both executors share
+// this planner, so they agree bit for bit.
 package match
 
 import (
@@ -57,6 +62,52 @@ type Matcher struct {
 	Mode  Mode
 	// Stats, when non-nil, accumulates visit counters during matching.
 	Stats *Stats
+
+	// DisablePlan turns cost-based planning off: parts run in written
+	// order, every part anchors at its first node, and pushed predicates
+	// are ignored. Kept for A/B benchmarking against the pre-planner
+	// enumeration and for bisecting planner bugs.
+	DisablePlan bool
+	// ForceAnchor, when non-nil, overrides anchor selection for testing:
+	// it receives each part's index in the written pattern and may
+	// return a node-slot index (or a negative value to keep the cost-
+	// based choice). While forced, parts stay in written order so the
+	// hook controls exactly one planning dimension.
+	ForceAnchor func(partIdx int, part *ast.PatternPart) int
+
+	// Pushed WHERE conjuncts (see Pushdown): consulted during
+	// enumeration to prune candidates early. Pruning is speculative —
+	// the full WHERE is still evaluated by the consumer, and a conjunct
+	// whose evaluation errors is simply deferred there.
+	NodePreds map[*ast.NodePattern][]ast.Expr
+	RelPreds  map[*ast.RelPattern][]ast.Expr
+	PrePreds  []ast.Expr
+
+	// Plan cache: Stream is called once per driving-table record, but
+	// the plan depends only on the pattern, the set of bound column
+	// names and the graph's structural version — all constant across a
+	// typical operator's rows (see plansFor).
+	cachedPlans []partPlan
+	cacheParts  *ast.PatternPart
+	cacheN      int
+	cacheBound  []string
+	cacheVer    int64
+
+	// runNaive, set per Stream call, forces the seed's written-order
+	// walk and disables all pushed-predicate pruning for rows where any
+	// deviation could change which runtime error surfaces: a pattern
+	// variable bound to a value of the wrong kind, or an inline
+	// property expression that can error (see naiveRequired).
+	runNaive bool
+}
+
+// SetPushdown installs the pushed predicates of a classified WHERE.
+func (m *Matcher) SetPushdown(pd *Pushdown) {
+	if pd == nil {
+		m.NodePreds, m.RelPreds, m.PrePreds = nil, nil, nil
+		return
+	}
+	m.NodePreds, m.RelPreds, m.PrePreds = pd.Node, pd.Rel, pd.Pre
 }
 
 // ErrStop, returned from a Stream yield callback, terminates enumeration
@@ -75,8 +126,29 @@ var ErrStop = errors.New("match: stop enumeration")
 // retain it across yields must copy it (the engine's operators do so by
 // normalizing rows into their own column sets).
 func (m *Matcher) Stream(parts []*ast.PatternPart, env expr.Env, yield func(expr.Env) error) error {
+	m.runNaive = m.DisablePlan || m.naiveRequired(parts, env)
+	var plans []partPlan
+	if m.runNaive {
+		// The seed's walk, bit for bit: written order, first-node
+		// anchors, no pruning — so every runtime error (mistyped
+		// binding, erroring property expression) surfaces exactly when
+		// and where it always did.
+		plans = naivePlans(parts)
+	} else {
+		// Pre-predicates reference only already-bound variables: when
+		// one is definitively not true, no extension of env can pass
+		// the full WHERE, so enumeration is skipped wholesale. Errors
+		// defer to the consumer's WHERE evaluation over complete rows.
+		for _, p := range m.PrePreds {
+			tri, err := m.Ev.EvalBool(p, env)
+			if err == nil && tri != value.True {
+				return nil
+			}
+		}
+		plans = m.plansFor(parts, env)
+	}
 	used := make(map[graph.RelID]bool)
-	err := m.matchParts(parts, 0, env, used, func(e expr.Env) error {
+	err := m.matchParts(plans, 0, env, used, func(e expr.Env) error {
 		if m.Stats != nil {
 			m.Stats.Emitted++
 		}
@@ -116,56 +188,113 @@ func (m *Matcher) MatchExists(parts []*ast.PatternPart, env expr.Env) (bool, err
 	return found, nil
 }
 
-func (m *Matcher) matchParts(parts []*ast.PatternPart, i int, env expr.Env, used map[graph.RelID]bool, yield func(expr.Env) error) error {
-	if i == len(parts) {
+// plansFor returns the execution plan for parts under env's bound
+// variables, reusing the cached plan when the pattern, the bound column
+// set and the graph's structural version are unchanged since the last
+// call — the common case for an operator streaming many records.
+func (m *Matcher) plansFor(parts []*ast.PatternPart, env expr.Env) []partPlan {
+	newBound := func() map[string]bool {
+		bound := make(map[string]bool, len(env))
+		for k := range env {
+			bound[k] = true
+		}
+		return bound
+	}
+	if m.ForceAnchor != nil {
+		// Test hooks may be stateful; never cache around them.
+		return m.planParts(parts, newBound())
+	}
+	var key *ast.PatternPart
+	if len(parts) > 0 {
+		key = parts[0]
+	}
+	if m.cachedPlans != nil && m.cacheParts == key && m.cacheN == len(parts) &&
+		m.cacheVer == m.Graph.Version() && len(m.cacheBound) == len(env) {
+		hit := true
+		for _, name := range m.cacheBound {
+			if _, ok := env[name]; !ok {
+				hit = false
+				break
+			}
+		}
+		if hit {
+			return m.cachedPlans
+		}
+	}
+	names := make([]string, 0, len(env))
+	for k := range env {
+		names = append(names, k)
+	}
+	plans := m.planParts(parts, newBound())
+	m.cachedPlans, m.cacheParts, m.cacheN = plans, key, len(parts)
+	m.cacheBound, m.cacheVer = names, m.Graph.Version()
+	return plans
+}
+
+func (m *Matcher) matchParts(plans []partPlan, i int, env expr.Env, used map[graph.RelID]bool, yield func(expr.Env) error) error {
+	if i == len(plans) {
 		return yield(env)
 	}
-	return m.matchPart(parts[i], env, used, func(e expr.Env) error {
-		return m.matchParts(parts, i+1, e, used, yield)
+	return m.matchPart(plans[i], env, used, func(e expr.Env) error {
+		return m.matchParts(plans, i+1, e, used, yield)
 	})
 }
 
-// matchPart walks one path pattern left to right.
-func (m *Matcher) matchPart(part *ast.PatternPart, env expr.Env, used map[graph.RelID]bool, yield func(expr.Env) error) error {
-	type pathState struct {
-		nodes []graph.NodeID
-		rels  []graph.RelID
-	}
-	var walk func(relIdx int, at graph.NodeID, env expr.Env, st pathState) error
-	walk = func(relIdx int, at graph.NodeID, env expr.Env, st pathState) error {
-		if relIdx == len(part.Rels) {
+// matchPart enumerates one path pattern following its plan: anchor
+// candidates first, then the planned expansion steps, which may walk the
+// written pattern in both directions. Slot bindings are tracked by node
+// and relationship position so path values come out in written
+// left-to-right order regardless of the walk.
+func (m *Matcher) matchPart(pp partPlan, env expr.Env, used map[graph.RelID]bool, yield func(expr.Env) error) error {
+	part := pp.part
+	nodeIDs := make([]graph.NodeID, len(part.Nodes))
+	relIDs := make([][]graph.RelID, len(part.Rels))
+
+	var walk func(si int, env expr.Env) error
+	walk = func(si int, env expr.Env) error {
+		if si == len(pp.steps) {
 			out := env
 			if part.Var != "" {
 				p := value.Path{}
-				for _, n := range st.nodes {
+				for _, n := range nodeIDs {
 					p.Nodes = append(p.Nodes, int64(n))
 				}
-				for _, r := range st.rels {
-					p.Rels = append(p.Rels, int64(r))
+				for _, rs := range relIDs {
+					// Var-length slots contribute their whole traversal (in
+					// written order); for path values we record only slot
+					// endpoint nodes (intermediate node ids are recoverable
+					// from the relationships).
+					for _, r := range rs {
+						p.Rels = append(p.Rels, int64(r))
+					}
 				}
 				out = env.With(part.Var, p)
 			}
 			return yield(out)
 		}
-		rp := part.Rels[relIdx]
-		np := part.Nodes[relIdx+1]
+		st := pp.steps[si]
+		rp := part.Rels[st.rel]
+		np := part.Nodes[st.to]
+		at := nodeIDs[st.from]
 		if rp.VarLength {
-			return m.expandVarLength(rp, np, at, env, used, func(relList []graph.RelID, end graph.NodeID, env2 expr.Env) error {
-				st2 := pathState{nodes: append(append([]graph.NodeID{}, st.nodes...), end), rels: append(append([]graph.RelID{}, st.rels...), relList...)}
-				// Var-length traverses multiple nodes; for path values we
-				// record only the endpoint (intermediate node ids are
-				// recoverable from the relationships).
-				return walk(relIdx+1, end, env2, st2)
+			return m.expandVarLength(rp, np, at, st.reversed, env, used, func(relList []graph.RelID, end graph.NodeID, env2 expr.Env) error {
+				nodeIDs[st.to] = end
+				relIDs[st.rel] = relList
+				return walk(si+1, env2)
 			})
 		}
-		return m.expandRel(rp, np, at, env, used, func(rid graph.RelID, end graph.NodeID, env2 expr.Env) error {
-			st2 := pathState{nodes: append(append([]graph.NodeID{}, st.nodes...), end), rels: append(append([]graph.RelID{}, st.rels...), rid)}
-			return walk(relIdx+1, end, env2, st2)
+		return m.expandRel(rp, np, at, st.reversed, env, used, func(rid graph.RelID, end graph.NodeID, env2 expr.Env) error {
+			nodeIDs[st.to] = end
+			if part.Var != "" {
+				relIDs[st.rel] = []graph.RelID{rid}
+			}
+			return walk(si+1, env2)
 		})
 	}
 
-	return m.matchNode(part.Nodes[0], env, func(n graph.NodeID, env2 expr.Env) error {
-		return walk(0, n, env2, pathState{nodes: []graph.NodeID{n}})
+	return m.matchNode(part.Nodes[pp.anchor], env, func(n graph.NodeID, env2 expr.Env) error {
+		nodeIDs[pp.anchor] = n
+		return walk(0, env2)
 	})
 }
 
@@ -238,7 +367,30 @@ func (m *Matcher) nodeSatisfies(id graph.NodeID, np *ast.NodePattern, env expr.E
 			return false, nil
 		}
 	}
-	return m.propsSatisfy(n.Props, np.Props, env)
+	ok, err := m.propsSatisfy(n.Props, np.Props, env)
+	if err != nil || !ok {
+		return ok, err
+	}
+	// Pushed WHERE conjuncts over this slot alone prune the candidate
+	// before any expansion happens. A conjunct that is false or null
+	// here makes the full WHERE non-true on every completion, so
+	// pruning is invisible; evaluation errors defer to the consumer's
+	// full WHERE over complete rows.
+	if !m.runNaive && np.Var != "" && len(m.NodePreds) > 0 {
+		if preds := m.NodePreds[np]; len(preds) > 0 {
+			e2 := env
+			if _, bound := env[np.Var]; !bound {
+				e2 = env.With(np.Var, value.Node{ID: int64(id)})
+			}
+			for _, p := range preds {
+				tri, err := m.Ev.EvalBool(p, e2)
+				if err == nil && tri != value.True {
+					return false, nil
+				}
+			}
+		}
+	}
+	return true, nil
 }
 
 // propsSatisfy checks a pattern property map against stored properties
@@ -263,8 +415,10 @@ func (m *Matcher) propsSatisfy(stored map[string]value.Value, propsExpr ast.Expr
 	return true, nil
 }
 
-// expandRel enumerates single-hop relationship candidates from node `at`.
-func (m *Matcher) expandRel(rp *ast.RelPattern, np *ast.NodePattern, at graph.NodeID, env expr.Env, used map[graph.RelID]bool, yield func(graph.RelID, graph.NodeID, expr.Env) error) error {
+// expandRel enumerates single-hop relationship candidates from node
+// `at`; reversed means `at` is the written pattern's right endpoint and
+// the pattern direction is flipped against the adjacency lists.
+func (m *Matcher) expandRel(rp *ast.RelPattern, np *ast.NodePattern, at graph.NodeID, reversed bool, env expr.Env, used map[graph.RelID]bool, yield func(graph.RelID, graph.NodeID, expr.Env) error) error {
 	// Pre-bound relationship variable restricts candidates to one.
 	var preBound *graph.RelID
 	if rp.Var != "" {
@@ -300,6 +454,17 @@ func (m *Matcher) expandRel(rp *ast.RelPattern, np *ast.NodePattern, at graph.No
 		if rp.Var != "" && preBound == nil {
 			env2 = env.With(rp.Var, value.Rel{ID: int64(rid)})
 		}
+		// Pushed WHERE conjuncts over the relationship slot prune before
+		// the far endpoint is even considered (same contract as the node
+		// predicates in nodeSatisfies).
+		if !m.runNaive && rp.Var != "" && len(m.RelPreds) > 0 {
+			for _, p := range m.RelPreds[rp] {
+				tri, err := m.Ev.EvalBool(p, env2)
+				if err == nil && tri != value.True {
+					return nil
+				}
+			}
+		}
 		// Check the far node pattern.
 		return m.checkEndNode(np, end, env2, func(env3 expr.Env) error {
 			used[rid] = true
@@ -309,7 +474,7 @@ func (m *Matcher) expandRel(rp *ast.RelPattern, np *ast.NodePattern, at graph.No
 		})
 	}
 
-	candidates := m.relCandidates(rp, at, preBound)
+	candidates := m.relCandidates(rp, at, preBound, reversed)
 	for _, c := range candidates {
 		if err := tryCandidate(c.rid, c.end); err != nil {
 			return err
@@ -324,8 +489,9 @@ type relCandidate struct {
 }
 
 // relCandidates lists (relationship, far-endpoint) pairs consistent with
-// the pattern's direction, starting at node `at`.
-func (m *Matcher) relCandidates(rp *ast.RelPattern, at graph.NodeID, preBound *graph.RelID) []relCandidate {
+// the pattern's direction, starting at node `at`; reversed flips the
+// direction for right-to-left traversal.
+func (m *Matcher) relCandidates(rp *ast.RelPattern, at graph.NodeID, preBound *graph.RelID, reversed bool) []relCandidate {
 	var out []relCandidate
 	add := func(rid graph.RelID, end graph.NodeID) {
 		if preBound != nil && rid != *preBound {
@@ -333,17 +499,18 @@ func (m *Matcher) relCandidates(rp *ast.RelPattern, at graph.NodeID, preBound *g
 		}
 		out = append(out, relCandidate{rid: rid, end: end})
 	}
-	if rp.Direction == ast.DirOut || rp.Direction == ast.DirBoth {
+	dir := effectiveDir(rp.Direction, reversed)
+	if dir == ast.DirOut || dir == ast.DirBoth {
 		for _, rid := range m.Graph.Outgoing(at) {
 			add(rid, m.Graph.Rel(rid).Tgt)
 		}
 	}
-	if rp.Direction == ast.DirIn || rp.Direction == ast.DirBoth {
+	if dir == ast.DirIn || dir == ast.DirBoth {
 		for _, rid := range m.Graph.Incoming(at) {
 			r := m.Graph.Rel(rid)
 			// A self-loop was already produced by the outgoing scan in
 			// DirBoth mode.
-			if rp.Direction == ast.DirBoth && r.Src == r.Tgt {
+			if dir == ast.DirBoth && r.Src == r.Tgt {
 				continue
 			}
 			add(rid, r.Src)
@@ -400,8 +567,11 @@ func (m *Matcher) checkEndNode(np *ast.NodePattern, end graph.NodeID, env expr.E
 // at `at`, with hop count in [min, max]. Relationship uniqueness is
 // enforced within the traversed path in both modes (guaranteeing
 // termination); in Isomorphism mode the path's relationships additionally
-// respect the clause-wide used set.
-func (m *Matcher) expandVarLength(rp *ast.RelPattern, np *ast.NodePattern, at graph.NodeID, env expr.Env, used map[graph.RelID]bool, yield func([]graph.RelID, graph.NodeID, expr.Env) error) error {
+// respect the clause-wide used set. With reversed set, `at` is the
+// written pattern's right endpoint: traversal runs right to left, and
+// the relationship list is flipped before use so bound list values and
+// path values always read in written order.
+func (m *Matcher) expandVarLength(rp *ast.RelPattern, np *ast.NodePattern, at graph.NodeID, reversed bool, env expr.Env, used map[graph.RelID]bool, yield func([]graph.RelID, graph.NodeID, expr.Env) error) error {
 	minHops := rp.MinHops
 	if minHops < 0 {
 		minHops = 1
@@ -417,15 +587,21 @@ func (m *Matcher) expandVarLength(rp *ast.RelPattern, np *ast.NodePattern, at gr
 	var path []graph.RelID
 
 	emit := func(end graph.NodeID) error {
+		relsCopy := append([]graph.RelID(nil), path...)
+		if reversed {
+			// The traversal collected relationships right to left.
+			for i, j := 0, len(relsCopy)-1; i < j; i, j = i+1, j-1 {
+				relsCopy[i], relsCopy[j] = relsCopy[j], relsCopy[i]
+			}
+		}
 		env2 := env
 		if rp.Var != "" {
-			lst := make(value.List, len(path))
-			for i, rid := range path {
+			lst := make(value.List, len(relsCopy))
+			for i, rid := range relsCopy {
 				lst[i] = value.Rel{ID: int64(rid)}
 			}
 			env2 = env.With(rp.Var, lst)
 		}
-		relsCopy := append([]graph.RelID(nil), path...)
 		return m.checkEndNode(np, end, env2, func(env3 expr.Env) error {
 			for _, rid := range relsCopy {
 				used[rid] = true
@@ -448,7 +624,7 @@ func (m *Matcher) expandVarLength(rp *ast.RelPattern, np *ast.NodePattern, at gr
 		if maxHops >= 0 && len(path) >= maxHops {
 			return nil
 		}
-		for _, c := range m.relCandidates(rp, cur, nil) {
+		for _, c := range m.relCandidates(rp, cur, nil, reversed) {
 			if m.Stats != nil {
 				m.Stats.RelVisits++
 			}

@@ -1,0 +1,719 @@
+// Cost-based planning for pattern matching.
+//
+// The seed matcher walked every pattern part left to right from its
+// first node, so `MATCH (a:Rare)<-[:R]-(b:Common)` scanned the huge
+// Common label instead of the tiny Rare one. The planner fixes that
+// with three levers, all driven by the graph's O(1) statistics
+// (internal/graph/stats.go):
+//
+//   - Anchor selection: each part starts at its most selective node —
+//     pre-bound variables beat everything, then the smallest label
+//     cardinality, discounted for inline property maps and pushed WHERE
+//     predicates — and the walk expands bidirectionally from there.
+//   - Side orientation: when the anchor is in the middle of a path, the
+//     side with the lower estimated first-hop fanout (average degree per
+//     (label, rel-type)) is expanded first, so the cheaper constraint
+//     prunes before the expensive one runs.
+//   - Part ordering: comma-separated parts run in greedy order of
+//     estimated anchor cardinality; parts connected to already-bound
+//     variables naturally come first because a bound anchor costs ~0.
+//
+// Correctness: a pattern is a conjunction of constraints, and the
+// relationship-uniqueness side condition is a set-membership test, so
+// the multiset of matches is independent of the order in which slots
+// are bound — only the enumeration ORDER of the results changes. Both
+// executors share this planner (it runs inside Matcher.Stream), so the
+// streaming-vs-materializing golden equivalence stays bit-for-bit, and
+// the planner equivalence suite in internal/core checks multiset
+// equality across forced anchor choices.
+package match
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+// step is one relationship expansion of a planned walk: traverse
+// Part.Rels[rel] from the already-bound node slot `from` to bind node
+// slot `to`. reversed marks right-to-left traversal (the pattern
+// direction is flipped when consulting adjacency).
+type step struct {
+	rel      int
+	from, to int
+	reversed bool
+}
+
+// partPlan is the execution plan of one pattern part.
+type partPlan struct {
+	part    *ast.PatternPart
+	origIdx int     // position in the written pattern tuple
+	anchor  int     // node slot enumeration starts from
+	est     float64 // estimated anchor candidate count
+	steps   []step
+}
+
+// planParts orders the parts and picks an anchor and walk for each.
+// bound is the set of variables already bound when enumeration starts
+// (the driving-table columns); variables bound by earlier parts extend
+// it as the greedy order is fixed.
+func (m *Matcher) planParts(parts []*ast.PatternPart, bound map[string]bool) []partPlan {
+	// Inline property maps may reference pattern variables bound by the
+	// written left-to-right walk, e.g. (x:A)-[:T]->(y {k: x.k}). Any
+	// other slot order would evaluate such a map before its dependency
+	// is bound. Rather than track per-slot dependencies, fall back to
+	// the written order and anchors for the whole clause — the seed
+	// behaviour, errors included — whenever a pattern's own variables
+	// appear in its property maps.
+	if m.ForceAnchor == nil && dependentProps(parts, bound) {
+		plans := make([]partPlan, len(parts))
+		for i, part := range parts {
+			plans[i] = partPlan{part: part, origIdx: i, anchor: 0, est: m.anchorEstimate(part.Nodes[0], bound), steps: forwardSteps(part)}
+		}
+		return plans
+	}
+	// Forced anchors (the planner-equivalence debug hook) and the
+	// disabled planner keep the written part order, so the hook controls
+	// exactly one dimension.
+	fixedOrder := m.DisablePlan || m.ForceAnchor != nil
+	plans := make([]partPlan, 0, len(parts))
+	remaining := make([]int, len(parts))
+	for i := range parts {
+		remaining[i] = i
+	}
+	for len(remaining) > 0 {
+		pick := 0
+		var best partPlan
+		if fixedOrder {
+			best = m.planPart(parts[remaining[0]], remaining[0], bound)
+		} else {
+			bestCost := math.Inf(1)
+			for ri, idx := range remaining {
+				p := m.planPart(parts[idx], idx, bound)
+				if p.est < bestCost {
+					bestCost, best, pick = p.est, p, ri
+				}
+			}
+		}
+		plans = append(plans, best)
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+		for _, v := range PatternVariables([]*ast.PatternPart{best.part}) {
+			bound[v] = true
+		}
+	}
+	return plans
+}
+
+// dependentProps reports whether any inline property map in parts
+// references a pattern variable that is not already bound on entry —
+// the condition under which slot evaluation order is observable.
+func dependentProps(parts []*ast.PatternPart, bound map[string]bool) bool {
+	vars := make(map[string]bool)
+	for _, v := range PatternVariables(parts) {
+		if !bound[v] {
+			vars[v] = true
+		}
+	}
+	refs := func(e ast.Expr) bool {
+		if e == nil {
+			return false
+		}
+		for _, v := range ast.Variables(e) {
+			if vars[v] {
+				return true
+			}
+		}
+		return false
+	}
+	for _, part := range parts {
+		for _, np := range part.Nodes {
+			if refs(np.Props) {
+				return true
+			}
+		}
+		for _, rp := range part.Rels {
+			if refs(rp.Props) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// forwardSteps is the written left-to-right walk from node 0.
+func forwardSteps(part *ast.PatternPart) []step {
+	var out []step
+	for i := range part.Rels {
+		out = append(out, step{rel: i, from: i, to: i + 1})
+	}
+	return out
+}
+
+// naivePlans is the seed's enumeration: written part order, first-node
+// anchors, forward walks. Estimates are irrelevant for execution.
+func naivePlans(parts []*ast.PatternPart) []partPlan {
+	plans := make([]partPlan, len(parts))
+	for i, part := range parts {
+		plans[i] = partPlan{part: part, origIdx: i, anchor: 0, steps: forwardSteps(part)}
+	}
+	return plans
+}
+
+// naiveRequired reports whether this row must take the seed's walk with
+// pruning disabled, because a planned walk could change which runtime
+// error surfaces:
+//
+//   - a pattern variable bound to a value of the wrong kind (the seed
+//     raises a type error at that slot exactly when its walk reaches
+//     it, and a variable-length slot rejects any pre-binding);
+//   - an inline property expression that can error at evaluation time
+//     (arithmetic, missing parameters, …) — anchoring or reordering
+//     changes whether the erroring slot is ever reached.
+//
+// The check reads the row's actual values, so a mis-typed binding only
+// forces the naive walk for the rows that have it.
+func (m *Matcher) naiveRequired(parts []*ast.PatternPart, env expr.Env) bool {
+	for _, part := range parts {
+		for _, np := range part.Nodes {
+			if np.Var != "" {
+				if v, ok := env[np.Var]; ok && !value.IsNull(v) {
+					if _, isNode := v.(value.Node); !isNode {
+						return true
+					}
+				}
+			}
+			if m.propsFallible(parts, np.Props, env) {
+				return true
+			}
+		}
+		for _, rp := range part.Rels {
+			if rp.Var != "" {
+				if v, ok := env[rp.Var]; ok {
+					if rp.VarLength {
+						// Pre-bound var-length variables are an error
+						// (even null): surface it in seed order.
+						return true
+					}
+					if !value.IsNull(v) {
+						if _, isRel := v.(value.Rel); !isRel {
+							return true
+						}
+					}
+				}
+			}
+			if m.propsFallible(parts, rp.Props, env) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// propsFallible reports whether an inline property expression could
+// error when evaluated on this row. Total forms: literal maps whose
+// values are literals (possibly sign-prefixed), defined variables, or
+// single property accesses on values that property access accepts
+// (nodes, relationships, maps, null — checked against the row for outer
+// variables, guaranteed for node/relationship slot variables); and
+// parameters that are present and hold maps. Anything else is
+// conservatively fallible.
+func (m *Matcher) propsFallible(parts []*ast.PatternPart, props ast.Expr, env expr.Env) bool {
+	switch p := props.(type) {
+	case nil:
+		return false
+	case *ast.MapLit:
+		for _, v := range p.Vals {
+			if m.propValueFallible(parts, v, env) {
+				return true
+			}
+		}
+		return false
+	case *ast.Parameter:
+		if m.Ev == nil {
+			return true
+		}
+		v, ok := m.Ev.Params[p.Name]
+		if !ok {
+			return true
+		}
+		_, isMap := v.(value.Map)
+		return !isMap
+	}
+	return true
+}
+
+func (m *Matcher) propValueFallible(parts []*ast.PatternPart, e ast.Expr, env expr.Env) bool {
+	switch x := e.(type) {
+	case *ast.Literal:
+		return false
+	case *ast.UnaryOp:
+		if x.Op == ast.OpNeg || x.Op == ast.OpPos {
+			if lit, ok := x.Expr.(*ast.Literal); ok {
+				switch lit.Value.(type) {
+				case int64, float64:
+					return false
+				}
+			}
+		}
+		return true
+	case *ast.Parameter:
+		if m.Ev == nil {
+			return true
+		}
+		_, ok := m.Ev.Params[x.Name]
+		return !ok
+	case *ast.Variable:
+		if _, ok := env[x.Name]; ok {
+			return false
+		}
+		return !isSlotVar(parts, x.Name)
+	case *ast.PropAccess:
+		v, isVar := x.Expr.(*ast.Variable)
+		if !isVar {
+			return true
+		}
+		if bv, ok := env[v.Name]; ok {
+			switch bv.(type) {
+			case value.Node, value.Rel, value.Map, value.Null:
+				return false
+			}
+			return true
+		}
+		return !isSlotVar(parts, v.Name)
+	case *ast.ListLit:
+		for _, el := range x.Elems {
+			if m.propValueFallible(parts, el, env) {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// isSlotVar reports whether name is a node or single-relationship slot
+// variable of the pattern — guaranteed to hold an entity in any row the
+// walk evaluates it on.
+func isSlotVar(parts []*ast.PatternPart, name string) bool {
+	for _, part := range parts {
+		for _, np := range part.Nodes {
+			if np.Var == name {
+				return true
+			}
+		}
+		for _, rp := range part.Rels {
+			if rp.Var == name && !rp.VarLength {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// planPart picks the anchor slot for one part and lays out the walk.
+func (m *Matcher) planPart(part *ast.PatternPart, origIdx int, bound map[string]bool) partPlan {
+	anchor := -1
+	if m.ForceAnchor != nil {
+		if a := m.ForceAnchor(origIdx, part); a >= 0 && a < len(part.Nodes) {
+			anchor = a
+		}
+	}
+	est := math.Inf(1)
+	if anchor >= 0 {
+		est = m.anchorEstimate(part.Nodes[anchor], bound)
+	} else if m.DisablePlan {
+		anchor = 0
+		est = m.anchorEstimate(part.Nodes[0], bound)
+	} else {
+		for i, np := range part.Nodes {
+			if e := m.anchorEstimate(np, bound); e < est {
+				est, anchor = e, i
+			}
+		}
+	}
+	return partPlan{
+		part:    part,
+		origIdx: origIdx,
+		anchor:  anchor,
+		est:     est,
+		steps:   m.planSteps(part, anchor),
+	}
+}
+
+// anchorEstimate scores a node slot: the estimated number of candidate
+// nodes enumeration would start from. Lower is better.
+func (m *Matcher) anchorEstimate(np *ast.NodePattern, bound map[string]bool) float64 {
+	if np.Var != "" && bound[np.Var] {
+		// A bound variable is a single candidate (or an immediate miss).
+		return 0.5
+	}
+	est := float64(m.Graph.NumNodes())
+	if len(np.Labels) > 0 {
+		min := m.Graph.NodeCountByLabel(np.Labels[0])
+		for _, l := range np.Labels[1:] {
+			if c := m.Graph.NodeCountByLabel(l); c < min {
+				min = c
+			}
+		}
+		est = float64(min)
+	}
+	// Inline property maps and pushed WHERE predicates are selective;
+	// the factors are crude but only relative order matters.
+	if np.Props != nil {
+		keys := 1
+		if ml, ok := np.Props.(*ast.MapLit); ok {
+			keys = len(ml.Keys)
+		}
+		est *= math.Pow(0.1, float64(keys))
+	}
+	if !m.DisablePlan {
+		est *= math.Pow(0.5, float64(len(m.NodePreds[np])))
+	}
+	return est
+}
+
+// planSteps lays out the relationship expansions for a part anchored at
+// the given node slot: one contiguous run towards each end of the path,
+// lower estimated first-hop fanout first.
+func (m *Matcher) planSteps(part *ast.PatternPart, anchor int) []step {
+	var right, left []step
+	for i := anchor; i < len(part.Rels); i++ {
+		right = append(right, step{rel: i, from: i, to: i + 1})
+	}
+	for i := anchor - 1; i >= 0; i-- {
+		left = append(left, step{rel: i, from: i + 1, to: i, reversed: true})
+	}
+	if len(left) == 0 {
+		return right
+	}
+	if len(right) == 0 {
+		return left
+	}
+	if m.DisablePlan || m.stepFanout(part, right[0]) <= m.stepFanout(part, left[0]) {
+		return append(right, left...)
+	}
+	return append(left, right...)
+}
+
+// stepFanout estimates how many relationships one expansion step visits
+// per source node, from the average-degree statistics.
+func (m *Matcher) stepFanout(part *ast.PatternPart, st step) float64 {
+	rp := part.Rels[st.rel]
+	from := part.Nodes[st.from]
+	label := ""
+	if len(from.Labels) > 0 {
+		label = from.Labels[0]
+		best := m.Graph.NodeCountByLabel(label)
+		for _, l := range from.Labels[1:] {
+			if c := m.Graph.NodeCountByLabel(l); c < best {
+				best, label = c, l
+			}
+		}
+	}
+	deg := func(relType string) float64 {
+		var out float64
+		d := effectiveDir(rp.Direction, st.reversed)
+		if d == ast.DirOut || d == ast.DirBoth {
+			out += m.Graph.AvgOutDegree(label, relType)
+		}
+		if d == ast.DirIn || d == ast.DirBoth {
+			out += m.Graph.AvgInDegree(label, relType)
+		}
+		return out
+	}
+	if len(rp.Types) == 0 {
+		return deg("")
+	}
+	var total float64
+	for _, t := range rp.Types {
+		total += deg(t)
+	}
+	return total
+}
+
+// effectiveDir flips a pattern direction for right-to-left traversal.
+func effectiveDir(d ast.Direction, reversed bool) ast.Direction {
+	if !reversed {
+		return d
+	}
+	switch d {
+	case ast.DirOut:
+		return ast.DirIn
+	case ast.DirIn:
+		return ast.DirOut
+	}
+	return ast.DirBoth
+}
+
+// ---------------------------------------------------------------------
+// WHERE pushdown classification
+// ---------------------------------------------------------------------
+
+// Conjuncts flattens the top-level AND tree of a predicate.
+func Conjuncts(e ast.Expr) []ast.Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*ast.BinaryOp); ok && b.Op == ast.OpAnd {
+		return append(Conjuncts(b.Left), Conjuncts(b.Right)...)
+	}
+	return []ast.Expr{e}
+}
+
+// Pushdown classifies the WHERE conjuncts of a MATCH clause against its
+// pattern. outer lists the variables bound before the clause runs (the
+// driving-table columns). The result maps single-slot conjuncts to
+// their node or relationship pattern, and collects conjuncts over outer
+// variables only as pre-predicates checked before enumeration starts.
+//
+// Pushed predicates are used to PRUNE only: a candidate on which a
+// conjunct evaluates to false or null can never satisfy the full WHERE,
+// so skipping it changes neither the result multiset nor the order of
+// the surviving rows; evaluation errors defer the conjunct to the full
+// WHERE, which every consumer still applies to complete matches. That
+// argument is what keeps pushdown semantically invisible — including
+// for OPTIONAL MATCH, whose null row depends only on whether any match
+// survives the WHERE.
+//
+// Errors are part of the contract too. Pruning a candidate suppresses
+// the evaluation of the OTHER conjuncts on that candidate's
+// completions, so if one of them would error (`1/0 = 1 AND a.x = 1`),
+// pruning on `a.x = 1` would turn the seed's runtime error into a
+// silent empty result. A conjunct is therefore eligible for pushdown
+// only when every other conjunct is total — statically incapable of
+// erroring (comparisons and IS NULL over literals, defined variables
+// and slot-variable property accesses; see totalBool). A lone conjunct
+// is always eligible: there is nobody else's error to hide, and its own
+// errors defer.
+type Pushdown struct {
+	Node map[*ast.NodePattern][]ast.Expr
+	Rel  map[*ast.RelPattern][]ast.Expr
+	Pre  []ast.Expr
+}
+
+// Empty reports whether nothing was pushed.
+func (p *Pushdown) Empty() bool {
+	return p == nil || (len(p.Node) == 0 && len(p.Rel) == 0 && len(p.Pre) == 0)
+}
+
+// NewPushdown classifies where's conjuncts. A nil result means no
+// conjunct is pushable.
+func NewPushdown(where ast.Expr, parts []*ast.PatternPart, outer []string) *Pushdown {
+	if where == nil {
+		return nil
+	}
+	nodeSlots := make(map[string][]*ast.NodePattern)
+	relSlots := make(map[string][]*ast.RelPattern)
+	unpushable := make(map[string]bool) // path vars, var-length rel vars
+	for _, part := range parts {
+		if part.Var != "" {
+			unpushable[part.Var] = true
+		}
+		for _, np := range part.Nodes {
+			if np.Var != "" {
+				nodeSlots[np.Var] = append(nodeSlots[np.Var], np)
+			}
+		}
+		for _, rp := range part.Rels {
+			if rp.Var == "" {
+				continue
+			}
+			if rp.VarLength {
+				unpushable[rp.Var] = true
+			} else {
+				relSlots[rp.Var] = append(relSlots[rp.Var], rp)
+			}
+		}
+	}
+	outerSet := make(map[string]bool, len(outer))
+	for _, c := range outer {
+		outerSet[c] = true
+	}
+
+	// defined: every variable a complete match row provides; entity:
+	// slot variables guaranteed to hold a node or relationship there.
+	defined := make(map[string]bool, len(outer))
+	entity := make(map[string]bool)
+	for _, c := range outer {
+		defined[c] = true
+	}
+	for _, v := range PatternVariables(parts) {
+		defined[v] = true
+	}
+	for v := range nodeSlots {
+		entity[v] = true
+	}
+	for v := range relSlots {
+		entity[v] = true
+	}
+
+	conjs := Conjuncts(where)
+	nonTotal := 0
+	totals := make([]bool, len(conjs))
+	for i, c := range conjs {
+		totals[i] = totalBool(c, defined, entity)
+		if !totals[i] {
+			nonTotal++
+		}
+	}
+	eligible := func(i int) bool {
+		return nonTotal == 0 || (nonTotal == 1 && !totals[i])
+	}
+
+	pd := &Pushdown{}
+	for ci, c := range conjs {
+		if !eligible(ci) {
+			continue
+		}
+		var slotVars []string
+		ok := true
+		for _, v := range ast.Variables(c) {
+			if outerSet[v] {
+				continue
+			}
+			if unpushable[v] || (nodeSlots[v] == nil && relSlots[v] == nil) {
+				ok = false // not decidable before the full match
+				break
+			}
+			slotVars = append(slotVars, v)
+		}
+		if !ok {
+			continue
+		}
+		switch len(slotVars) {
+		case 0:
+			pd.Pre = append(pd.Pre, c)
+		case 1:
+			v := slotVars[0]
+			if nps := nodeSlots[v]; nps != nil {
+				if pd.Node == nil {
+					pd.Node = make(map[*ast.NodePattern][]ast.Expr)
+				}
+				for _, np := range nps {
+					pd.Node[np] = append(pd.Node[np], c)
+				}
+			} else {
+				if pd.Rel == nil {
+					pd.Rel = make(map[*ast.RelPattern][]ast.Expr)
+				}
+				for _, rp := range relSlots[v] {
+					pd.Rel[rp] = append(pd.Rel[rp], c)
+				}
+			}
+		}
+	}
+	if pd.Empty() {
+		return nil
+	}
+	return pd
+}
+
+// totalBool reports whether e is statically guaranteed to evaluate via
+// EvalBool without error (yielding true/false/null) on any complete
+// match row: ternary comparisons, IS NULL, and boolean combinations
+// thereof, over total operands. Conservative by design — arithmetic,
+// function calls, string predicates, IN, indexing and parameters all
+// count as fallible.
+func totalBool(e ast.Expr, defined, entity map[string]bool) bool {
+	switch x := e.(type) {
+	case *ast.Literal:
+		_, isBool := x.Value.(bool)
+		return isBool || x.Value == nil
+	case *ast.IsNull:
+		return totalOperand(x.Expr, defined, entity)
+	case *ast.UnaryOp:
+		return x.Op == ast.OpNot && totalBool(x.Expr, defined, entity)
+	case *ast.BinaryOp:
+		switch x.Op {
+		case ast.OpEq, ast.OpNeq, ast.OpLt, ast.OpLeq, ast.OpGt, ast.OpGeq:
+			return totalOperand(x.Left, defined, entity) && totalOperand(x.Right, defined, entity)
+		case ast.OpAnd, ast.OpOr, ast.OpXor:
+			return totalBool(x.Left, defined, entity) && totalBool(x.Right, defined, entity)
+		}
+	}
+	return false
+}
+
+// totalOperand reports whether e evaluates without error on any
+// complete match row: literals, defined variables, property access on a
+// variable that is guaranteed to hold an entity (property access on
+// nulls and entities is total; on scalars it type-errors).
+func totalOperand(e ast.Expr, defined, entity map[string]bool) bool {
+	switch x := e.(type) {
+	case *ast.Literal:
+		return true
+	case *ast.Variable:
+		return defined[x.Name]
+	case *ast.PropAccess:
+		v, isVar := x.Expr.(*ast.Variable)
+		return isVar && entity[v.Name]
+	}
+	return false
+}
+
+// Describe renders the pushed predicates for EXPLAIN.
+func (p *Pushdown) Describe() string {
+	if p.Empty() {
+		return ""
+	}
+	var preds []string
+	for _, c := range p.Pre {
+		preds = append(preds, c.String())
+	}
+	for _, cs := range p.Node {
+		for _, c := range cs {
+			preds = append(preds, c.String())
+		}
+	}
+	for _, cs := range p.Rel {
+		for _, c := range cs {
+			preds = append(preds, c.String())
+		}
+	}
+	sort.Strings(preds)
+	return "[" + strings.Join(preds, " AND ") + "]"
+}
+
+// ---------------------------------------------------------------------
+// EXPLAIN support
+// ---------------------------------------------------------------------
+
+// DescribePlan renders the plan the matcher would choose for the given
+// pattern with the given variables bound: the part execution order
+// (indices into the written pattern), each part's anchor, and the
+// estimated anchor cardinalities. Statistics are read at call time, so
+// the description matches what execution would do on the current graph.
+func (m *Matcher) DescribePlan(parts []*ast.PatternPart, outer []string) string {
+	bound := make(map[string]bool, len(outer))
+	for _, c := range outer {
+		bound[c] = true
+	}
+	plans := m.planParts(parts, bound)
+	order := make([]string, len(plans))
+	anchors := make([]string, len(plans))
+	ests := make([]string, len(plans))
+	for i, p := range plans {
+		order[i] = fmt.Sprint(p.origIdx)
+		a := p.part.Nodes[p.anchor]
+		if a.Var != "" {
+			anchors[i] = a.Var
+		} else {
+			anchors[i] = a.String()
+		}
+		ests[i] = formatEst(p.est)
+	}
+	return fmt.Sprintf("order=[%s] anchor=[%s] est=[%s]",
+		strings.Join(order, ","), strings.Join(anchors, ","), strings.Join(ests, ","))
+}
+
+func formatEst(est float64) string {
+	if est == math.Trunc(est) && est < 1e9 {
+		return fmt.Sprintf("%.0f", est)
+	}
+	return fmt.Sprintf("%.2g", est)
+}

@@ -3,31 +3,97 @@ package plan
 import (
 	"encoding/csv"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro/internal/value"
 )
 
-// ReadCSV reads the rows of a CSV file for LOAD CSV. file:// URLs and
-// plain paths are accepted; fieldTerm overrides the comma separator.
-func ReadCSV(url, fieldTerm string) ([][]string, error) {
+// CSVReader streams the data rows of a CSV file for LOAD CSV, one row
+// per Next call — the file is never buffered in memory. file:// URLs
+// and plain paths are accepted; fieldTerm overrides the comma
+// separator. With headers, the header row is consumed on open and each
+// data row binds as a header-keyed map (short rows pad with null, the
+// empty field reads as null per the paper's Example 5 convention);
+// without, each row binds as a list of strings.
+type CSVReader struct {
+	f           *os.File
+	r           *csv.Reader
+	headers     []string
+	withHeaders bool
+}
+
+// OpenCSV opens a CSV file for streaming row binds.
+func OpenCSV(url, fieldTerm string, withHeaders bool) (*CSVReader, error) {
 	path := strings.TrimPrefix(url, "file://")
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("LOAD CSV: %w", err)
 	}
-	defer f.Close()
 	r := csv.NewReader(f)
 	r.FieldsPerRecord = -1
 	if fieldTerm != "" {
 		runes := []rune(fieldTerm)
 		if len(runes) != 1 {
+			f.Close()
 			return nil, fmt.Errorf("FIELDTERMINATOR must be a single character")
 		}
 		r.Comma = runes[0]
 	}
-	return r.ReadAll()
+	cr := &CSVReader{f: f, r: r, withHeaders: withHeaders}
+	if withHeaders {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return cr, nil // empty file: no headers, no rows
+		}
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("LOAD CSV: %w", err)
+		}
+		cr.headers = rec
+	}
+	return cr, nil
+}
+
+// Next returns the bound value of the next data row; ok=false means the
+// file is exhausted.
+func (c *CSVReader) Next() (v value.Value, ok bool, err error) {
+	rec, err := c.r.Read()
+	if err == io.EOF {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("LOAD CSV: %w", err)
+	}
+	return c.bind(rec), true, nil
+}
+
+func (c *CSVReader) bind(rec []string) value.Value {
+	if c.withHeaders {
+		m := make(value.Map, len(c.headers))
+		for j, h := range c.headers {
+			if j < len(rec) {
+				m[h] = CSVField(rec[j])
+			} else {
+				m[h] = value.NullValue
+			}
+		}
+		return m
+	}
+	lst := make(value.List, len(rec))
+	for j, f := range rec {
+		lst[j] = value.String(f)
+	}
+	return lst
+}
+
+// Close releases the underlying file. Idempotent.
+func (c *CSVReader) Close() {
+	if c.f != nil {
+		c.f.Close()
+		c.f = nil
+	}
 }
 
 // CSVField maps the empty CSV field to null, matching the relational
@@ -39,42 +105,24 @@ func CSVField(s string) value.Value {
 	return value.String(s)
 }
 
-// BindCSV reads a CSV file and converts each data row to the value a
-// LOAD CSV clause binds: a header-keyed map with WITH HEADERS, a list
-// of strings otherwise.
+// BindCSV reads a whole CSV file and converts each data row to the
+// value a LOAD CSV clause binds. It is the materializing executor's
+// entry point, implemented over the streaming reader.
 func BindCSV(url, fieldTerm string, withHeaders bool) ([]value.Value, error) {
-	rows, err := ReadCSV(url, fieldTerm)
+	r, err := OpenCSV(url, fieldTerm, withHeaders)
 	if err != nil {
 		return nil, err
 	}
-	if len(rows) == 0 {
-		return nil, nil
-	}
-	start := 0
-	var headers []string
-	if withHeaders {
-		headers = rows[0]
-		start = 1
-	}
-	out := make([]value.Value, 0, len(rows)-start)
-	for _, rec := range rows[start:] {
-		if withHeaders {
-			m := make(value.Map, len(headers))
-			for j, h := range headers {
-				if j < len(rec) {
-					m[h] = CSVField(rec[j])
-				} else {
-					m[h] = value.NullValue
-				}
-			}
-			out = append(out, m)
-		} else {
-			lst := make(value.List, len(rec))
-			for j, f := range rec {
-				lst[j] = value.String(f)
-			}
-			out = append(out, lst)
+	defer r.Close()
+	var out []value.Value
+	for {
+		v, ok, err := r.Next()
+		if err != nil {
+			return nil, err
 		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, v)
 	}
-	return out, nil
 }

@@ -113,6 +113,7 @@ type Match struct {
 	ev      *expr.Evaluator
 	cols    []string
 	stats   match.Stats
+	pushed  *match.Pushdown
 
 	cur     *matchCursor
 	curRow  expr.Env
@@ -121,7 +122,11 @@ type Match struct {
 }
 
 // NewMatch builds a Match operator over child. newVars are the pattern
-// variables not already bound by the child's columns.
+// variables not already bound by the child's columns. WHERE conjuncts
+// decidable on a single pattern slot are pushed into the matcher, which
+// uses them to prune candidates during expansion; the full WHERE is
+// still evaluated on every complete match, so pushdown never changes
+// results (see match.Pushdown).
 func NewMatch(child Operator, cl *ast.MatchClause, m *match.Matcher, ev *expr.Evaluator, newVars []string) *Match {
 	o := &Match{
 		child:   child,
@@ -129,8 +134,10 @@ func NewMatch(child Operator, cl *ast.MatchClause, m *match.Matcher, ev *expr.Ev
 		matcher: m,
 		ev:      ev,
 		cols:    append(append([]string(nil), child.Columns()...), newVars...),
+		pushed:  match.NewPushdown(cl.Where, cl.Pattern, child.Columns()),
 	}
 	o.matcher.Stats = &o.stats
+	o.matcher.SetPushdown(o.pushed)
 	return o
 }
 
@@ -217,7 +224,10 @@ func (o *Match) Close() {
 	o.child.Close()
 }
 
-// Name implements Operator.
+// Name implements Operator. Beyond the pattern it renders the planner's
+// choices — part execution order, per-part anchors, estimated anchor
+// cardinalities (from the current graph statistics), and the pushed
+// WHERE conjuncts — which is what the shell's EXPLAIN surfaces.
 func (o *Match) Name() string {
 	kw := "Match"
 	if o.cl.Optional {
@@ -228,6 +238,10 @@ func (o *Match) Name() string {
 		parts = append(parts, p.String())
 	}
 	s := fmt.Sprintf("%s(%s)", kw, joinTrunc(parts, 60))
+	s += " " + o.matcher.DescribePlan(o.cl.Pattern, o.child.Columns())
+	if !o.pushed.Empty() {
+		s += " pushed=" + o.pushed.Describe()
+	}
 	if o.cl.Where != nil {
 		s += " WHERE …"
 	}
@@ -339,18 +353,18 @@ func (o *Unwind) RowsEmitted() int64 { return o.rows }
 
 // LoadCSV reads a CSV file per input record, binding each data row to
 // the clause variable: a map with WITH HEADERS, a list of strings
-// otherwise. The file is loaded when the record is reached; its rows
-// then stream.
+// otherwise. Rows are read from the file one at a time as the consumer
+// pulls — nothing is buffered, so LIMIT-style early exit stops reading
+// the file mid-way and huge imports stream in constant memory.
 type LoadCSV struct {
 	child Operator
 	cl    *ast.LoadCSVClause
 	ev    *expr.Evaluator
 	cols  []string
 
-	curRow  expr.Env
-	pending []value.Value
-	idx     int
-	rows    int64
+	curRow expr.Env
+	reader *CSVReader
+	rows   int64
 }
 
 // NewLoadCSV builds a LoadCSV operator over child.
@@ -365,17 +379,30 @@ func NewLoadCSV(child Operator, cl *ast.LoadCSVClause, ev *expr.Evaluator) *Load
 func (o *LoadCSV) Columns() []string { return o.cols }
 
 // Open implements Operator.
-func (o *LoadCSV) Open() error { o.pending, o.idx = nil, 0; return o.child.Open() }
+func (o *LoadCSV) Open() error {
+	if o.reader != nil {
+		o.reader.Close()
+		o.reader = nil
+	}
+	return o.child.Open()
+}
 
 // Next implements Operator.
 func (o *LoadCSV) Next() (Row, bool, error) {
 	for {
-		if o.idx < len(o.pending) {
-			row := normalize(o.cols, o.curRow)
-			row[o.cl.Var] = o.pending[o.idx]
-			o.idx++
-			o.rows++
-			return Row{Env: row}, true, nil
+		if o.reader != nil {
+			v, ok, err := o.reader.Next()
+			if err != nil {
+				return Row{}, false, err
+			}
+			if ok {
+				row := normalize(o.cols, o.curRow)
+				row[o.cl.Var] = v
+				o.rows++
+				return Row{Env: row}, true, nil
+			}
+			o.reader.Close()
+			o.reader = nil
 		}
 		in, ok, err := o.child.Next()
 		if err != nil || !ok {
@@ -389,16 +416,22 @@ func (o *LoadCSV) Next() (Row, bool, error) {
 		if !oks {
 			return Row{}, false, fmt.Errorf("LOAD CSV FROM expects a string, got %s", urlVal.Kind())
 		}
-		bound, err := BindCSV(string(url), o.cl.FieldTerm, o.cl.WithHeaders)
+		r, err := OpenCSV(string(url), o.cl.FieldTerm, o.cl.WithHeaders)
 		if err != nil {
 			return Row{}, false, err
 		}
-		o.curRow, o.pending, o.idx = in.Env, bound, 0
+		o.curRow, o.reader = in.Env, r
 	}
 }
 
 // Close implements Operator.
-func (o *LoadCSV) Close() { o.child.Close() }
+func (o *LoadCSV) Close() {
+	if o.reader != nil {
+		o.reader.Close()
+		o.reader = nil
+	}
+	o.child.Close()
+}
 
 // Name implements Operator.
 func (o *LoadCSV) Name() string {

@@ -1,0 +1,79 @@
+package script
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/parser"
+)
+
+// TestScriptCorpusExplain replays every script statement by statement
+// and, for each statement that matches a pattern, renders its plan
+// first: EXPLAIN must surface the planner's anchor choice, part
+// execution order and cardinality estimates against the graph state the
+// statement would actually run on, and somewhere in the corpus a WHERE
+// conjunct must be shown as pushed into the match.
+func TestScriptCorpusExplain(t *testing.T) {
+	manifest := map[string]core.Dialect{
+		"paper_walkthrough.cypher": core.DialectCypher9,
+		"social.cypher":            core.DialectRevised,
+		"inventory.cypher":         core.DialectRevised,
+	}
+	dir := filepath.Join("..", "..", "scripts")
+	explained := 0
+	sawPushed := false
+	for name, dialect := range manifest {
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := core.NewEngine(core.Config{Dialect: dialect})
+		g := graph.New()
+		for i, stmtSrc := range Split(string(src)) {
+			stmt, err := parser.Parse(stmtSrc)
+			if err != nil {
+				t.Fatalf("%s stmt %d: %v", name, i+1, err)
+			}
+			if containsMatch(stmt) {
+				out, err := eng.ExplainStatement(g, stmt, nil)
+				if err != nil {
+					t.Fatalf("%s stmt %d explain: %v", name, i+1, err)
+				}
+				for _, want := range []string{"order=[", "anchor=[", "est=["} {
+					if !strings.Contains(out, want) {
+						t.Errorf("%s stmt %d: EXPLAIN missing %q:\n%s", name, i+1, want, out)
+					}
+				}
+				if strings.Contains(out, "pushed=[") {
+					sawPushed = true
+				}
+				explained++
+			}
+			if _, err := eng.ExecuteStatement(g, stmt, nil); err != nil {
+				t.Fatalf("%s stmt %d exec: %v", name, i+1, err)
+			}
+		}
+	}
+	if explained == 0 {
+		t.Fatal("corpus contained no MATCH statements to explain")
+	}
+	if !sawPushed {
+		t.Error("no corpus query showed a pushed WHERE conjunct")
+	}
+}
+
+func containsMatch(stmt *ast.Statement) bool {
+	for _, q := range stmt.Queries {
+		for _, c := range q.Clauses {
+			if _, ok := c.(*ast.MatchClause); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
