@@ -1,10 +1,11 @@
-# Build, test and benchmark entry points. CI runs `make test` and the
-# short bench smoke; `make bench` records the perf trajectory into
-# BENCH_pr2.json (one file per PR so regressions are diffable).
+# Build, test and benchmark entry points. CI runs `make test`, the
+# race detector (`make race`), and the short bench smoke; `make bench`
+# records the perf trajectory into BENCH_pr3.json (one file per PR so
+# regressions are diffable).
 
-BENCH_OUT ?= BENCH_pr2.json
+BENCH_OUT ?= BENCH_pr3.json
 
-.PHONY: all test vet bench bench-smoke
+.PHONY: all test vet race bench bench-smoke
 
 all: test
 
@@ -14,6 +15,11 @@ test:
 
 vet:
 	go vet ./...
+
+# The concurrency suite (snapshot stores, sessions, the reader/writer
+# stress tests) must stay clean under the race detector.
+race:
+	go test -race ./...
 
 # Full benchmark run, serialized to JSON. -benchtime is modest because
 # the B-suite covers 12 benchmark families; raise it for stable numbers.

@@ -17,12 +17,16 @@
 //	B10 LIMIT early exit under the streaming executor
 //	B11 cost-based anchor selection on a label-skewed graph
 //	B12 WHERE pushdown pruning relationship expansion
+//	B13 concurrent snapshot readers vs lock-serialized execution
 package repro_test
 
 import (
+	"bytes"
 	"fmt"
+	"sync"
 	"testing"
 
+	"repro/cypher"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/match"
@@ -332,6 +336,124 @@ func BenchmarkB12WherePushdown(b *testing.B) {
 			}
 		})
 	}
+}
+
+// B13: aggregate read throughput of the transactional session layer.
+// Eight reader goroutines run a B5-style match+aggregate workload
+// through the public API in two regimes:
+//
+//   - serialized: the pre-snapshot design — every statement takes one
+//     global mutex, and a multi-statement transaction must hold it from
+//     BEGIN to COMMIT (without snapshot isolation, a reader interleaved
+//     mid-transaction would observe torn state);
+//   - concurrent: the session layer's native path — readers pin a
+//     snapshot and stream with no lock held, while the writer works on
+//     the side.
+//
+// The bulk-txn cases run the read workload while one writer commits an
+// 8-statement bulk create/delete transaction; the clock stops when the
+// read workload completes (the writer drains off-clock, performing
+// identical work in both regimes), so ns/op is the inverse of aggregate
+// read throughput under identical write load. The readonly cases
+// isolate pure reader fan-out, which additionally scales with
+// GOMAXPROCS on multicore hosts; the bulk-txn gap — readers not
+// queueing behind a bulk transaction — shows even on one CPU.
+func BenchmarkB13ConcurrentReaders(b *testing.B) {
+	const (
+		readers        = 8
+		readsPerReader = 3
+		writeBatch     = 16000
+	)
+	load := func() *cypher.DB {
+		g := workload.DefaultMarketplace().Build()
+		var buf bytes.Buffer
+		if err := g.WriteJSON(&buf); err != nil {
+			b.Fatal(err)
+		}
+		db, err := cypher.Load(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return db
+	}
+	readQ := `
+		MATCH (v:Vendor)-[:OFFERS]->(p:Product)<-[:ORDERED]-(u:User)
+		RETURN count(*) AS c`
+	writeQs := []string{
+		fmt.Sprintf(`UNWIND range(1, %d) AS i CREATE (:Tmp{i:i})`, writeBatch),
+		`MATCH (t:Tmp) DELETE t`,
+	}
+
+	const writerStmts = 8
+	run := func(b *testing.B, withWriter bool, serialize bool) {
+		db := load()
+		var mu sync.Mutex
+		lock := func() func() {
+			if !serialize {
+				return func() {}
+			}
+			mu.Lock()
+			return mu.Unlock
+		}
+		read := func() {
+			defer lock()()
+			if _, err := db.Exec(readQ, nil); err != nil {
+				b.Error(err)
+			}
+		}
+		// The writer's bulk transaction: identical statements in both
+		// regimes. Serialized execution must hold the global lock from
+		// BEGIN to COMMIT — without snapshots, that is the only way
+		// readers cannot observe the transaction's intermediate states.
+		writeTxn := func() {
+			defer lock()()
+			sess := db.Session()
+			defer sess.Close()
+			if _, err := sess.Exec(`BEGIN`, nil); err != nil {
+				b.Error(err)
+				return
+			}
+			for j := 0; j < writerStmts; j++ {
+				if _, err := sess.Exec(writeQs[j%len(writeQs)], nil); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			if _, err := sess.Exec(`COMMIT`, nil); err != nil {
+				b.Error(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			writerDone := make(chan struct{})
+			if withWriter {
+				go func() {
+					defer close(writerDone)
+					writeTxn()
+				}()
+			} else {
+				close(writerDone)
+			}
+			var wg sync.WaitGroup
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for k := 0; k < readsPerReader; k++ {
+						read()
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			<-writerDone
+			b.StartTimer()
+		}
+	}
+	b.Run("serialized/readonly", func(b *testing.B) { run(b, false, true) })
+	b.Run("concurrent/readonly", func(b *testing.B) { run(b, false, false) })
+	b.Run("serialized/bulk-txn", func(b *testing.B) { run(b, true, true) })
+	b.Run("concurrent/bulk-txn", func(b *testing.B) { run(b, true, false) })
 }
 
 // Sanity checks keep the benchmark inputs honest (run under `go test`).

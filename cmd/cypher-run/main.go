@@ -57,9 +57,13 @@ func main() {
 	}
 
 	db := cypher.Open(opts...)
+	// One session for the whole script, so BEGIN/COMMIT/ROLLBACK work as
+	// script statements (an unclosed transaction rolls back at exit).
+	sess := db.Session()
+	defer sess.Close()
 	for i, stmt := range script.Split(string(src)) {
 		fmt.Printf("-- statement %d\n%s\n", i+1, stmt)
-		res, err := db.Exec(stmt, nil)
+		res, err := sess.Exec(stmt, nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)

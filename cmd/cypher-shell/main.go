@@ -12,10 +12,22 @@
 //	:clear                reset the database
 //	:quit                 exit
 //
-// A statement prefixed with EXPLAIN prints the streaming operator plan
-// instead of executing it.
+// The shell runs one session against the database, so the
+// transaction-control statements work as statements:
 //
-// Switching dialects preserves the graph contents.
+//	BEGIN;      open an explicit transaction (prompt shows "txn")
+//	COMMIT;     publish its writes atomically
+//	ROLLBACK;   discard them
+//
+// Statements between BEGIN and COMMIT see the transaction's own writes;
+// a failing statement rolls back by itself and leaves the transaction
+// open. Without BEGIN every statement auto-commits, exactly as before.
+//
+// A statement prefixed with EXPLAIN prints the streaming operator plan
+// (with its transaction boundaries) instead of executing it.
+//
+// Switching dialects preserves the graph contents; it is refused while
+// a transaction is open.
 package main
 
 import (
@@ -32,16 +44,20 @@ func main() {
 	fmt.Println("dialect: revised (use :dialect cypher9 for the legacy semantics); :help for help")
 
 	db := cypher.Open()
+	sess := db.Session()
 	dialect := "revised"
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
 
 	prompt := func() {
-		if buf.Len() == 0 {
-			fmt.Printf("%s> ", dialect)
-		} else {
+		switch {
+		case buf.Len() > 0:
 			fmt.Print("   ... ")
+		case sess.InTransaction():
+			fmt.Printf("%s txn> ", dialect)
+		default:
+			fmt.Printf("%s> ", dialect)
 		}
 	}
 
@@ -50,22 +66,50 @@ func main() {
 		line := sc.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, ":") {
-			var quit bool
-			db, dialect, quit = meta(db, dialect, trimmed)
+			if sess.InTransaction() && switchesDatabase(trimmed) {
+				fmt.Println("a transaction is open; COMMIT or ROLLBACK it first")
+				prompt()
+				continue
+			}
+			if strings.Fields(trimmed)[0] == ":stats" {
+				// Through the session, so an open transaction's own
+				// writes are included.
+				fmt.Println(sess.Stats())
+				prompt()
+				continue
+			}
+			newDB, newDialect, quit := meta(db, dialect, trimmed)
 			if quit {
+				sess.Close()
 				return
 			}
+			if newDB != db {
+				sess.Close()
+				db, sess = newDB, newDB.Session()
+			}
+			dialect = newDialect
 			prompt()
 			continue
 		}
 		buf.WriteString(line)
 		buf.WriteString("\n")
 		if strings.HasSuffix(trimmed, ";") {
-			execute(db, buf.String())
+			execute(sess, buf.String())
 			buf.Reset()
 		}
 		prompt()
 	}
+	sess.Close()
+}
+
+// switchesDatabase reports whether a meta command replaces the DB (and
+// so must not run while a transaction is open).
+func switchesDatabase(cmd string) bool {
+	switch strings.Fields(cmd)[0] {
+	case ":dialect", ":merge", ":clear":
+		return true
+	}
+	return false
 }
 
 func meta(db *cypher.DB, dialect, cmd string) (*cypher.DB, string, bool) {
@@ -74,7 +118,10 @@ func meta(db *cypher.DB, dialect, cmd string) (*cypher.DB, string, bool) {
 	case ":quit", ":exit", ":q":
 		return db, dialect, true
 	case ":help":
-		fmt.Println("statements end with ';'. EXPLAIN <query>; prints the operator plan. Meta: :dialect cypher9|revised, :merge <strategy>, :stats, :clear, :quit")
+		fmt.Println("statements end with ';'. EXPLAIN <query>; prints the operator plan with its transaction boundaries.")
+		fmt.Println("transactions: BEGIN; opens one (statements see its writes; errors roll back the statement only),")
+		fmt.Println("COMMIT; publishes it atomically, ROLLBACK; discards it. Without BEGIN, statements auto-commit.")
+		fmt.Println("Meta: :dialect cypher9|revised, :merge <strategy>, :stats, :clear, :quit")
 	case ":stats":
 		fmt.Println(db.Stats())
 	case ":clear":
@@ -119,7 +166,7 @@ func meta(db *cypher.DB, dialect, cmd string) (*cypher.DB, string, bool) {
 	return db, dialect, false
 }
 
-func execute(db *cypher.DB, query string) {
+func execute(sess *cypher.Session, query string) {
 	query = strings.TrimSpace(query)
 	query = strings.TrimSuffix(query, ";")
 	if query == "" {
@@ -128,7 +175,7 @@ func execute(db *cypher.DB, query string) {
 	// EXPLAIN <query> prints the streaming operator plan instead of
 	// executing the statement.
 	if rest, ok := cutPrefixFold(query, "EXPLAIN"); ok {
-		tree, err := db.Explain(strings.TrimSpace(rest))
+		tree, err := sess.Explain(strings.TrimSpace(rest))
 		if err != nil {
 			fmt.Println("error:", err)
 			return
@@ -136,7 +183,7 @@ func execute(db *cypher.DB, query string) {
 		fmt.Println(tree)
 		return
 	}
-	res, err := db.Exec(query, nil)
+	res, err := sess.Exec(query, nil)
 	if err != nil {
 		fmt.Println("error:", err)
 		return

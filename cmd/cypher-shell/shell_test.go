@@ -57,15 +57,55 @@ func TestMetaCommands(t *testing.T) {
 
 func TestExecuteRendersAndRecovers(t *testing.T) {
 	db := cypher.Open()
+	sess := db.Session()
+	defer sess.Close()
 	// Successful statement with rows.
-	execute(db, "RETURN 1 AS x;")
+	execute(sess, "RETURN 1 AS x;")
 	// Update-only statement (stats path).
-	execute(db, "CREATE (:N)")
+	execute(sess, "CREATE (:N)")
 	// Error path must not panic.
-	execute(db, "MATCH (")
+	execute(sess, "MATCH (")
 	// Empty statement is a no-op.
-	execute(db, "  ;")
+	execute(sess, "  ;")
 	if db.NumNodes() != 1 {
 		t.Errorf("nodes = %d", db.NumNodes())
 	}
+}
+
+// TestExecuteTransactionFlow drives BEGIN/COMMIT/ROLLBACK through the
+// shell's execute path.
+func TestExecuteTransactionFlow(t *testing.T) {
+	db := cypher.Open()
+	sess := db.Session()
+	defer sess.Close()
+
+	execute(sess, "BEGIN;")
+	if !sess.InTransaction() {
+		t.Fatal("BEGIN did not open a transaction")
+	}
+	execute(sess, "CREATE (:T);")
+	if db.NumNodes() != 0 {
+		t.Error("uncommitted write visible through DB")
+	}
+	execute(sess, "COMMIT;")
+	if sess.InTransaction() {
+		t.Fatal("COMMIT left the transaction open")
+	}
+	if db.NumNodes() != 1 {
+		t.Errorf("nodes = %d after commit", db.NumNodes())
+	}
+
+	execute(sess, "BEGIN;")
+	execute(sess, "CREATE (:T);")
+	execute(sess, "ROLLBACK;")
+	if db.NumNodes() != 1 {
+		t.Errorf("nodes = %d after rollback", db.NumNodes())
+	}
+
+	// Meta commands that replace the DB are refused mid-transaction.
+	execute(sess, "BEGIN;")
+	if !switchesDatabase(":dialect") || !switchesDatabase(":clear") || switchesDatabase(":stats") {
+		t.Error("switchesDatabase classification wrong")
+	}
+	execute(sess, "ROLLBACK;")
 }

@@ -27,6 +27,7 @@ import (
 	"io"
 	"sync"
 
+	"repro/internal/ast"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/match"
@@ -137,10 +138,16 @@ func WithPlanner(p PlannerMode) Option {
 }
 
 // DB is an embedded graph database. All methods are safe for concurrent
-// use; statements are serialized by an internal lock (single-writer).
+// use. Statements execute transactionally: updating statements are
+// serialized through a single-writer commit pipeline, while read-only
+// statements stream concurrently from pinned snapshots of the last
+// committed epoch — readers never block each other, and never observe
+// a partially applied statement or transaction.
+//
+// DB.Exec auto-commits every statement. For explicit multi-statement
+// transactions (BEGIN/COMMIT/ROLLBACK), open a Session.
 type DB struct {
-	mu     sync.Mutex
-	graph  *graph.Graph
+	store  *graph.Store
 	engine *core.Engine
 	opts   options
 }
@@ -153,7 +160,7 @@ func Open(opts ...Option) *DB {
 		opt(&o)
 	}
 	return &DB{
-		graph:  graph.New(),
+		store:  graph.NewStore(graph.New()),
 		engine: core.NewEngine(o.cfg),
 		opts:   o,
 	}
@@ -199,25 +206,17 @@ func (r *Result) Values(i int) []Value { return append([]Value(nil), r.rows[i]..
 // Stats returns the update statistics of the statement.
 func (r *Result) Stats() UpdateStats { return r.stats }
 
-// Exec parses and runs a Cypher statement. Parameters may be native Go
-// values (see value.FromGo) or Values. A failing statement leaves the
-// database unchanged.
+// Exec parses and runs a Cypher statement as its own implicit
+// transaction (auto-commit). Parameters may be native Go values (see
+// value.FromGo) or Values. A failing statement leaves the database
+// unchanged. Read-only statements run on a pinned snapshot and do not
+// block (or get blocked by) other statements; updating statements
+// serialize through the single-writer commit pipeline.
+//
+// BEGIN/COMMIT/ROLLBACK are session state and are rejected here; use
+// DB.Session for explicit transactions.
 func (db *DB) Exec(query string, params map[string]any) (*Result, error) {
-	stmt, err := parser.Parse(query)
-	if err != nil {
-		return nil, err
-	}
-	vparams, err := convertParams(params)
-	if err != nil {
-		return nil, err
-	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	res, err := db.engine.ExecuteStatement(db.graph, stmt, vparams)
-	if err != nil {
-		return nil, err
-	}
-	return wrapResult(res), nil
+	return db.exec(query, nil, params)
 }
 
 // ExecTable runs a statement against an explicit driving table instead
@@ -225,17 +224,22 @@ func (db *DB) Exec(query string, params map[string]any) (*Result, error) {
 // experiments, where "the input table is already populated". Build the
 // table with NewTable.
 func (db *DB) ExecTable(query string, t *Table, params map[string]any) (*Result, error) {
+	return db.exec(query, t.t, params)
+}
+
+func (db *DB) exec(query string, t0 *table.Table, params map[string]any) (*Result, error) {
 	stmt, err := parser.Parse(query)
 	if err != nil {
 		return nil, err
+	}
+	if stmt.TxnControl != ast.TxnNone {
+		return nil, fmt.Errorf("%s outside a session: DB.Exec statements auto-commit; open a Session for explicit transactions", stmt.TxnControl)
 	}
 	vparams, err := convertParams(params)
 	if err != nil {
 		return nil, err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	res, err := db.engine.ExecuteWithTable(db.graph, stmt, vparams, t.t)
+	res, err := core.NewSession(db.engine, db.store).ExecuteWithTable(stmt, vparams, t0)
 	if err != nil {
 		return nil, err
 	}
@@ -243,17 +247,17 @@ func (db *DB) ExecTable(query string, t *Table, params map[string]any) (*Result,
 }
 
 // Explain returns the streaming operator plan for a statement without
-// executing it: one operator per line, children indented, with
-// `[barrier]` marking the materialization points (ORDER BY,
-// aggregation, and every update clause).
+// executing it: a `txn:` header stating the statement's transaction
+// boundary (pinned-snapshot reads vs. writer-lock execution), then one
+// operator per line, children indented, with `[barrier]` marking
+// materialization points (ORDER BY, aggregation) and
+// `[barrier:writer-lock]` marking every update clause.
 func (db *DB) Explain(query string) (string, error) {
 	stmt, err := parser.Parse(query)
 	if err != nil {
 		return "", err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.engine.ExplainStatement(db.graph, stmt, nil)
+	return core.NewSession(db.engine, db.store).Explain(stmt, nil)
 }
 
 // Parse checks a statement for syntactic and dialect validity without
@@ -341,25 +345,26 @@ type RelView struct {
 
 // NumNodes reports the number of nodes in the graph.
 func (db *DB) NumNodes() int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.graph.NumNodes()
+	snap := db.store.Acquire()
+	defer snap.Release()
+	return snap.Graph().NumNodes()
 }
 
 // NumRels reports the number of relationships in the graph.
 func (db *DB) NumRels() int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.graph.NumRels()
+	snap := db.store.Acquire()
+	defer snap.Release()
+	return snap.Graph().NumRels()
 }
 
 // Nodes returns snapshots of all nodes in id order.
 func (db *DB) Nodes() []NodeView {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	snap := db.store.Acquire()
+	defer snap.Release()
 	var out []NodeView
-	for _, id := range db.graph.NodeIDs() {
-		n := db.graph.Node(id)
+	g := snap.Graph()
+	for _, id := range g.NodeIDs() {
+		n := g.Node(id)
 		nv := NodeView{ID: int64(id), Labels: n.SortedLabels(), Props: map[string]Value{}}
 		for k, v := range n.Props {
 			nv.Props[k] = v
@@ -371,11 +376,12 @@ func (db *DB) Nodes() []NodeView {
 
 // Rels returns snapshots of all relationships in id order.
 func (db *DB) Rels() []RelView {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	snap := db.store.Acquire()
+	defer snap.Release()
 	var out []RelView
-	for _, id := range db.graph.RelIDs() {
-		r := db.graph.Rel(id)
+	g := snap.Graph()
+	for _, id := range g.RelIDs() {
+		r := g.Rel(id)
 		rv := RelView{ID: int64(id), Type: r.Type, Src: int64(r.Src), Tgt: int64(r.Tgt), Props: map[string]Value{}}
 		for k, v := range r.Props {
 			rv.Props[k] = v
@@ -387,22 +393,28 @@ func (db *DB) Rels() []RelView {
 
 // Stats summarizes the graph (node/relationship counts by label/type).
 func (db *DB) Stats() graph.Stats {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return graph.ComputeStats(db.graph)
+	snap := db.store.Acquire()
+	defer snap.Release()
+	return graph.ComputeStats(snap.Graph())
 }
+
+// Epoch reports the database's committed transaction epoch: it
+// advances every time a transaction (implicit or explicit) finishes.
+// Committed deltas can be correlated against it by change-feed
+// consumers.
+func (db *DB) Epoch() int64 { return db.store.Epoch() }
 
 // Snapshot returns an independent deep copy of the database (same
 // dialect and options), useful for comparing semantics side by side.
 func (db *DB) Snapshot(opts ...Option) *DB {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	snap := db.store.Acquire()
+	defer snap.Release()
 	o := db.opts
 	for _, opt := range opts {
 		opt(&o)
 	}
 	return &DB{
-		graph:  db.graph.Clone(),
+		store:  graph.NewStore(snap.Graph().Clone()),
 		engine: core.NewEngine(o.cfg),
 		opts:   o,
 	}
@@ -411,13 +423,115 @@ func (db *DB) Snapshot(opts ...Option) *DB {
 // SameShape reports whether two databases hold isomorphic graphs
 // ("equal up to id renaming", Section 8).
 func SameShape(a, b *DB) bool {
-	a.mu.Lock()
-	ga := a.graph.Clone()
-	a.mu.Unlock()
-	b.mu.Lock()
-	gb := b.graph.Clone()
-	b.mu.Unlock()
-	return graph.Isomorphic(ga, gb)
+	sa := a.store.Acquire()
+	defer sa.Release()
+	sb := b.store.Acquire()
+	defer sb.Release()
+	return graph.Isomorphic(sa.Graph(), sb.Graph())
+}
+
+// Session is a connection-like handle carrying transaction state.
+// Statements run through Exec exactly as on DB (auto-commit, snapshot
+// reads) until BEGIN opens an explicit transaction; from then on every
+// statement — reads included — runs against the transaction's working
+// graph and sees its uncommitted writes, until COMMIT publishes them
+// atomically as a new epoch or ROLLBACK discards them. Other sessions
+// and DB.Exec keep reading the last committed epoch throughout.
+//
+// A transaction holds the database's single writer slot: a second
+// session's BEGIN (or updating auto-commit statement) blocks until the
+// first commits or rolls back. A failing statement inside a
+// transaction is rolled back by itself; the transaction stays open.
+//
+// Sessions are safe for concurrent use, but their point is
+// per-connection state: use one session per goroutine.
+type Session struct {
+	mu sync.Mutex
+	cs *core.Session
+}
+
+// Session opens a session on the database.
+func (db *DB) Session() *Session {
+	return &Session{cs: core.NewSession(db.engine, db.store)}
+}
+
+// Exec parses and runs one statement in the session, including the
+// transaction-control statements BEGIN, COMMIT and ROLLBACK.
+func (s *Session) Exec(query string, params map[string]any) (*Result, error) {
+	stmt, err := parser.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	vparams, err := convertParams(params)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, err := s.cs.Execute(stmt, vparams)
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(res), nil
+}
+
+// Begin opens an explicit transaction (equivalent to Exec("BEGIN")).
+func (s *Session) Begin() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cs.Begin()
+}
+
+// Commit publishes the open transaction atomically and returns its
+// accumulated update statistics.
+func (s *Session) Commit() (UpdateStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cs.Commit()
+}
+
+// Rollback discards the open transaction.
+func (s *Session) Rollback() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cs.Rollback()
+}
+
+// InTransaction reports whether an explicit transaction is open.
+func (s *Session) InTransaction() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cs.InTransaction()
+}
+
+// Explain renders a statement's plan with its transaction boundaries,
+// against the graph state the statement would actually run on (the open
+// transaction's working graph, or the latest committed snapshot).
+func (s *Session) Explain(query string) (string, error) {
+	stmt, err := parser.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cs.Explain(stmt, nil)
+}
+
+// Stats summarizes the graph state the session's next statement would
+// see: inside a transaction, the working graph including its own
+// uncommitted writes; otherwise the last committed snapshot.
+func (s *Session) Stats() graph.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cs.Stats()
+}
+
+// Close rolls back any open transaction. The session must not be used
+// afterwards.
+func (s *Session) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cs.Close()
 }
 
 // Explain parses a statement and returns its canonical rendering (the
@@ -434,9 +548,9 @@ func Explain(query string) (string, error) {
 // entity ids exactly and round-trip all property values (including NaN
 // and infinities).
 func (db *DB) Save(w io.Writer) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.graph.WriteJSON(w)
+	snap := db.store.Acquire()
+	defer snap.Release()
+	return snap.Graph().WriteJSON(w)
 }
 
 // Load opens a database from a JSON snapshot produced by Save.
@@ -446,13 +560,13 @@ func Load(r io.Reader, opts ...Option) (*DB, error) {
 		return nil, err
 	}
 	db := Open(opts...)
-	db.graph = g
+	db.store = graph.NewStore(g)
 	return db, nil
 }
 
 // ExportDOT renders the graph in Graphviz DOT format for visualization.
 func (db *DB) ExportDOT(w io.Writer, title string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.graph.WriteDOT(w, title)
+	snap := db.store.Acquire()
+	defer snap.Release()
+	return snap.Graph().WriteDOT(w, title)
 }

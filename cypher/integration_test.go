@@ -65,9 +65,9 @@ func TestIntegrationSocialNetwork(t *testing.T) {
 
 // Exec2Validate re-checks the structural invariant from the outside.
 func (db *DB) Exec2Validate() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.graph.Validate()
+	snap := db.store.Acquire()
+	defer snap.Release()
+	return snap.Graph().Validate()
 }
 
 // An inventory/orders scenario mirroring the paper's marketplace at a

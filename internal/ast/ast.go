@@ -10,11 +10,58 @@ import (
 	"strings"
 )
 
+// TxnControl distinguishes transaction-control statements from queries.
+type TxnControl int
+
+// Transaction-control statement kinds.
+const (
+	// TxnNone marks an ordinary query statement.
+	TxnNone TxnControl = iota
+	// TxnBegin is BEGIN: open an explicit transaction.
+	TxnBegin
+	// TxnCommit is COMMIT: publish the open transaction's writes.
+	TxnCommit
+	// TxnRollback is ROLLBACK: discard the open transaction's writes.
+	TxnRollback
+)
+
+func (t TxnControl) String() string {
+	switch t {
+	case TxnBegin:
+		return "BEGIN"
+	case TxnCommit:
+		return "COMMIT"
+	case TxnRollback:
+		return "ROLLBACK"
+	default:
+		return ""
+	}
+}
+
 // Statement is a top-level Cypher statement: one or more single queries
-// combined with UNION [ALL].
+// combined with UNION [ALL], or a transaction-control statement
+// (BEGIN/COMMIT/ROLLBACK), in which case Queries is empty.
 type Statement struct {
-	Queries  []*SingleQuery // len >= 1
+	Queries  []*SingleQuery // len >= 1 when TxnControl == TxnNone
 	UnionAll []bool         // len == len(Queries)-1; true for UNION ALL
+	// TxnControl is TxnNone for queries; BEGIN/COMMIT/ROLLBACK
+	// statements carry the control kind and no queries.
+	TxnControl TxnControl
+}
+
+// Updating reports whether any clause of any query updates the graph.
+// The session layer uses it to route a statement: updating statements
+// run under the writer lock, read-only statements stream from a pinned
+// snapshot, transaction-control statements update nothing themselves.
+func (s *Statement) Updating() bool {
+	for _, q := range s.Queries {
+		for _, c := range q.Clauses {
+			if c.Updating() {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // SingleQuery is a sequence of clauses.

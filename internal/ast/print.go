@@ -8,6 +8,9 @@ import (
 
 // String renders the statement as approximately round-trippable Cypher.
 func (s *Statement) String() string {
+	if s.TxnControl != TxnNone {
+		return s.TxnControl.String()
+	}
 	var parts []string
 	for i, q := range s.Queries {
 		if i > 0 {

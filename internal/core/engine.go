@@ -252,6 +252,9 @@ func (e *Engine) ExecuteStatement(g *graph.Graph, stmt *ast.Statement, params ma
 // Section 6 experiments use: the paper's MERGE examples start from
 // "an input table [that] is already populated".
 func (e *Engine) ExecuteWithTable(g *graph.Graph, stmt *ast.Statement, params map[string]value.Value, t0 *table.Table) (*Result, error) {
+	if stmt.TxnControl != ast.TxnNone {
+		return nil, fmt.Errorf("%s requires a session (transaction control is session state)", stmt.TxnControl)
+	}
 	if !e.cfg.SkipValidation {
 		if err := Validate(stmt, e.cfg.Dialect); err != nil {
 			return nil, err
@@ -269,12 +272,21 @@ func (e *Engine) ExecuteWithTable(g *graph.Graph, stmt *ast.Statement, params ma
 	// Legacy statements may transit illegal intermediate states
 	// (Section 4.2); like Neo4j's commit-time check, the invariant must
 	// hold at statement end.
-	if err := g.Validate(); err != nil {
+	if err := statementInvariant(g); err != nil {
 		j.Rollback()
-		return nil, fmt.Errorf("statement left the graph inconsistent: %w", err)
+		return nil, err
 	}
 	j.Commit()
 	return res, nil
+}
+
+// statementInvariant is the commit-time dangling-relationship check run
+// at every statement boundary (auto-commit and inside transactions).
+func statementInvariant(g *graph.Graph) error {
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("statement left the graph inconsistent: %w", err)
+	}
+	return nil
 }
 
 // executeUnion applies UNION members left to right: each query sees the
@@ -385,8 +397,21 @@ func (x *executor) buildPlan(stmt *ast.Statement, t0 *table.Table) (plan.Operato
 }
 
 // ExplainStatement renders the streaming operator plan for a statement
-// without executing it (the cypher-shell EXPLAIN command).
+// without executing it (the cypher-shell EXPLAIN command). The first
+// line states the statement's transaction boundary — whether its
+// operators stream from a pinned snapshot with no lock held, or run
+// under the writer lock with journaled update barriers; the tree below
+// tags each update barrier with [barrier:writer-lock].
 func (e *Engine) ExplainStatement(g *graph.Graph, stmt *ast.Statement, params map[string]value.Value) (string, error) {
+	return e.explainStatement(g, stmt, params, false)
+}
+
+// explainStatement is ExplainStatement with the session's transaction
+// context: inTxn marks an open explicit transaction.
+func (e *Engine) explainStatement(g *graph.Graph, stmt *ast.Statement, params map[string]value.Value, inTxn bool) (string, error) {
+	if stmt.TxnControl != ast.TxnNone {
+		return fmt.Sprintf("%s — transaction control, no operator plan", stmt.TxnControl), nil
+	}
 	if !e.cfg.SkipValidation {
 		if err := Validate(stmt, e.cfg.Dialect); err != nil {
 			return "", err
@@ -406,7 +431,16 @@ func (e *Engine) ExplainStatement(g *graph.Graph, stmt *ast.Statement, params ma
 		return "", err
 	}
 	defer root.Close()
-	return plan.Explain(root), nil
+	var header string
+	switch {
+	case inTxn:
+		header = "txn: explicit (open transaction) — operators run on the transaction's working graph, writer lock held until COMMIT/ROLLBACK"
+	case stmt.Updating():
+		header = "txn: auto-commit write — writer lock held for the statement; [barrier:writer-lock] operators apply journaled deltas"
+	default:
+		header = "txn: auto-commit read-only — streams from a pinned snapshot, no locks held"
+	}
+	return header + "\n" + plan.Explain(root), nil
 }
 
 // executor runs one single query's clause list.

@@ -253,7 +253,7 @@ func TestExplainStatement(t *testing.T) {
 	}
 	for _, want := range []string{
 		"Limit(5)", "Sort[barrier]", "Project[name]",
-		"Update[barrier](CREATE)", "Match(", "WHERE …", "Unit",
+		"Update[barrier:writer-lock](CREATE)", "txn: auto-commit write", "Match(", "WHERE …", "Unit",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("explain output missing %q:\n%s", want, out)

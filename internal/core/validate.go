@@ -32,6 +32,12 @@ import (
 //     type and no variable-length relationships (Figure 5);
 //   - RETURN must be the final clause of its query.
 func Validate(stmt *ast.Statement, d Dialect) error {
+	if stmt.TxnControl != ast.TxnNone {
+		// BEGIN/COMMIT/ROLLBACK are valid in both dialects; whether a
+		// transaction is actually open is session state, checked by the
+		// session at execution time.
+		return nil
+	}
 	for _, q := range stmt.Queries {
 		if err := validateQuery(q.Clauses, d); err != nil {
 			return err

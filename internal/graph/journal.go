@@ -35,6 +35,22 @@ func (j *Journal) record(e undoEntry) {
 // Len reports the number of recorded mutations.
 func (j *Journal) Len() int { return len(j.entries) }
 
+// Mark returns a position in the journal to which RollbackTo can later
+// rewind. Transactions use marks for statement-level rollback: a failed
+// statement inside an open transaction is undone without disturbing the
+// statements committed to the journal before it.
+func (j *Journal) Mark() int { return len(j.entries) }
+
+// RollbackTo undoes, in reverse order, every mutation recorded after
+// the given mark, leaving the journal attached and the earlier entries
+// intact.
+func (j *Journal) RollbackTo(mark int) {
+	for i := len(j.entries) - 1; i >= mark; i-- {
+		j.entries[i].undo(j.g)
+	}
+	j.entries = j.entries[:mark]
+}
+
 // Commit detaches the journal, keeping all mutations.
 func (j *Journal) Commit() {
 	j.g.journal = nil

@@ -1,0 +1,212 @@
+package graph
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Store is the transactional wrapper around a Graph: it publishes a
+// sequence of committed epochs, lets any number of readers pin a
+// consistent snapshot of the latest epoch, and serializes writers
+// through a single-writer commit pipeline.
+//
+// The paper makes individual Cypher statements atomic (the journal and
+// ChangeSet machinery of this package); the Store extends that to
+// *transactions* — groups of statements that commit or roll back as one
+// — and to concurrency: readers never block each other and never
+// observe a half-applied transaction.
+//
+// # Epochs and snapshots
+//
+// The Store holds one published snapshot at a time: the graph as of the
+// last committed transaction, tagged with a monotonically increasing
+// epoch number. Acquire pins that snapshot (a reference count) and
+// returns it; a pinned graph is immutable for as long as the pin is
+// held, so readers iterate it with no lock held at all. Release drops
+// the pin.
+//
+// # The single-writer pipeline
+//
+// BeginWrite hands out the writer baton (a mutex — at most one write
+// transaction at a time) and picks the cheapest safe way to mutate:
+//
+//   - If the published snapshot has NO pinned readers, the writer
+//     mutates the published graph in place, exactly like the
+//     pre-transactional engine did. New readers arriving mid-write wait
+//     until the transaction finishes (they would otherwise observe torn
+//     state). This is the fast path: a single-threaded workload pays
+//     nothing for the transaction layer.
+//   - If readers ARE pinned, the writer clones the graph and mutates the
+//     clone, while current and new readers keep streaming from the
+//     published snapshot. Commit atomically publishes the clone as the
+//     next epoch; the old snapshot stays valid until its pins drain.
+//
+// Either way the transaction runs under a journal, so rollback restores
+// the pre-transaction state (and the writer's working graph is then
+// published unchanged in content, keeping id-counter behaviour
+// identical across both paths). Readers therefore see exactly the
+// pre-commit or the post-commit epoch — never anything in between.
+type Store struct {
+	mu       sync.Mutex
+	readable *sync.Cond // readers waiting out an in-place write
+	cur      *Snapshot
+	inPlace  bool // a write txn is mutating cur's graph in place
+	waiting  int  // readers blocked in Acquire by an in-place write
+
+	// writerMu is the single-writer baton: held from BeginWrite until
+	// Commit/Rollback, serializing write transactions.
+	writerMu sync.Mutex
+
+	epoch int64
+}
+
+// NewStore wraps g (which must not be used directly afterwards) in a
+// store publishing it as epoch 0.
+func NewStore(g *Graph) *Store {
+	s := &Store{}
+	s.readable = sync.NewCond(&s.mu)
+	s.cur = &Snapshot{store: s, g: g}
+	return s
+}
+
+// Snapshot is a pinned, immutable view of one committed epoch. The
+// Graph it exposes is safe for concurrent readers and MUST NOT be
+// mutated; Release the pin when done.
+type Snapshot struct {
+	store *Store
+	g     *Graph
+	epoch int64
+	pins  atomic.Int64
+}
+
+// Graph returns the snapshot's immutable graph.
+func (sn *Snapshot) Graph() *Graph { return sn.g }
+
+// Epoch reports the committed epoch this snapshot captures.
+func (sn *Snapshot) Epoch() int64 { return sn.epoch }
+
+// Release drops the pin. The snapshot must not be used afterwards.
+func (sn *Snapshot) Release() { sn.pins.Add(-1) }
+
+// Acquire pins the latest committed epoch and returns it. If a write
+// transaction is mutating the published graph in place (the no-reader
+// fast path), Acquire waits for it to finish — the moment a snapshot is
+// handed out, its graph is guaranteed immutable.
+func (s *Store) Acquire() *Snapshot {
+	s.mu.Lock()
+	for s.inPlace {
+		s.waiting++
+		s.readable.Wait()
+		s.waiting--
+	}
+	sn := s.cur
+	sn.pins.Add(1)
+	s.mu.Unlock()
+	return sn
+}
+
+// Epoch reports the latest committed epoch number.
+func (s *Store) Epoch() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// WriteTxn is an open write transaction: a working graph (the published
+// graph itself, or a private clone when readers are pinned), journaled
+// so it can roll back, holding the writer baton until Commit or
+// Rollback.
+type WriteTxn struct {
+	s      *Store
+	g      *Graph
+	j      *Journal
+	cloned bool
+	done   bool
+}
+
+// BeginWrite opens a write transaction, blocking while another one is
+// in flight (single writer). Intended for statement-scoped (implicit,
+// auto-commit) transactions: it may take the in-place fast path, which
+// makes readers arriving mid-transaction wait until it finishes.
+func (s *Store) BeginWrite() *WriteTxn { return s.beginWrite(false) }
+
+// BeginWriteIsolated opens a write transaction that always works on a
+// private clone, never blocking readers: the published epoch stays
+// readable for the whole transaction. Intended for explicit
+// (BEGIN…COMMIT) transactions, whose lifetime is caller-paced and may
+// include think time.
+func (s *Store) BeginWriteIsolated() *WriteTxn { return s.beginWrite(true) }
+
+func (s *Store) beginWrite(isolated bool) *WriteTxn {
+	s.writerMu.Lock()
+	s.mu.Lock()
+	w := &WriteTxn{s: s}
+	cur := s.cur
+	if !isolated && cur.pins.Load() == 0 && s.waiting == 0 {
+		// Nobody is reading: mutate in place; Acquire blocks until the
+		// transaction finishes.
+		w.g = cur.g
+		s.inPlace = true
+		s.mu.Unlock()
+	} else {
+		// Readers are streaming from the published snapshot (or were
+		// woken by the previous transaction and have not re-pinned yet —
+		// counting them prevents a back-to-back writer from starving
+		// readers through repeated in-place transactions): leave the
+		// snapshot untouched and work on a clone. The O(graph) copy runs
+		// outside the store mutex so readers keep acquiring snapshots
+		// meanwhile — cur cannot be replaced while writerMu is held, and
+		// a published graph is immutable, so the unlocked read is safe.
+		s.mu.Unlock()
+		w.g = cur.g.Clone()
+		w.cloned = true
+	}
+	w.j = w.g.BeginJournal()
+	return w
+}
+
+// Graph returns the transaction's working graph. Statements of the
+// transaction execute (and read their own writes) against it.
+func (w *WriteTxn) Graph() *Graph { return w.g }
+
+// Journal returns the transaction's undo journal. Callers use
+// Mark/RollbackTo for statement-level rollback within the transaction.
+func (w *WriteTxn) Journal() *Journal { return w.j }
+
+// Commit keeps all mutations and publishes the working graph as the
+// next epoch, releasing the writer baton. It returns the new epoch.
+func (w *WriteTxn) Commit() int64 {
+	if w.done {
+		panic("graph: commit of a finished write transaction")
+	}
+	w.j.Commit()
+	return w.finish()
+}
+
+// Rollback undoes every mutation of the transaction (via the journal)
+// and publishes the restored working graph, releasing the writer baton.
+// Content-wise the published epoch equals the pre-transaction state;
+// the epoch number still advances, and id counters stay consumed,
+// matching the engine's historical statement-rollback behaviour on both
+// the in-place and the clone path.
+func (w *WriteTxn) Rollback() {
+	if w.done {
+		panic("graph: rollback of a finished write transaction")
+	}
+	w.j.Rollback()
+	w.finish()
+}
+
+func (w *WriteTxn) finish() int64 {
+	w.done = true
+	s := w.s
+	s.mu.Lock()
+	s.epoch++
+	epoch := s.epoch
+	s.cur = &Snapshot{store: s, g: w.g, epoch: epoch}
+	s.inPlace = false
+	s.mu.Unlock()
+	s.readable.Broadcast()
+	s.writerMu.Unlock()
+	return epoch
+}

@@ -85,13 +85,17 @@ type Matcher struct {
 
 	// Plan cache: Stream is called once per driving-table record, but
 	// the plan depends only on the pattern, the set of bound column
-	// names and the graph's structural version — all constant across a
-	// typical operator's rows (see plansFor).
+	// names and the graph's statistics. A cached plan survives
+	// structural version bumps as long as the anchor estimates have not
+	// drifted materially (see plansFor and estimateFingerprint) — so a
+	// legacy MERGE mutating the graph between records keeps its plan —
+	// and is re-planned the moment a skewed load moves the statistics.
 	cachedPlans []partPlan
 	cacheParts  *ast.PatternPart
 	cacheN      int
 	cacheBound  []string
 	cacheVer    int64
+	cacheEst    []float64
 
 	// runNaive, set per Stream call, forces the seed's written-order
 	// walk and disables all pushed-predicate pruning for rows where any
@@ -189,9 +193,15 @@ func (m *Matcher) MatchExists(parts []*ast.PatternPart, env expr.Env) (bool, err
 }
 
 // plansFor returns the execution plan for parts under env's bound
-// variables, reusing the cached plan when the pattern, the bound column
-// set and the graph's structural version are unchanged since the last
-// call — the common case for an operator streaming many records.
+// variables, reusing the cached plan when the pattern and the bound
+// column set are unchanged since the last call — the common case for an
+// operator streaming many records. Cache validity is statistics-based,
+// not version-based: when the graph's structural version has moved, the
+// anchor estimates are recomputed (O(1) statistic reads per node slot)
+// and the plan is kept unless they drifted materially — so interleaved
+// writes (a legacy MERGE mutating between records) do not force a
+// replan per record, while a skewed bulk load that moves the label
+// cardinalities does invalidate the stale anchor choice.
 func (m *Matcher) plansFor(parts []*ast.PatternPart, env expr.Env) []partPlan {
 	newBound := func() map[string]bool {
 		bound := make(map[string]bool, len(env))
@@ -209,7 +219,7 @@ func (m *Matcher) plansFor(parts []*ast.PatternPart, env expr.Env) []partPlan {
 		key = parts[0]
 	}
 	if m.cachedPlans != nil && m.cacheParts == key && m.cacheN == len(parts) &&
-		m.cacheVer == m.Graph.Version() && len(m.cacheBound) == len(env) {
+		len(m.cacheBound) == len(env) {
 		hit := true
 		for _, name := range m.cacheBound {
 			if _, ok := env[name]; !ok {
@@ -218,16 +228,27 @@ func (m *Matcher) plansFor(parts []*ast.PatternPart, env expr.Env) []partPlan {
 			}
 		}
 		if hit {
-			return m.cachedPlans
+			if m.cacheVer == m.Graph.Version() {
+				return m.cachedPlans
+			}
+			// The graph changed structurally: re-validate the plan
+			// against the current statistics instead of discarding it.
+			fp := m.estimateFingerprint(parts, newBound())
+			if !estimatesDrifted(m.cacheEst, fp) {
+				m.cacheVer = m.Graph.Version()
+				return m.cachedPlans
+			}
 		}
 	}
 	names := make([]string, 0, len(env))
 	for k := range env {
 		names = append(names, k)
 	}
-	plans := m.planParts(parts, newBound())
+	bound := newBound()
+	fp := m.estimateFingerprint(parts, bound)
+	plans := m.planParts(parts, bound) // mutates bound; fingerprint first
 	m.cachedPlans, m.cacheParts, m.cacheN = plans, key, len(parts)
-	m.cacheBound, m.cacheVer = names, m.Graph.Version()
+	m.cacheBound, m.cacheVer, m.cacheEst = names, m.Graph.Version(), fp
 	return plans
 }
 

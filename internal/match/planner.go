@@ -345,6 +345,53 @@ func (m *Matcher) planPart(part *ast.PatternPart, origIdx int, bound map[string]
 	}
 }
 
+// estimateFingerprint captures the statistics inputs of a plan: the
+// anchor estimate of every node slot of every part, in written order,
+// against the entry-bound variable set. The plan cache re-validates a
+// cached plan by recomputing this vector (O(1) statistic reads per
+// slot) and checking it for drift, instead of discarding the plan on
+// every structural version bump.
+func (m *Matcher) estimateFingerprint(parts []*ast.PatternPart, bound map[string]bool) []float64 {
+	var fp []float64
+	for _, part := range parts {
+		for _, np := range part.Nodes {
+			fp = append(fp, m.anchorEstimate(np, bound))
+		}
+	}
+	return fp
+}
+
+// Drift tolerance for cached plans: an estimate may move by a factor of
+// driftFactor before the plan is re-planned, and estimates below
+// driftFloor candidates are considered equivalent (tiny cardinalities
+// reorder cheaply at execution time anyway, and absolute slack keeps a
+// near-empty graph from thrashing the cache while it fills).
+const (
+	driftFactor = 2.0
+	driftFloor  = 16.0
+)
+
+// estimatesDrifted reports whether the statistics moved enough since a
+// plan was cached that its anchor/order choices may be stale.
+func estimatesDrifted(old, cur []float64) bool {
+	if len(old) != len(cur) {
+		return true
+	}
+	for i := range old {
+		lo, hi := old[i], cur[i]
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if hi <= driftFloor {
+			continue
+		}
+		if lo*driftFactor < hi {
+			return true
+		}
+	}
+	return false
+}
+
 // anchorEstimate scores a node slot: the estimated number of candidate
 // nodes enumeration would start from. Lower is better.
 func (m *Matcher) anchorEstimate(np *ast.NodePattern, bound map[string]bool) float64 {

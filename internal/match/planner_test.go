@@ -280,3 +280,71 @@ func TestDescribePlan(t *testing.T) {
 		}
 	}
 }
+
+// TestPlanCacheSurvivesUndriftedMutation: small structural mutations
+// bump graph.Version, but a cached plan whose anchor estimates have not
+// drifted is reused (identity of the cached slice), so interleaved
+// writes do not force a replan per record.
+func TestPlanCacheSurvivesUndriftedMutation(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 10; i++ {
+		g.CreateNode([]string{"A"}, nil)
+	}
+	for i := 0; i < 1000; i++ {
+		g.CreateNode([]string{"B"}, nil)
+	}
+	m := &Matcher{Graph: g, Ev: &expr.Evaluator{Graph: g}}
+	parts := patternOf(t, "(a:A)-[:R]->(b:B)")
+	plans1 := m.plansFor(parts, expr.Env{})
+	if plans1[0].anchor != 0 {
+		t.Fatalf("anchor = %d, want 0 (the rare :A slot)", plans1[0].anchor)
+	}
+	ver := g.Version()
+	g.CreateNode([]string{"B"}, nil) // version bump, negligible drift
+	if g.Version() == ver {
+		t.Fatal("mutation did not bump the version")
+	}
+	plans2 := m.plansFor(parts, expr.Env{})
+	if &plans1[0] != &plans2[0] {
+		t.Error("undrifted version bump discarded the cached plan")
+	}
+}
+
+// TestPlanCacheReplansOnStatsDrift is the regression test for stale
+// anchors: a skewed bulk load inverts which label is rare, and the
+// cached plan must be re-planned onto the new anchor rather than kept
+// on version-blind reuse.
+func TestPlanCacheReplansOnStatsDrift(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 10; i++ {
+		g.CreateNode([]string{"A"}, nil)
+	}
+	for i := 0; i < 200; i++ {
+		g.CreateNode([]string{"B"}, nil)
+	}
+	m := &Matcher{Graph: g, Ev: &expr.Evaluator{Graph: g}}
+	parts := patternOf(t, "(a:A)-[:R]->(b:B)")
+	plans := m.plansFor(parts, expr.Env{})
+	if plans[0].anchor != 0 {
+		t.Fatalf("pre-load anchor = %d, want 0 (:A is rare)", plans[0].anchor)
+	}
+	// Skewed bulk load: :A becomes the common label by far.
+	for i := 0; i < 5000; i++ {
+		g.CreateNode([]string{"A"}, nil)
+	}
+	plans = m.plansFor(parts, expr.Env{})
+	if plans[0].anchor != 1 {
+		t.Errorf("post-load anchor = %d, want 1 (:B is now rare); stale plan survived the drift", plans[0].anchor)
+	}
+	// And the matcher still enumerates correctly after the replan.
+	if _, err := g.CreateRel(g.NodeIDsByLabel("A")[0], g.NodeIDsByLabel("B")[0], "R", nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Match(parts, expr.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("matches = %d, want 1", len(res))
+	}
+}

@@ -151,11 +151,23 @@ var softKeywords = map[token.Type]bool{
 	token.CSV: true, token.FROM: true, token.HEADERS: true,
 	token.FIELDTERMINATOR: true, token.STARTS: true, token.ENDS: true,
 	token.CONTAINS: true,
+	// Transaction keywords stay usable as variables: they are only
+	// recognized as statements when they appear alone at statement start,
+	// so `RETURN commit` keeps meaning a variable named commit.
+	token.BEGIN: true, token.COMMIT: true, token.ROLLBACK: true,
 }
 
 // isVar reports whether the token can serve as a variable name.
 func isVar(t token.Token) bool {
 	return t.Type == token.Ident || softKeywords[t.Type]
+}
+
+// txnControl maps the transaction-control keywords to their statement
+// kinds.
+var txnControl = map[token.Type]ast.TxnControl{
+	token.BEGIN:    ast.TxnBegin,
+	token.COMMIT:   ast.TxnCommit,
+	token.ROLLBACK: ast.TxnRollback,
 }
 
 // variable consumes a variable name.
@@ -167,6 +179,14 @@ func (p *parser) variable() string {
 }
 
 func (p *parser) parseStatement() *ast.Statement {
+	// BEGIN / COMMIT / ROLLBACK are whole statements of their own
+	// (transaction control); they take no clauses.
+	if ctl, ok := txnControl[p.cur().Type]; ok && (p.peek().Type == token.EOF || p.peek().Type == token.Semi) {
+		p.next()
+		p.accept(token.Semi)
+		p.expect(token.EOF)
+		return &ast.Statement{TxnControl: ctl}
+	}
 	stmt := &ast.Statement{}
 	stmt.Queries = append(stmt.Queries, p.parseSingleQuery())
 	for p.accept(token.UNION) {

@@ -441,3 +441,32 @@ func TestContainsAggregate(t *testing.T) {
 		t.Error("size is not an aggregate")
 	}
 }
+
+func TestParseTxnControl(t *testing.T) {
+	cases := map[string]ast.TxnControl{
+		"BEGIN":     ast.TxnBegin,
+		"begin;":    ast.TxnBegin,
+		"COMMIT":    ast.TxnCommit,
+		"Commit ;":  ast.TxnCommit,
+		"ROLLBACK":  ast.TxnRollback,
+		"rollback;": ast.TxnRollback,
+	}
+	for src, want := range cases {
+		stmt := mustParse(t, src)
+		if stmt.TxnControl != want {
+			t.Errorf("Parse(%q).TxnControl = %v, want %v", src, stmt.TxnControl, want)
+		}
+		if len(stmt.Queries) != 0 {
+			t.Errorf("Parse(%q) carried %d queries", src, len(stmt.Queries))
+		}
+	}
+	// The keywords stay soft: usable as variables and property keys.
+	stmt := mustParse(t, "WITH 1 AS begin RETURN begin AS commit")
+	if stmt.TxnControl != ast.TxnNone {
+		t.Error("query misread as transaction control")
+	}
+	// BEGIN followed by clauses is a parse error, not a silent query.
+	if _, err := Parse("BEGIN MATCH (n) RETURN n"); err == nil {
+		t.Error("BEGIN with trailing clauses should not parse")
+	}
+}

@@ -1115,7 +1115,7 @@ func (o *Apply) Next() (Row, bool, error) {
 func (o *Apply) Close() { o.child.Close() }
 
 // Name implements Operator.
-func (o *Apply) Name() string { return fmt.Sprintf("Update[barrier](%s)", o.label) }
+func (o *Apply) Name() string { return fmt.Sprintf("Update[barrier:writer-lock](%s)", o.label) }
 
 // Children implements Operator.
 func (o *Apply) Children() []Operator { return []Operator{o.child} }

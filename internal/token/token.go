@@ -95,6 +95,9 @@ const (
 	FROM
 	HEADERS
 	FIELDTERMINATOR
+	BEGIN
+	COMMIT
+	ROLLBACK
 	keywordEnd
 )
 
@@ -117,7 +120,8 @@ var typeNames = map[Type]string{
 	CONTAINS: "CONTAINS", CASE: "CASE", WHEN: "WHEN", THEN: "THEN",
 	ELSE: "ELSE", END: "END", ALL: "ALL", SAME: "SAME",
 	LOAD: "LOAD", CSV: "CSV", FROM: "FROM", HEADERS: "HEADERS",
-	FIELDTERMINATOR: "FIELDTERMINATOR",
+	FIELDTERMINATOR: "FIELDTERMINATOR", BEGIN: "BEGIN",
+	COMMIT: "COMMIT", ROLLBACK: "ROLLBACK",
 }
 
 // String returns a printable name for the token type.
