@@ -1,11 +1,11 @@
 # Build, test and benchmark entry points. CI runs `make test`, the
-# race detector (`make race`), and the short bench smoke; `make bench`
-# records the perf trajectory into BENCH_pr3.json (one file per PR so
-# regressions are diffable).
+# race detector (`make race`), the short bench smoke and the docs
+# smoke; `make bench` records the perf trajectory into BENCH_pr4.json
+# (one file per PR so regressions are diffable).
 
-BENCH_OUT ?= BENCH_pr3.json
+BENCH_OUT ?= BENCH_pr4.json
 
-.PHONY: all test vet race bench bench-smoke
+.PHONY: all test vet race bench bench-smoke docs-smoke
 
 all: test
 
@@ -35,3 +35,10 @@ bench:
 # inputs on every push without CI paying for real measurement.
 bench-smoke:
 	go test -run '^$$' -bench 'BenchmarkB' -benchtime 1x .
+
+# Executes every runnable snippet of docs/language.md and the exported-
+# symbol godoc check, so documentation cannot rot. Both also run as part
+# of the ordinary test suite; this target is the explicit CI gate.
+docs-smoke:
+	go test ./internal/script -run TestLanguageReferenceSnippets
+	go test ./internal/doccheck

@@ -18,6 +18,7 @@
 //	B11 cost-based anchor selection on a label-skewed graph
 //	B12 WHERE pushdown pruning relationship expansion
 //	B13 concurrent snapshot readers vs lock-serialized execution
+//	B14 property-index seeks: equality-anchored MATCH and bulk MERGE
 package repro_test
 
 import (
@@ -454,6 +455,76 @@ func BenchmarkB13ConcurrentReaders(b *testing.B) {
 	b.Run("concurrent/readonly", func(b *testing.B) { run(b, false, false) })
 	b.Run("serialized/bulk-txn", func(b *testing.B) { run(b, true, true) })
 	b.Run("concurrent/bulk-txn", func(b *testing.B) { run(b, true, false) })
+}
+
+// B14: property-index seeks. The match cases run a point lookup
+// (`u.id = k`) over 100k single-label nodes: the label scan visits all
+// of them, the index seek reads one bucket. The merge cases run a bulk
+// upsert whose read phase re-matches the key per record — without an
+// index each record rescans the growing label (O(n²) overall); with an
+// index maintained incrementally under MERGE's own writes, every
+// lookup is a bucket probe.
+func BenchmarkB14IndexSeek(b *testing.B) {
+	const n = 100000
+	build := func(withIndex bool) *graph.Graph {
+		g := graph.New()
+		if withIndex {
+			g.CreateIndex("User", "id")
+		}
+		for i := 0; i < n; i++ {
+			g.CreateNode([]string{"User"}, value.Map{"id": value.Int(int64(i))})
+		}
+		return g
+	}
+	matchQ := `MATCH (u:User) WHERE u.id = 99999 RETURN u.id AS id`
+	cfg := core.Config{Dialect: core.DialectRevised}
+	for _, c := range []struct {
+		name      string
+		withIndex bool
+	}{
+		{"match/label-scan", false},
+		{"match/index-seek", true},
+	} {
+		g := build(c.withIndex)
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := execBench(b, cfg, g, matchQ, nil)
+				if res.Table.Len() != 1 {
+					b.Fatal("expected 1 row")
+				}
+			}
+		})
+	}
+
+	const rows = 2000
+	upsert := table.New("cid")
+	for i := 0; i < rows; i++ {
+		upsert.AppendRow(value.Int(int64(i % (rows / 2)))) // every key hit twice
+	}
+	mergeQ := `MERGE (:User{id:cid})`
+	legacy := core.Config{Dialect: core.DialectCypher9}
+	for _, c := range []struct {
+		name      string
+		withIndex bool
+	}{
+		{"merge/label-scan", false},
+		{"merge/index-seek", true},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				g := graph.New()
+				if c.withIndex {
+					g.CreateIndex("User", "id")
+				}
+				b.StartTimer()
+				res := execBench(b, legacy, g, mergeQ, upsert.Clone())
+				if res.Stats.NodesCreated != rows/2 {
+					b.Fatalf("created %d nodes, want %d", res.Stats.NodesCreated, rows/2)
+				}
+			}
+		})
+	}
 }
 
 // Sanity checks keep the benchmark inputs honest (run under `go test`).

@@ -1,6 +1,9 @@
 // Command cypher-run executes a Cypher script file (statements separated
 // by semicolons) against a fresh database and prints the result of each
-// statement.
+// statement. The whole script runs through one session, so scripts may
+// use BEGIN/COMMIT/ROLLBACK and the schema statements CREATE INDEX /
+// DROP INDEX alongside queries; an unclosed transaction rolls back at
+// exit.
 //
 // Usage:
 //

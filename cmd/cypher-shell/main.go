@@ -9,6 +9,7 @@
 //	                      grouping, weak-collapse, collapse,
 //	                      strong-collapse, from-form)
 //	:stats                print graph statistics
+//	:indexes              list property indexes
 //	:clear                reset the database
 //	:quit                 exit
 //
@@ -22,6 +23,11 @@
 // Statements between BEGIN and COMMIT see the transaction's own writes;
 // a failing statement rolls back by itself and leaves the transaction
 // open. Without BEGIN every statement auto-commits, exactly as before.
+//
+// Schema statements work as statements too: CREATE INDEX ON
+// :Label(prop); builds a property index (the planner then anchors
+// equality lookups as index seeks) and DROP INDEX ON :Label(prop);
+// removes it. :indexes lists the current indexes.
 //
 // A statement prefixed with EXPLAIN prints the streaming operator plan
 // (with its transaction boundaries) instead of executing it.
@@ -71,10 +77,17 @@ func main() {
 				prompt()
 				continue
 			}
-			if strings.Fields(trimmed)[0] == ":stats" {
+			switch strings.Fields(trimmed)[0] {
+			case ":stats":
 				// Through the session, so an open transaction's own
 				// writes are included.
 				fmt.Println(sess.Stats())
+				prompt()
+				continue
+			case ":indexes":
+				// Likewise through the session: an open transaction's
+				// uncommitted CREATE/DROP INDEX statements show here.
+				printIndexes(sess.Indexes())
 				prompt()
 				continue
 			}
@@ -121,7 +134,8 @@ func meta(db *cypher.DB, dialect, cmd string) (*cypher.DB, string, bool) {
 		fmt.Println("statements end with ';'. EXPLAIN <query>; prints the operator plan with its transaction boundaries.")
 		fmt.Println("transactions: BEGIN; opens one (statements see its writes; errors roll back the statement only),")
 		fmt.Println("COMMIT; publishes it atomically, ROLLBACK; discards it. Without BEGIN, statements auto-commit.")
-		fmt.Println("Meta: :dialect cypher9|revised, :merge <strategy>, :stats, :clear, :quit")
+		fmt.Println("indexes: CREATE INDEX ON :Label(prop); / DROP INDEX ON :Label(prop); — :indexes lists them.")
+		fmt.Println("Meta: :dialect cypher9|revised, :merge <strategy>, :stats, :indexes, :clear, :quit")
 	case ":stats":
 		fmt.Println(db.Stats())
 	case ":clear":
@@ -164,6 +178,16 @@ func meta(db *cypher.DB, dialect, cmd string) (*cypher.DB, string, bool) {
 		fmt.Println("unknown meta command:", fields[0])
 	}
 	return db, dialect, false
+}
+
+func printIndexes(ixs []cypher.IndexView) {
+	if len(ixs) == 0 {
+		fmt.Println("no indexes")
+		return
+	}
+	for _, ix := range ixs {
+		fmt.Printf("INDEX ON :%s(%s)\n", ix.Label, ix.Prop)
+	}
 }
 
 func execute(sess *cypher.Session, query string) {

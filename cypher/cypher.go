@@ -398,6 +398,29 @@ func (db *DB) Stats() graph.Stats {
 	return graph.ComputeStats(snap.Graph())
 }
 
+// IndexView describes one property index: nodes carrying Label are
+// indexed by the value of their Prop property.
+type IndexView struct {
+	Label string
+	Prop  string
+}
+
+// Indexes lists the database's property indexes (created with
+// `CREATE INDEX ON :Label(prop)`) sorted by label, then property.
+func (db *DB) Indexes() []IndexView {
+	snap := db.store.Acquire()
+	defer snap.Release()
+	return indexViews(snap.Graph().Indexes())
+}
+
+func indexViews(keys []graph.IndexKey) []IndexView {
+	out := make([]IndexView, len(keys))
+	for i, k := range keys {
+		out[i] = IndexView{Label: k.Label, Prop: k.Prop}
+	}
+	return out
+}
+
 // Epoch reports the database's committed transaction epoch: it
 // advances every time a transaction (implicit or explicit) finishes.
 // Committed deltas can be correlated against it by change-feed
@@ -524,6 +547,16 @@ func (s *Session) Stats() graph.Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.cs.Stats()
+}
+
+// Indexes lists the property indexes the session's next statement would
+// see: inside a transaction, the working graph including its own
+// uncommitted CREATE/DROP INDEX statements; otherwise the last
+// committed snapshot.
+func (s *Session) Indexes() []IndexView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return indexViews(s.cs.Indexes())
 }
 
 // Close rolls back any open transaction. The session must not be used

@@ -1,0 +1,208 @@
+package cypher
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestIndexEndToEnd drives the acceptance scenario through the public
+// API: CREATE INDEX, an equality MATCH whose EXPLAIN shows an
+// index-seek anchor, DROP INDEX turning the same plan back into a plain
+// scan, with identical results either way.
+func TestIndexEndToEnd(t *testing.T) {
+	db := Open()
+	if _, err := db.Exec(`UNWIND range(1, 200) AS i CREATE (:User{id:i, name:'u'})`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE INDEX ON :User(id)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Indexes(); !reflect.DeepEqual(got, []IndexView{{Label: "User", Prop: "id"}}) {
+		t.Fatalf("Indexes() = %v", got)
+	}
+
+	const q = `MATCH (u:User) WHERE u.id = 137 RETURN u.id AS id`
+	plan, err := db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "index-seek(:User.id)") {
+		t.Fatalf("EXPLAIN with index missing index-seek:\n%s", plan)
+	}
+	withIndex, err := db.Exec(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := db.Exec(`DROP INDEX ON :User(id)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Indexes(); len(got) != 0 {
+		t.Fatalf("Indexes() after drop = %v", got)
+	}
+	plan, err = db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan, "index-seek") {
+		t.Fatalf("EXPLAIN after DROP INDEX still seeks:\n%s", plan)
+	}
+	withoutIndex, err := db.Exec(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(withIndex.Rows(), withoutIndex.Rows()) {
+		t.Fatalf("results diverged: %v vs %v", withIndex.Rows(), withoutIndex.Rows())
+	}
+	if withIndex.NumRows() != 1 {
+		t.Fatalf("expected one row, got %d", withIndex.NumRows())
+	}
+}
+
+// TestIndexExplicitTransactionRollback: CREATE INDEX inside an explicit
+// transaction is visible to the transaction's own statements, invisible
+// to other sessions, and ROLLBACK leaves the committed epoch without it
+// — identical to never having run.
+func TestIndexExplicitTransactionRollback(t *testing.T) {
+	db := Open()
+	if _, err := db.Exec(`UNWIND range(1, 50) AS i CREATE (:User{id:i})`, nil); err != nil {
+		t.Fatal(err)
+	}
+	sess := db.Session()
+	defer sess.Close()
+
+	if _, err := sess.Exec(`BEGIN`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec(`CREATE INDEX ON :User(id)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Indexes(); len(got) != 1 {
+		t.Fatalf("transaction does not see its own index: %v", got)
+	}
+	if got := db.Indexes(); len(got) != 0 {
+		t.Fatalf("uncommitted index leaked to the committed epoch: %v", got)
+	}
+	plan, err := sess.Explain(`MATCH (u:User{id:7}) RETURN u.id AS id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "index-seek(:User.id)") {
+		t.Fatalf("in-transaction EXPLAIN missing index-seek:\n%s", plan)
+	}
+	if _, err := sess.Exec(`ROLLBACK`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Indexes(); len(got) != 0 {
+		t.Fatalf("rolled-back index survived: %v", got)
+	}
+	if got := sess.Indexes(); len(got) != 0 {
+		t.Fatalf("session still sees rolled-back index: %v", got)
+	}
+
+	// And the commit path publishes it.
+	if _, err := sess.Exec(`BEGIN`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec(`CREATE INDEX ON :User(id)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec(`COMMIT`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Indexes(); len(got) != 1 {
+		t.Fatalf("committed index not published: %v", got)
+	}
+}
+
+// TestIndexStatementLevelRollback: a failing statement inside an open
+// transaction rolls back to its journal mark; index maintenance must be
+// undone with it, leaving lookups identical to never having run the
+// statement.
+func TestIndexStatementLevelRollback(t *testing.T) {
+	db := Open()
+	if _, err := db.Exec(`CREATE INDEX ON :User(id)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`UNWIND range(1, 20) AS i CREATE (:User{id:i})`, nil); err != nil {
+		t.Fatal(err)
+	}
+	sess := db.Session()
+	defer sess.Close()
+	if _, err := sess.Exec(`BEGIN`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec(`CREATE (:User{id:100})`, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The statement creates an indexed node, then errors: its index
+	// entries must vanish with the rollback while id:100 stays.
+	if _, err := sess.Exec(`CREATE (:User{id:200}) WITH 1 AS one MATCH (u:User) WHERE u.id/0 = 1 RETURN one`, nil); err == nil {
+		t.Fatal("expected division error")
+	}
+	if !sess.InTransaction() {
+		t.Fatal("failed statement closed the transaction")
+	}
+	count := func(q string) int {
+		res, err := sess.Exec(q, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		return res.NumRows()
+	}
+	if got := count(`MATCH (u:User) WHERE u.id = 200 RETURN u`); got != 0 {
+		t.Fatalf("rolled-back node still found via index: %d rows", got)
+	}
+	if got := count(`MATCH (u:User) WHERE u.id = 100 RETURN u`); got != 1 {
+		t.Fatalf("pre-mark node lost: %d rows", got)
+	}
+	if _, err := sess.Exec(`COMMIT`, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec(`MATCH (u:User) WHERE u.id = 100 RETURN u.id AS id`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 1 {
+		t.Fatalf("committed node not visible: %d rows", res.NumRows())
+	}
+}
+
+// TestIndexSaveLoadRoundTrip: Save serializes index definitions and
+// Load rebuilds their contents.
+func TestIndexSaveLoadRoundTrip(t *testing.T) {
+	db := Open()
+	if _, err := db.Exec(`UNWIND range(1, 30) AS i CREATE (:User{id:i})`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE INDEX ON :User(id)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.Indexes(); !reflect.DeepEqual(got, []IndexView{{Label: "User", Prop: "id"}}) {
+		t.Fatalf("loaded Indexes() = %v", got)
+	}
+	plan, err := db2.Explain(`MATCH (u:User{id:3}) RETURN u.id AS id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "index-seek(:User.id)") {
+		t.Fatalf("loaded database does not seek:\n%s", plan)
+	}
+	res, err := db2.Exec(`MATCH (u:User{id:3}) RETURN u.id AS id`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 1 {
+		t.Fatalf("loaded index returned %d rows", res.NumRows())
+	}
+}

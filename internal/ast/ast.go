@@ -38,22 +38,51 @@ func (t TxnControl) String() string {
 	}
 }
 
+// IndexStmt is a schema statement: CREATE INDEX ON :Label(prop) or, with
+// Drop set, DROP INDEX ON :Label(prop). Index statements carry no
+// clauses; like transaction control they are whole statements of their
+// own, but unlike it they mutate the store and therefore run under the
+// writer lock with journaled rollback.
+type IndexStmt struct {
+	Drop  bool
+	Label string
+	Prop  string
+}
+
+// String renders the statement as Cypher.
+func (s *IndexStmt) String() string {
+	verb := "CREATE"
+	if s.Drop {
+		verb = "DROP"
+	}
+	return verb + " INDEX ON :" + s.Label + "(" + s.Prop + ")"
+}
+
 // Statement is a top-level Cypher statement: one or more single queries
-// combined with UNION [ALL], or a transaction-control statement
-// (BEGIN/COMMIT/ROLLBACK), in which case Queries is empty.
+// combined with UNION [ALL], a transaction-control statement
+// (BEGIN/COMMIT/ROLLBACK), or a schema statement (CREATE/DROP INDEX);
+// for the latter two Queries is empty.
 type Statement struct {
-	Queries  []*SingleQuery // len >= 1 when TxnControl == TxnNone
+	Queries  []*SingleQuery // len >= 1 when TxnControl == TxnNone and Index == nil
 	UnionAll []bool         // len == len(Queries)-1; true for UNION ALL
 	// TxnControl is TxnNone for queries; BEGIN/COMMIT/ROLLBACK
 	// statements carry the control kind and no queries.
 	TxnControl TxnControl
+	// Index is non-nil for CREATE INDEX / DROP INDEX statements, which
+	// carry no queries.
+	Index *IndexStmt
 }
 
-// Updating reports whether any clause of any query updates the graph.
-// The session layer uses it to route a statement: updating statements
-// run under the writer lock, read-only statements stream from a pinned
-// snapshot, transaction-control statements update nothing themselves.
+// Updating reports whether the statement writes: any clause of any
+// query updates the graph, or the statement is a schema statement
+// (CREATE/DROP INDEX mutate the store). The session layer uses it to
+// route a statement: updating statements run under the writer lock,
+// read-only statements stream from a pinned snapshot, transaction-
+// control statements update nothing themselves.
 func (s *Statement) Updating() bool {
+	if s.Index != nil {
+		return true
+	}
 	for _, q := range s.Queries {
 		for _, c := range q.Clauses {
 			if c.Updating() {

@@ -11,6 +11,9 @@ func (s *Statement) String() string {
 	if s.TxnControl != TxnNone {
 		return s.TxnControl.String()
 	}
+	if s.Index != nil {
+		return s.Index.String()
+	}
 	var parts []string
 	for i, q := range s.Queries {
 		if i > 0 {

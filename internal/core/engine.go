@@ -280,6 +280,22 @@ func (e *Engine) ExecuteWithTable(g *graph.Graph, stmt *ast.Statement, params ma
 	return res, nil
 }
 
+// executeIndexStmt applies a CREATE/DROP INDEX schema statement to the
+// working graph. CREATE is idempotent (re-running a setup script is
+// harmless); DROP of a missing index is an error (it catches typos, and
+// statement rollback makes the failure side-effect free). Both are
+// journaled by the graph, so transaction rollback undoes them.
+func executeIndexStmt(g *graph.Graph, is *ast.IndexStmt) (*Result, error) {
+	if is.Drop {
+		if !g.DropIndex(is.Label, is.Prop) {
+			return nil, fmt.Errorf("DROP INDEX: no index on :%s(%s)", is.Label, is.Prop)
+		}
+	} else {
+		g.CreateIndex(is.Label, is.Prop)
+	}
+	return &Result{Table: table.New()}, nil
+}
+
 // statementInvariant is the commit-time dangling-relationship check run
 // at every statement boundary (auto-commit and inside transactions).
 func statementInvariant(g *graph.Graph) error {
@@ -295,6 +311,9 @@ func statementInvariant(g *graph.Graph) error {
 // executor expresses the same composition as a sequential Union
 // operator; the materializing executor loops over the members.
 func (e *Engine) executeUnion(g *graph.Graph, stmt *ast.Statement, params map[string]value.Value, t0 *table.Table) (*Result, error) {
+	if stmt.Index != nil {
+		return executeIndexStmt(g, stmt.Index)
+	}
 	if e.cfg.Executor == ExecStreaming {
 		return e.executeStreaming(g, stmt, params, t0)
 	}
@@ -411,6 +430,17 @@ func (e *Engine) ExplainStatement(g *graph.Graph, stmt *ast.Statement, params ma
 func (e *Engine) explainStatement(g *graph.Graph, stmt *ast.Statement, params map[string]value.Value, inTxn bool) (string, error) {
 	if stmt.TxnControl != ast.TxnNone {
 		return fmt.Sprintf("%s — transaction control, no operator plan", stmt.TxnControl), nil
+	}
+	if stmt.Index != nil {
+		op := "CreateIndex"
+		if stmt.Index.Drop {
+			op = "DropIndex"
+		}
+		header := "txn: auto-commit write — schema statement, writer lock held for the statement, journaled"
+		if inTxn {
+			header = "txn: explicit (open transaction) — schema statement applies to the transaction's working graph, journaled"
+		}
+		return fmt.Sprintf("%s\n%s[barrier:writer-lock](:%s(%s))", header, op, stmt.Index.Label, stmt.Index.Prop), nil
 	}
 	if !e.cfg.SkipValidation {
 		if err := Validate(stmt, e.cfg.Dialect); err != nil {

@@ -219,6 +219,19 @@ func (s *Session) Stats() graph.Stats {
 	return graph.ComputeStats(snap.Graph())
 }
 
+// Indexes lists the property indexes the session's next statement would
+// see: the open transaction's working graph (its own uncommitted
+// CREATE/DROP INDEX statements included), or the latest committed
+// snapshot.
+func (s *Session) Indexes() []graph.IndexKey {
+	if s.txn != nil {
+		return s.txn.w.Graph().Indexes()
+	}
+	snap := s.store.Acquire()
+	defer snap.Release()
+	return snap.Graph().Indexes()
+}
+
 // Close rolls back any open transaction and invalidates the session.
 func (s *Session) Close() {
 	if s.txn != nil {

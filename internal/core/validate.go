@@ -38,6 +38,11 @@ func Validate(stmt *ast.Statement, d Dialect) error {
 		// session at execution time.
 		return nil
 	}
+	if stmt.Index != nil {
+		// CREATE/DROP INDEX are valid in both dialects: indexes change
+		// plans, never results, so neither grammar restricts them.
+		return nil
+	}
 	for _, q := range stmt.Queries {
 		if err := validateQuery(q.Clauses, d); err != nil {
 			return err

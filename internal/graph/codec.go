@@ -147,9 +147,15 @@ type jsonRel struct {
 	Props map[string]jsonValue `json:"props"`
 }
 
+type jsonIndex struct {
+	Label string `json:"label"`
+	Prop  string `json:"prop"`
+}
+
 type jsonGraph struct {
-	Nodes []jsonNode `json:"nodes"`
-	Rels  []jsonRel  `json:"rels"`
+	Nodes   []jsonNode  `json:"nodes"`
+	Rels    []jsonRel   `json:"rels"`
+	Indexes []jsonIndex `json:"indexes,omitempty"`
 }
 
 // WriteJSON serializes the graph to w in the stable snapshot format.
@@ -178,6 +184,9 @@ func (g *Graph) WriteJSON(w io.Writer) error {
 			jr.Props[k] = ev
 		}
 		out.Rels = append(out.Rels, jr)
+	}
+	for _, k := range g.Indexes() {
+		out.Indexes = append(out.Indexes, jsonIndex{Label: k.Label, Prop: k.Prop})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -254,6 +263,14 @@ func ReadJSON(r io.Reader) (*Graph, error) {
 		if RelID(jr.ID) > g.nextRel {
 			g.nextRel = RelID(jr.ID)
 		}
+	}
+	// Index definitions round-trip; contents are rebuilt by the scan in
+	// CreateIndex (the snapshot carries only the schema, not buckets).
+	for _, ji := range in.Indexes {
+		if ji.Label == "" || ji.Prop == "" {
+			return nil, fmt.Errorf("graph: malformed index definition %q(%q)", ji.Label, ji.Prop)
+		}
+		g.CreateIndex(ji.Label, ji.Prop)
 	}
 	return g, nil
 }

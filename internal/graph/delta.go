@@ -28,6 +28,8 @@ func NodeRef(id NodeID) EntityRef { return EntityRef{Kind: EntityNode, ID: int64
 // RelRef returns an EntityRef for a relationship.
 func RelRef(id RelID) EntityRef { return EntityRef{Kind: EntityRel, ID: int64(id)} }
 
+// String renders the reference for error messages ("node 3",
+// "relationship 7").
 func (e EntityRef) String() string {
 	if e.Kind == EntityNode {
 		return fmt.Sprintf("node %d", e.ID)

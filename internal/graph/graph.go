@@ -105,6 +105,12 @@ type Graph struct {
 	// writes excluded). The match planner caches plans against it.
 	version int64
 
+	// indexes holds the property indexes (index.go), maintained
+	// incrementally by every mutation path; indexEpoch counts index
+	// creations/drops so cached match plans invalidate on schema change.
+	indexes    map[IndexKey]*propIndex
+	indexEpoch int64
+
 	journal *Journal // non-nil while a statement's undo journal is active
 }
 
@@ -232,6 +238,7 @@ func (g *Graph) CreateNode(labels []string, props value.Map) *Node {
 	for l := range n.Labels {
 		g.indexLabel(l, n.ID)
 	}
+	g.indexNode(n, true)
 	if g.journal != nil {
 		g.journal.record(undoCreateNode{id: n.ID})
 	}
@@ -329,6 +336,7 @@ func (g *Graph) removeNodeInternal(n *Node) {
 	// relationships it leaves dangling (legacy unchecked deletion) keep
 	// only their surviving endpoint's contribution.
 	g.statsNodeRels(n, -1)
+	g.indexNode(n, false)
 	delete(g.nodes, n.ID)
 	for l := range n.Labels {
 		g.unindexLabel(l, n.ID)
@@ -364,13 +372,15 @@ func (g *Graph) SetNodeProp(id NodeID, key string, v value.Value) error {
 	if !ok {
 		return fmt.Errorf("graph: node %d does not exist", id)
 	}
+	old, had := n.Props[key]
 	if g.journal != nil {
-		old, had := n.Props[key]
 		g.journal.record(undoSetNodeProp{id: id, key: key, old: old, had: had})
 	}
 	if value.IsNull(v) {
+		g.indexPropWrite(n, key, old, had, nil, false)
 		delete(n.Props, key)
 	} else {
+		g.indexPropWrite(n, key, old, had, v, true)
 		n.Props[key] = v
 	}
 	return nil
@@ -408,6 +418,7 @@ func (g *Graph) AddLabel(id NodeID, label string) error {
 	}
 	n.Labels[label] = struct{}{}
 	g.indexLabel(label, id)
+	g.indexNodeLabel(n, label, true)
 	g.statsLabel(id, label, +1)
 	return nil
 }
@@ -425,6 +436,7 @@ func (g *Graph) RemoveLabel(id NodeID, label string) error {
 		g.journal.record(undoRemoveLabel{id: id, label: label})
 	}
 	g.statsLabel(id, label, -1)
+	g.indexNodeLabel(n, label, false)
 	delete(n.Labels, label)
 	g.unindexLabel(label, id)
 	return nil
@@ -489,14 +501,16 @@ func (g *Graph) Validate() error {
 // a stored List/Map in place), so values themselves are shared.
 func (g *Graph) Clone() *Graph {
 	ng := &Graph{
-		nodes:    make(map[NodeID]*Node, len(g.nodes)),
-		rels:     make(map[RelID]*Rel, len(g.rels)),
-		outgoing: make(map[NodeID][]RelID, len(g.outgoing)),
-		incoming: make(map[NodeID][]RelID, len(g.incoming)),
-		byLabel:  make(map[string]map[NodeID]struct{}, len(g.byLabel)),
-		nextNode: g.nextNode,
-		nextRel:  g.nextRel,
-		version:  g.version,
+		nodes:      make(map[NodeID]*Node, len(g.nodes)),
+		rels:       make(map[RelID]*Rel, len(g.rels)),
+		outgoing:   make(map[NodeID][]RelID, len(g.outgoing)),
+		incoming:   make(map[NodeID][]RelID, len(g.incoming)),
+		byLabel:    make(map[string]map[NodeID]struct{}, len(g.byLabel)),
+		nextNode:   g.nextNode,
+		nextRel:    g.nextRel,
+		version:    g.version,
+		indexes:    cloneIndexes(g.indexes),
+		indexEpoch: g.indexEpoch,
 	}
 	for id, n := range g.nodes {
 		ng.nodes[id] = copyNode(n)
@@ -557,6 +571,7 @@ func (g *Graph) restoreNode(n *Node) {
 	for l := range n.Labels {
 		g.indexLabel(l, n.ID)
 	}
+	g.indexNode(n, true)
 	// Attached relationships that survived (or were restored first)
 	// regain this endpoint's label contribution.
 	g.statsNodeRels(n, +1)

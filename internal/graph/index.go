@@ -1,0 +1,301 @@
+package graph
+
+// Property indexes maintained incrementally under mutation.
+//
+// A property index is a hash index on a (label, property) pair: it maps
+// canonical value keys (value.Key, under which Cypher-equivalent values
+// — e.g. 1 and 1.0 — share a key) to the set of nodes that carry the
+// label and store that value under the property. The match planner
+// (internal/match) turns pushed `n.prop = <expr>` conjuncts and inline
+// property maps into index seeks, so an equality-anchored MATCH or a
+// bulk MERGE touches one bucket instead of scanning the label.
+//
+// Because the source paper is about updates, the index — like the
+// planner statistics in stats.go — must stay correct while every
+// mutation path runs: CreateNode/SetNodeProp/AddLabel/RemoveLabel,
+// checked/unchecked/detach deletion, journal rollback (statement- and
+// transaction-level), ChangeSet application, codec decode and Clone.
+// Each of those paths calls one of the index* hooks below; the
+// invariant "index contents == full rescan" is exercised by a
+// property-style test over random mutation/rollback sequences
+// (index_test.go, the sibling of stats_test.go).
+//
+// Seek soundness: an index seek enumerates the bucket of the sought
+// value's key and still runs the full per-candidate checks
+// (labels, inline property maps, pushed predicates). Key equality is
+// value equivalence, which is implied by Cypher ternary equality being
+// True, so the bucket is a superset of the true matches and the
+// post-checks never lose a row; candidates come back in ascending node
+// id, a subset of the label scan's order, so result order is unchanged.
+
+import (
+	"sort"
+
+	"repro/internal/value"
+)
+
+// IndexKey identifies a property index by node label and property name.
+type IndexKey struct {
+	Label string
+	Prop  string
+}
+
+// propIndex is the hash index for one (label, property) pair: canonical
+// value keys to node-id sets. entries counts (node, value) pairs so the
+// planner can estimate the average bucket size in O(1).
+type propIndex struct {
+	buckets map[string]map[NodeID]struct{}
+	entries int
+}
+
+func newPropIndex() *propIndex {
+	return &propIndex{buckets: make(map[string]map[NodeID]struct{})}
+}
+
+func (x *propIndex) add(id NodeID, v value.Value) {
+	k := value.Key(v)
+	set, ok := x.buckets[k]
+	if !ok {
+		set = make(map[NodeID]struct{})
+		x.buckets[k] = set
+	}
+	if _, dup := set[id]; !dup {
+		set[id] = struct{}{}
+		x.entries++
+	}
+}
+
+func (x *propIndex) remove(id NodeID, v value.Value) {
+	k := value.Key(v)
+	set, ok := x.buckets[k]
+	if !ok {
+		return
+	}
+	if _, had := set[id]; !had {
+		return
+	}
+	delete(set, id)
+	x.entries--
+	if len(set) == 0 {
+		delete(x.buckets, k)
+	}
+}
+
+func (x *propIndex) clone() *propIndex {
+	c := &propIndex{buckets: make(map[string]map[NodeID]struct{}, len(x.buckets)), entries: x.entries}
+	for k, set := range x.buckets {
+		ns := make(map[NodeID]struct{}, len(set))
+		for id := range set {
+			ns[id] = struct{}{}
+		}
+		c.buckets[k] = ns
+	}
+	return c
+}
+
+// CreateIndex creates a property index on (label, prop), populating it
+// from the current graph contents. Creating an index that already
+// exists is a no-op; the return value reports whether a new index was
+// built. The creation is journaled: rolling back the enclosing
+// statement or transaction drops the index again.
+func (g *Graph) CreateIndex(label, prop string) bool {
+	key := IndexKey{Label: label, Prop: prop}
+	if _, exists := g.indexes[key]; exists {
+		return false
+	}
+	g.buildIndex(key)
+	if g.journal != nil {
+		g.journal.record(undoCreateIndex{key: key})
+	}
+	return true
+}
+
+// buildIndex constructs and installs the index for key from a scan of
+// the label, without journaling (shared by CreateIndex and the
+// DROP INDEX undo path).
+func (g *Graph) buildIndex(key IndexKey) {
+	idx := newPropIndex()
+	for id := range g.byLabel[key.Label] {
+		if v, ok := g.nodes[id].Props[key.Prop]; ok {
+			idx.add(id, v)
+		}
+	}
+	if g.indexes == nil {
+		g.indexes = make(map[IndexKey]*propIndex)
+	}
+	g.indexes[key] = idx
+	g.version++
+	g.indexEpoch++
+}
+
+// DropIndex removes the property index on (label, prop), reporting
+// whether one existed. The drop is journaled: rolling back the
+// enclosing statement or transaction rebuilds the index.
+func (g *Graph) DropIndex(label, prop string) bool {
+	key := IndexKey{Label: label, Prop: prop}
+	if _, exists := g.indexes[key]; !exists {
+		return false
+	}
+	g.removeIndex(key)
+	if g.journal != nil {
+		g.journal.record(undoDropIndex{key: key})
+	}
+	return true
+}
+
+// removeIndex uninstalls the index for key without journaling (shared
+// by DropIndex and the CREATE INDEX undo path).
+func (g *Graph) removeIndex(key IndexKey) {
+	delete(g.indexes, key)
+	g.version++
+	g.indexEpoch++
+}
+
+// HasIndex reports whether a property index exists on (label, prop).
+func (g *Graph) HasIndex(label, prop string) bool {
+	_, ok := g.indexes[IndexKey{Label: label, Prop: prop}]
+	return ok
+}
+
+// Indexes lists the graph's property indexes sorted by label, then
+// property.
+func (g *Graph) Indexes() []IndexKey {
+	out := make([]IndexKey, 0, len(g.indexes))
+	for k := range g.indexes {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Label != out[j].Label {
+			return out[i].Label < out[j].Label
+		}
+		return out[i].Prop < out[j].Prop
+	})
+	return out
+}
+
+// IndexEpoch reports a counter bumped by every CreateIndex/DropIndex
+// (including their rollbacks). The match planner keys its plan cache on
+// it so index creation and drop invalidate cached plans immediately.
+func (g *Graph) IndexEpoch() int64 { return g.indexEpoch }
+
+// NodeIDsByProp returns, in ascending order, the ids of nodes carrying
+// the label whose stored property equals v under value equivalence —
+// one bucket of the (label, prop) index. It returns nil when no such
+// index exists; callers gate on HasIndex.
+func (g *Graph) NodeIDsByProp(label, prop string, v value.Value) []NodeID {
+	idx, ok := g.indexes[IndexKey{Label: label, Prop: prop}]
+	if !ok {
+		return nil
+	}
+	set := idx.buckets[value.Key(v)]
+	ids := make([]NodeID, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// IndexAvgBucket estimates how many nodes an equality seek on the
+// (label, prop) index returns: total entries over distinct keys, O(1).
+// It returns 0 for an empty index and -1 when no index exists.
+func (g *Graph) IndexAvgBucket(label, prop string) float64 {
+	idx, ok := g.indexes[IndexKey{Label: label, Prop: prop}]
+	if !ok {
+		return -1
+	}
+	if len(idx.buckets) == 0 {
+		return 0
+	}
+	return float64(idx.entries) / float64(len(idx.buckets))
+}
+
+// ---------------------------------------------------------------------
+// Maintenance hooks (called from every mutation path)
+// ---------------------------------------------------------------------
+
+// indexNode adds (add=true) or removes a node's entries in every index
+// covering one of its labels. Called when the node appears
+// (CreateNode, restoreNode) or disappears (removeNodeInternal, which
+// also serves the unchecked legacy deletion).
+func (g *Graph) indexNode(n *Node, add bool) {
+	if len(g.indexes) == 0 {
+		return
+	}
+	for l := range n.Labels {
+		g.indexNodeLabel(n, l, add)
+	}
+}
+
+// indexNodeLabel adds or removes the node's entries in every index on
+// one label, for the properties the node actually stores. Called when
+// the node gains or loses the label.
+func (g *Graph) indexNodeLabel(n *Node, label string, add bool) {
+	if len(g.indexes) == 0 {
+		return
+	}
+	for key, idx := range g.indexes {
+		if key.Label != label {
+			continue
+		}
+		v, ok := n.Props[key.Prop]
+		if !ok {
+			continue
+		}
+		if add {
+			idx.add(n.ID, v)
+		} else {
+			idx.remove(n.ID, v)
+		}
+	}
+}
+
+// indexPropWrite records a property transition old→new on node n in
+// every index on (one of n's labels, prop). had/has mark whether the
+// property existed before/after (SET to null removes it). Called by
+// SetNodeProp and the journal's property undo.
+func (g *Graph) indexPropWrite(n *Node, prop string, old value.Value, had bool, new value.Value, has bool) {
+	if len(g.indexes) == 0 {
+		return
+	}
+	for l := range n.Labels {
+		idx, ok := g.indexes[IndexKey{Label: l, Prop: prop}]
+		if !ok {
+			continue
+		}
+		if had {
+			idx.remove(n.ID, old)
+		}
+		if has {
+			idx.add(n.ID, new)
+		}
+	}
+}
+
+// cloneIndexes deep-copies the index set for Graph.Clone.
+func cloneIndexes(in map[IndexKey]*propIndex) map[IndexKey]*propIndex {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make(map[IndexKey]*propIndex, len(in))
+	for k, idx := range in {
+		out[k] = idx.clone()
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Journal undo entries for the schema operations
+// ---------------------------------------------------------------------
+
+type undoCreateIndex struct{ key IndexKey }
+
+func (u undoCreateIndex) undo(g *Graph) { g.removeIndex(u.key) }
+
+// undoDropIndex rebuilds the dropped index by rescanning the label.
+// Undo entries replay in reverse order, so by the time this runs every
+// data mutation recorded after the DROP has been rolled back — the
+// rescan reproduces exactly the index as it stood before the drop.
+type undoDropIndex struct{ key IndexKey }
+
+func (u undoDropIndex) undo(g *Graph) { g.buildIndex(u.key) }

@@ -110,6 +110,8 @@ func (u undoSetNodeProp) undo(g *Graph) {
 	if !ok {
 		return
 	}
+	cur, has := n.Props[u.key]
+	g.indexPropWrite(n, u.key, cur, has, u.old, u.had)
 	if u.had {
 		n.Props[u.key] = u.old
 	} else {
@@ -147,6 +149,7 @@ func (u undoAddLabel) undo(g *Graph) {
 		return
 	}
 	g.statsLabel(u.id, u.label, -1)
+	g.indexNodeLabel(n, u.label, false)
 	delete(n.Labels, u.label)
 	g.unindexLabel(u.label, u.id)
 }
@@ -163,5 +166,6 @@ func (u undoRemoveLabel) undo(g *Graph) {
 	}
 	n.Labels[u.label] = struct{}{}
 	g.indexLabel(u.label, u.id)
+	g.indexNodeLabel(n, u.label, true)
 	g.statsLabel(u.id, u.label, +1)
 }

@@ -90,12 +90,13 @@ type Matcher struct {
 	// drifted materially (see plansFor and estimateFingerprint) — so a
 	// legacy MERGE mutating the graph between records keeps its plan —
 	// and is re-planned the moment a skewed load moves the statistics.
-	cachedPlans []partPlan
-	cacheParts  *ast.PatternPart
-	cacheN      int
-	cacheBound  []string
-	cacheVer    int64
-	cacheEst    []float64
+	cachedPlans   []partPlan
+	cacheParts    *ast.PatternPart
+	cacheN        int
+	cacheBound    []string
+	cacheVer      int64
+	cacheEst      []float64
+	cacheIdxEpoch int64
 
 	// runNaive, set per Stream call, forces the seed's written-order
 	// walk and disables all pushed-predicate pruning for rows where any
@@ -219,7 +220,11 @@ func (m *Matcher) plansFor(parts []*ast.PatternPart, env expr.Env) []partPlan {
 		key = parts[0]
 	}
 	if m.cachedPlans != nil && m.cacheParts == key && m.cacheN == len(parts) &&
-		len(m.cacheBound) == len(env) {
+		len(m.cacheBound) == len(env) && m.cacheIdxEpoch == m.Graph.IndexEpoch() {
+		// The index-epoch check invalidates the cache outright when an
+		// index was created or dropped since the plan was built: a new
+		// index may enable a seek anchor (and a drop must disable one)
+		// even when the cardinality estimates have not drifted.
 		hit := true
 		for _, name := range m.cacheBound {
 			if _, ok := env[name]; !ok {
@@ -249,6 +254,7 @@ func (m *Matcher) plansFor(parts []*ast.PatternPart, env expr.Env) []partPlan {
 	plans := m.planParts(parts, bound) // mutates bound; fingerprint first
 	m.cachedPlans, m.cacheParts, m.cacheN = plans, key, len(parts)
 	m.cacheBound, m.cacheVer, m.cacheEst = names, m.Graph.Version(), fp
+	m.cacheIdxEpoch = m.Graph.IndexEpoch()
 	return plans
 }
 
@@ -313,14 +319,17 @@ func (m *Matcher) matchPart(pp partPlan, env expr.Env, used map[graph.RelID]bool
 		})
 	}
 
-	return m.matchNode(part.Nodes[pp.anchor], env, func(n graph.NodeID, env2 expr.Env) error {
+	return m.matchNode(part.Nodes[pp.anchor], pp.seek, env, func(n graph.NodeID, env2 expr.Env) error {
 		nodeIDs[pp.anchor] = n
 		return walk(0, env2)
 	})
 }
 
-// matchNode enumerates candidate nodes for a node pattern, extending env.
-func (m *Matcher) matchNode(np *ast.NodePattern, env expr.Env, yield func(graph.NodeID, expr.Env) error) error {
+// matchNode enumerates candidate nodes for a node pattern, extending
+// env. A non-nil seek narrows the candidates to one bucket of a
+// property index (see seekCandidates); the full per-candidate checks
+// still run, so the seek is semantically invisible.
+func (m *Matcher) matchNode(np *ast.NodePattern, seek *seekPlan, env expr.Env, yield func(graph.NodeID, expr.Env) error) error {
 	// Pre-bound variable: check, do not enumerate.
 	if np.Var != "" {
 		if bound, ok := env[np.Var]; ok {
@@ -339,7 +348,14 @@ func (m *Matcher) matchNode(np *ast.NodePattern, env expr.Env, yield func(graph.
 			return yield(id, env)
 		}
 	}
-	candidates := m.nodeCandidates(np)
+	var candidates []graph.NodeID
+	seeked := false
+	if seek != nil {
+		candidates, seeked = m.seekCandidates(seek, np, env)
+	}
+	if !seeked {
+		candidates = m.nodeCandidates(np)
+	}
 	for _, id := range candidates {
 		if m.Stats != nil {
 			m.Stats.NodeVisits++
@@ -376,6 +392,42 @@ func (m *Matcher) nodeCandidates(np *ast.NodePattern) []graph.NodeID {
 		return best
 	}
 	return m.Graph.NodeIDs()
+}
+
+// seekCandidates resolves an index seek for one driving record: it
+// evaluates the seek value against env and returns the matching index
+// bucket in ascending id order. The second result is false when the
+// seek cannot be executed — the value expression errored (errors must
+// surface, or stay silent, exactly as on the scan path, so the caller
+// falls back to the label scan) or the index has vanished. A null seek
+// value returns an empty candidate set: `prop = null` is never true,
+// and an inline `{prop: null}` entry matches no stored property.
+func (m *Matcher) seekCandidates(seek *seekPlan, np *ast.NodePattern, env expr.Env) ([]graph.NodeID, bool) {
+	var v value.Value
+	if seek.fromProps {
+		pm, err := m.Ev.EvalPropMap(np.Props, env)
+		if err != nil {
+			return nil, false
+		}
+		pv, ok := pm[seek.prop]
+		if !ok {
+			return nil, false
+		}
+		v = pv
+	} else {
+		ev, err := m.Ev.Eval(seek.val, env)
+		if err != nil {
+			return nil, false
+		}
+		v = ev
+	}
+	if value.IsNull(v) {
+		return nil, true
+	}
+	if !m.Graph.HasIndex(seek.label, seek.prop) {
+		return nil, false
+	}
+	return m.Graph.NodeIDsByProp(seek.label, seek.prop, v), true
 }
 
 func (m *Matcher) nodeSatisfies(id graph.NodeID, np *ast.NodePattern, env expr.Env) (bool, error) {

@@ -49,12 +49,27 @@ type step struct {
 	reversed bool
 }
 
+// seekPlan describes an index-backed anchor: instead of scanning the
+// anchor label, enumeration reads one bucket of the (label, prop)
+// property index — the nodes whose stored prop equals the seek value.
+// The value is either the anchor slot's inline property map entry
+// (fromProps) or the opposite side of a pushed `v.prop = expr` WHERE
+// conjunct (val); it is evaluated per driving record at enumeration
+// time, and any evaluation failure falls back to the plain label scan
+// so runtime errors surface exactly as they would without the index.
+type seekPlan struct {
+	label, prop string
+	val         ast.Expr // equality conjunct's value side; nil when fromProps
+	fromProps   bool     // value comes from the slot's inline property map
+}
+
 // partPlan is the execution plan of one pattern part.
 type partPlan struct {
 	part    *ast.PatternPart
 	origIdx int     // position in the written pattern tuple
 	anchor  int     // node slot enumeration starts from
 	est     float64 // estimated anchor candidate count
+	seek    *seekPlan
 	steps   []step
 }
 
@@ -318,6 +333,7 @@ func isSlotVar(parts []*ast.PatternPart, name string) bool {
 // planPart picks the anchor slot for one part and lays out the walk.
 func (m *Matcher) planPart(part *ast.PatternPart, origIdx int, bound map[string]bool) partPlan {
 	anchor := -1
+	var seek *seekPlan
 	if m.ForceAnchor != nil {
 		if a := m.ForceAnchor(origIdx, part); a >= 0 && a < len(part.Nodes) {
 			anchor = a
@@ -325,14 +341,14 @@ func (m *Matcher) planPart(part *ast.PatternPart, origIdx int, bound map[string]
 	}
 	est := math.Inf(1)
 	if anchor >= 0 {
-		est = m.anchorEstimate(part.Nodes[anchor], bound)
+		est, seek = m.anchorChoice(part.Nodes[anchor], bound)
 	} else if m.DisablePlan {
 		anchor = 0
 		est = m.anchorEstimate(part.Nodes[0], bound)
 	} else {
 		for i, np := range part.Nodes {
-			if e := m.anchorEstimate(np, bound); e < est {
-				est, anchor = e, i
+			if e, s := m.anchorChoice(np, bound); e < est {
+				est, anchor, seek = e, i, s
 			}
 		}
 	}
@@ -341,6 +357,7 @@ func (m *Matcher) planPart(part *ast.PatternPart, origIdx int, bound map[string]
 		origIdx: origIdx,
 		anchor:  anchor,
 		est:     est,
+		seek:    seek,
 		steps:   m.planSteps(part, anchor),
 	}
 }
@@ -355,7 +372,8 @@ func (m *Matcher) estimateFingerprint(parts []*ast.PatternPart, bound map[string
 	var fp []float64
 	for _, part := range parts {
 		for _, np := range part.Nodes {
-			fp = append(fp, m.anchorEstimate(np, bound))
+			e, _ := m.anchorChoice(np, bound)
+			fp = append(fp, e)
 		}
 	}
 	return fp
@@ -422,6 +440,79 @@ func (m *Matcher) anchorEstimate(np *ast.NodePattern, bound map[string]bool) flo
 		est *= math.Pow(0.5, float64(len(m.NodePreds[np])))
 	}
 	return est
+}
+
+// anchorChoice scores a node slot like anchorEstimate and additionally
+// considers index-backed seeks: when a property index covers one of
+// the slot's labels and an equality constraint on that property is
+// available — an inline property map entry, or a pushed `v.prop = expr`
+// WHERE conjunct whose value side does not reference v — the slot
+// anchors on the seek with the smallest estimated bucket
+// (IndexAvgBucket, O(1)). A seek is preferred whenever one exists: it
+// enumerates a subset of the label scan's candidates under the same
+// per-candidate checks, so it can never visit more than the scan. The
+// returned estimate is the scan estimate capped by the bucket size, so
+// part ordering sees the tighter bound.
+func (m *Matcher) anchorChoice(np *ast.NodePattern, bound map[string]bool) (float64, *seekPlan) {
+	est := m.anchorEstimate(np, bound)
+	if m.DisablePlan || (np.Var != "" && bound[np.Var]) {
+		return est, nil
+	}
+	best, seek := math.Inf(1), (*seekPlan)(nil)
+	for _, label := range np.Labels {
+		if ml, ok := np.Props.(*ast.MapLit); ok {
+			for _, k := range ml.Keys {
+				if b := m.Graph.IndexAvgBucket(label, k); b >= 0 && b < best {
+					best, seek = b, &seekPlan{label: label, prop: k, fromProps: true}
+				}
+			}
+		}
+		for _, c := range m.NodePreds[np] {
+			prop, rhs := equalitySeek(c, np.Var)
+			if prop == "" {
+				continue
+			}
+			if b := m.Graph.IndexAvgBucket(label, prop); b >= 0 && b < best {
+				best, seek = b, &seekPlan{label: label, prop: prop, val: rhs}
+			}
+		}
+	}
+	if seek != nil && best < est {
+		est = best
+	}
+	return est, seek
+}
+
+// equalitySeek recognizes a `v.prop = expr` or `expr = v.prop`
+// conjunct whose expr side does not reference v, returning the property
+// name and the value expression ("" and nil when the conjunct has no
+// such shape). Only these conjuncts can seed an index seek: the value
+// must be computable before the slot is bound.
+func equalitySeek(c ast.Expr, varName string) (string, ast.Expr) {
+	b, ok := c.(*ast.BinaryOp)
+	if !ok || b.Op != ast.OpEq || varName == "" {
+		return "", nil
+	}
+	try := func(l, r ast.Expr) (string, ast.Expr) {
+		pa, ok := l.(*ast.PropAccess)
+		if !ok {
+			return "", nil
+		}
+		v, ok := pa.Expr.(*ast.Variable)
+		if !ok || v.Name != varName {
+			return "", nil
+		}
+		for _, rv := range ast.Variables(r) {
+			if rv == varName {
+				return "", nil
+			}
+		}
+		return pa.Key, r
+	}
+	if prop, e := try(b.Left, b.Right); prop != "" {
+		return prop, e
+	}
+	return try(b.Right, b.Left)
 }
 
 // planSteps lays out the relationship expansions for a part anchored at
@@ -747,9 +838,12 @@ func (m *Matcher) DescribePlan(parts []*ast.PatternPart, outer []string) string 
 	for i, p := range plans {
 		order[i] = fmt.Sprint(p.origIdx)
 		a := p.part.Nodes[p.anchor]
-		if a.Var != "" {
+		switch {
+		case p.seek != nil:
+			anchors[i] = fmt.Sprintf("index-seek(:%s.%s)", p.seek.label, p.seek.prop)
+		case a.Var != "":
 			anchors[i] = a.Var
-		} else {
+		default:
 			anchors[i] = a.String()
 		}
 		ests[i] = formatEst(p.est)

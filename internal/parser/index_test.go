@@ -1,0 +1,74 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+)
+
+func TestParseIndexStatements(t *testing.T) {
+	cases := []struct {
+		src  string
+		want ast.IndexStmt
+	}{
+		{`CREATE INDEX ON :User(id)`, ast.IndexStmt{Label: "User", Prop: "id"}},
+		{`create index on :User(id);`, ast.IndexStmt{Label: "User", Prop: "id"}},
+		{`DROP INDEX ON :User(id)`, ast.IndexStmt{Drop: true, Label: "User", Prop: "id"}},
+		{`drop index on :Post(score)`, ast.IndexStmt{Drop: true, Label: "Post", Prop: "score"}},
+	}
+	for _, c := range cases {
+		stmt, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if stmt.Index == nil || *stmt.Index != c.want {
+			t.Fatalf("%s: parsed %+v, want %+v", c.src, stmt.Index, c.want)
+		}
+		if !stmt.Updating() {
+			t.Errorf("%s: index statements must report Updating", c.src)
+		}
+		// Statement printing round-trips.
+		again, err := Parse(stmt.String())
+		if err != nil || *again.Index != c.want {
+			t.Errorf("%s: round trip via %q failed: %+v, %v", c.src, stmt.String(), again, err)
+		}
+	}
+}
+
+// TestIndexKeywordsStaySoft: `index` and `drop` remain usable as
+// variable names; only the statement-initial CREATE INDEX ON / DROP
+// INDEX forms are recognized as schema statements.
+func TestIndexKeywordsStaySoft(t *testing.T) {
+	for _, src := range []string{
+		`RETURN index`,
+		`MATCH (index:User) RETURN index.id AS id`,
+		`MATCH (drop) RETURN drop`,
+		`CREATE index = (:A)-[:T]->(:B) RETURN index`,
+		`WITH 1 AS index RETURN index + 1 AS x`,
+		`MATCH (n) SET n.index = 1`,
+	} {
+		stmt, err := Parse(src)
+		if err != nil {
+			t.Errorf("%s: %v", src, err)
+			continue
+		}
+		if stmt.Index != nil {
+			t.Errorf("%s: misparsed as a schema statement", src)
+		}
+	}
+}
+
+func TestParseIndexErrors(t *testing.T) {
+	for _, src := range []string{
+		`DROP`,
+		`DROP INDEX`,
+		`DROP INDEX ON User(id)`,
+		`CREATE INDEX ON :User`,
+		`CREATE INDEX ON :User()`,
+		`CREATE INDEX ON :User(id) RETURN 1`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: expected parse error", src)
+		}
+	}
+}

@@ -78,10 +78,13 @@ func ParseExpr(src string) (expr ast.Expr, err error) {
 	return expr, nil
 }
 
-func (p *parser) cur() token.Token { return p.toks[p.pos] }
-func (p *parser) peek() token.Token {
-	if p.pos+1 < len(p.toks) {
-		return p.toks[p.pos+1]
+func (p *parser) cur() token.Token  { return p.toks[p.pos] }
+func (p *parser) peek() token.Token { return p.peekAt(1) }
+
+// peekAt looks n tokens ahead, saturating at EOF.
+func (p *parser) peekAt(n int) token.Token {
+	if p.pos+n < len(p.toks) {
+		return p.toks[p.pos+n]
 	}
 	return p.toks[len(p.toks)-1]
 }
@@ -155,6 +158,10 @@ var softKeywords = map[token.Type]bool{
 	// recognized as statements when they appear alone at statement start,
 	// so `RETURN commit` keeps meaning a variable named commit.
 	token.BEGIN: true, token.COMMIT: true, token.ROLLBACK: true,
+	// Schema keywords likewise: CREATE INDEX ON / DROP INDEX ON are only
+	// recognized at statement start, so `RETURN index` and a node
+	// variable named drop keep working.
+	token.INDEX: true, token.DROP: true,
 }
 
 // isVar reports whether the token can serve as a variable name.
@@ -187,6 +194,15 @@ func (p *parser) parseStatement() *ast.Statement {
 		p.expect(token.EOF)
 		return &ast.Statement{TxnControl: ctl}
 	}
+	// CREATE INDEX ON :Label(prop) / DROP INDEX ON :Label(prop) are whole
+	// schema statements. The ON lookahead keeps `CREATE index = (a)-...`
+	// (a path variable named index) parsing as a CREATE clause.
+	if p.at(token.CREATE) && p.peek().Type == token.INDEX && p.peekAt(2).Type == token.ON {
+		return p.parseIndexStmt(false)
+	}
+	if p.at(token.DROP) {
+		return p.parseIndexStmt(true)
+	}
 	stmt := &ast.Statement{}
 	stmt.Queries = append(stmt.Queries, p.parseSingleQuery())
 	for p.accept(token.UNION) {
@@ -197,6 +213,22 @@ func (p *parser) parseStatement() *ast.Statement {
 	p.accept(token.Semi)
 	p.expect(token.EOF)
 	return stmt
+}
+
+// parseIndexStmt parses CREATE INDEX ON :Label(prop) or
+// DROP INDEX ON :Label(prop); the leading CREATE/DROP is current.
+func (p *parser) parseIndexStmt(drop bool) *ast.Statement {
+	p.next() // CREATE or DROP
+	p.expect(token.INDEX)
+	p.expect(token.ON)
+	p.expect(token.Colon)
+	is := &ast.IndexStmt{Drop: drop, Label: p.name()}
+	p.expect(token.LParen)
+	is.Prop = p.name()
+	p.expect(token.RParen)
+	p.accept(token.Semi)
+	p.expect(token.EOF)
+	return &ast.Statement{Index: is}
 }
 
 func (p *parser) parseSingleQuery() *ast.SingleQuery {

@@ -225,7 +225,8 @@ func (o *Match) Close() {
 }
 
 // Name implements Operator. Beyond the pattern it renders the planner's
-// choices — part execution order, per-part anchors, estimated anchor
+// choices — part execution order, per-part anchors (index-seek(:L.p)
+// when a part anchors on a property index), estimated anchor
 // cardinalities (from the current graph statistics), and the pushed
 // WHERE conjuncts — which is what the shell's EXPLAIN surfaces.
 func (o *Match) Name() string {

@@ -16,8 +16,9 @@ import (
 // and, for each statement that matches a pattern, renders its plan
 // first: EXPLAIN must surface the planner's anchor choice, part
 // execution order and cardinality estimates against the graph state the
-// statement would actually run on, and somewhere in the corpus a WHERE
-// conjunct must be shown as pushed into the match.
+// statement would actually run on; somewhere in the corpus a WHERE
+// conjunct must be shown as pushed into the match, and an equality
+// lookup on an indexed property must anchor as an index seek.
 func TestScriptCorpusExplain(t *testing.T) {
 	manifest := map[string]core.Dialect{
 		"paper_walkthrough.cypher": core.DialectCypher9,
@@ -27,6 +28,7 @@ func TestScriptCorpusExplain(t *testing.T) {
 	dir := filepath.Join("..", "..", "scripts")
 	explained := 0
 	sawPushed := false
+	sawSeek := false
 	for name, dialect := range manifest {
 		src, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
@@ -52,6 +54,9 @@ func TestScriptCorpusExplain(t *testing.T) {
 				if strings.Contains(out, "pushed=[") {
 					sawPushed = true
 				}
+				if strings.Contains(out, "index-seek(") {
+					sawSeek = true
+				}
 				explained++
 			}
 			if _, err := eng.ExecuteStatement(g, stmt, nil); err != nil {
@@ -64,6 +69,9 @@ func TestScriptCorpusExplain(t *testing.T) {
 	}
 	if !sawPushed {
 		t.Error("no corpus query showed a pushed WHERE conjunct")
+	}
+	if !sawSeek {
+		t.Error("no corpus query anchored on an index seek")
 	}
 }
 

@@ -98,6 +98,8 @@ const (
 	BEGIN
 	COMMIT
 	ROLLBACK
+	INDEX
+	DROP
 	keywordEnd
 )
 
@@ -122,6 +124,7 @@ var typeNames = map[Type]string{
 	LOAD: "LOAD", CSV: "CSV", FROM: "FROM", HEADERS: "HEADERS",
 	FIELDTERMINATOR: "FIELDTERMINATOR", BEGIN: "BEGIN",
 	COMMIT: "COMMIT", ROLLBACK: "ROLLBACK",
+	INDEX: "INDEX", DROP: "DROP",
 }
 
 // String returns a printable name for the token type.
