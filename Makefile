@@ -1,11 +1,11 @@
 # Build, test and benchmark entry points. CI runs `make test`, the
 # race detector (`make race`), the short bench smoke and the docs
-# smoke; `make bench` records the perf trajectory into BENCH_pr4.json
+# smoke; `make bench` records the perf trajectory into BENCH_pr5.json
 # (one file per PR so regressions are diffable).
 
-BENCH_OUT ?= BENCH_pr4.json
+BENCH_OUT ?= BENCH_pr5.json
 
-.PHONY: all test vet race bench bench-smoke docs-smoke
+.PHONY: all test vet race stress bench bench-smoke docs-smoke
 
 all: test
 
@@ -16,10 +16,19 @@ test:
 vet:
 	go vet ./...
 
-# The concurrency suite (snapshot stores, sessions, the reader/writer
-# stress tests) must stay clean under the race detector.
+# The concurrency suite (snapshot stores, sessions, the copy-on-write
+# commit-path equivalence property test and the reader/writer stress
+# tests) must stay clean under the race detector.
 race:
 	go test -race ./...
+
+# The randomized reader/writer interleaving stress and the three-path
+# commit equivalence property test, by name, under the race detector —
+# the explicit CI gate for the copy-on-write commit pipeline (both also
+# run as part of `make race`).
+stress:
+	go test -race -count=2 -run 'TestStoreReaderWriterStress|TestCommitPathsEquivalent|TestStoreConcurrentReadersSeeCommittedEpochsOnly' ./internal/graph
+	go test -race -run 'TestConcurrent|TestSession' ./cypher
 
 # Full benchmark run, serialized to JSON. -benchtime is modest because
 # the B-suite covers 12 benchmark families; raise it for stable numbers.

@@ -10,8 +10,14 @@
 //	                      strong-collapse, from-form)
 //	:stats                print graph statistics
 //	:indexes              list property indexes
+//	:epoch                print the committed transaction epoch
 //	:clear                reset the database
 //	:quit                 exit
+//
+// The graph-inspection metas (:stats, :indexes) are routed through the
+// shell's session: inside an open transaction they read the
+// transaction's working graph — its own uncommitted writes included —
+// not a freshly pinned committed snapshot.
 //
 // The shell runs one session against the database, so the
 // transaction-control statements work as statements:
@@ -77,17 +83,29 @@ func main() {
 				prompt()
 				continue
 			}
+			// Graph-inspection metas go through the session, never the
+			// bare DB: inside an open transaction they must read the
+			// transaction's working graph (reads-see-own-writes), not
+			// pin a fresh committed snapshot.
 			switch strings.Fields(trimmed)[0] {
 			case ":stats":
-				// Through the session, so an open transaction's own
-				// writes are included.
 				fmt.Println(sess.Stats())
 				prompt()
 				continue
 			case ":indexes":
-				// Likewise through the session: an open transaction's
-				// uncommitted CREATE/DROP INDEX statements show here.
+				// An open transaction's uncommitted CREATE/DROP INDEX
+				// statements show here.
 				printIndexes(sess.Indexes())
+				prompt()
+				continue
+			case ":epoch":
+				// The committed epoch is store state, not session state;
+				// an open transaction has not produced an epoch yet.
+				if sess.InTransaction() {
+					fmt.Printf("epoch %d (transaction open; its writes are not an epoch until COMMIT)\n", db.Epoch())
+				} else {
+					fmt.Printf("epoch %d\n", db.Epoch())
+				}
 				prompt()
 				continue
 			}
@@ -135,9 +153,7 @@ func meta(db *cypher.DB, dialect, cmd string) (*cypher.DB, string, bool) {
 		fmt.Println("transactions: BEGIN; opens one (statements see its writes; errors roll back the statement only),")
 		fmt.Println("COMMIT; publishes it atomically, ROLLBACK; discards it. Without BEGIN, statements auto-commit.")
 		fmt.Println("indexes: CREATE INDEX ON :Label(prop); / DROP INDEX ON :Label(prop); — :indexes lists them.")
-		fmt.Println("Meta: :dialect cypher9|revised, :merge <strategy>, :stats, :indexes, :clear, :quit")
-	case ":stats":
-		fmt.Println(db.Stats())
+		fmt.Println("Meta: :dialect cypher9|revised, :merge <strategy>, :stats, :indexes, :epoch, :clear, :quit")
 	case ":clear":
 		opt := cypher.WithDialect(cypher.Revised)
 		if dialect == "cypher9" {

@@ -47,11 +47,53 @@ func TestMetaCommands(t *testing.T) {
 		t.Error(":q should quit")
 	}
 
-	// Unknown commands and malformed args do not crash or quit.
-	for _, cmd := range []string{":frob", ":dialect", ":dialect marsian", ":merge", ":merge bogus", ":help", ":stats"} {
+	// Unknown commands and malformed args do not crash or quit. (:stats,
+	// :indexes and :epoch never reach meta(): the shell routes them
+	// through the session before falling back here, so an open
+	// transaction's own writes are visible to them.)
+	for _, cmd := range []string{":frob", ":dialect", ":dialect marsian", ":merge", ":merge bogus", ":help"} {
 		if _, _, quit := meta(db5, "revised", cmd); quit {
 			t.Errorf("%q should not quit", cmd)
 		}
+	}
+}
+
+// TestInspectionMetasSeeOwnWrites is the audit test for the
+// graph-inspection metas inside an explicit transaction: the shell's
+// :stats and :indexes read the session, so a transaction's uncommitted
+// writes must show up — and vanish again after ROLLBACK.
+func TestInspectionMetasSeeOwnWrites(t *testing.T) {
+	db := cypher.Open()
+	sess := db.Session()
+	defer sess.Close()
+
+	execute(sess, "BEGIN;")
+	execute(sess, "CREATE (:Tx{v:1});")
+	execute(sess, "CREATE INDEX ON :Tx(v);")
+
+	// The session (what :stats and :indexes print) sees the open
+	// transaction's writes…
+	if got := sess.Stats().Labels["Tx"]; got != 1 {
+		t.Errorf(":stats source shows %d :Tx nodes inside the txn, want 1", got)
+	}
+	if ixs := sess.Indexes(); len(ixs) != 1 || ixs[0].Label != "Tx" {
+		t.Errorf(":indexes source shows %v inside the txn", ixs)
+	}
+	// …while the committed state (what a bypassing meta would read)
+	// does not.
+	if got := db.Stats().Labels["Tx"]; got != 0 {
+		t.Errorf("committed state already shows %d :Tx nodes mid-txn", got)
+	}
+	if len(db.Indexes()) != 0 {
+		t.Error("committed state already shows the uncommitted index")
+	}
+
+	execute(sess, "ROLLBACK;")
+	if got := sess.Stats().Labels["Tx"]; got != 0 {
+		t.Errorf(":stats still shows %d :Tx nodes after ROLLBACK", got)
+	}
+	if len(sess.Indexes()) != 0 {
+		t.Error(":indexes still lists the rolled-back index")
 	}
 }
 

@@ -427,6 +427,25 @@ func indexViews(keys []graph.IndexKey) []IndexView {
 // consumers.
 func (db *DB) Epoch() int64 { return db.store.Epoch() }
 
+// Delta is the net structural change one committed transaction applied:
+// which nodes/relationships were created or deleted, which properties
+// and labels changed on surviving entities, and which indexes were
+// created or dropped, all relative to the previous epoch (see
+// graph.Delta for field semantics). Entities created and deleted within
+// the same transaction cancel out; rolled-back transactions produce no
+// delta at all.
+type Delta = graph.Delta
+
+// OnCommit registers fn as a change-feed consumer: after every
+// transaction (implicit auto-commit or explicit BEGIN…COMMIT) that
+// changed anything, fn is called once with the committed epoch's Delta,
+// in strict epoch order, on the committing goroutine. fn must return
+// promptly and must not execute updating statements against the same
+// database (the writer slot is still held); reads are fine. Use it to
+// maintain materialized views incrementally, invalidate caches by
+// delta, or ship epochs to a replica.
+func (db *DB) OnCommit(fn func(*Delta)) { db.store.OnCommit(fn) }
+
 // Snapshot returns an independent deep copy of the database (same
 // dialect and options), useful for comparing semantics side by side.
 func (db *DB) Snapshot(opts ...Option) *DB {

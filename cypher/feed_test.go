@@ -1,0 +1,84 @@
+package cypher
+
+import (
+	"testing"
+)
+
+// TestOnCommitChangeFeed drives the public change-feed hook through
+// real statements: auto-commit statements and explicit transactions
+// each deliver one delta, rollbacks deliver none, and the delta nets
+// within-transaction churn.
+func TestOnCommitChangeFeed(t *testing.T) {
+	db := Open()
+	var deltas []*Delta
+	db.OnCommit(func(d *Delta) { deltas = append(deltas, d) })
+
+	if _, err := db.Exec(`CREATE (:User{id:1})-[:KNOWS]->(:User{id:2})`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 1 {
+		t.Fatalf("after auto-commit: %d deltas, want 1", len(deltas))
+	}
+	d := deltas[0]
+	if len(d.NodesCreated) != 2 || len(d.RelsCreated) != 1 {
+		t.Fatalf("auto-commit delta = %+v, want 2 nodes + 1 rel created", d)
+	}
+	if d.Epoch != db.Epoch() {
+		t.Fatalf("delta epoch %d, DB epoch %d", d.Epoch, db.Epoch())
+	}
+
+	// An explicit transaction delivers one delta at COMMIT, with
+	// created-then-deleted churn netted out.
+	sess := db.Session()
+	defer sess.Close()
+	mustExec := func(q string) {
+		t.Helper()
+		if _, err := sess.Exec(q, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustExec(`BEGIN`)
+	mustExec(`CREATE (:Tmp)`)
+	mustExec(`MATCH (x:Tmp) DELETE x`)
+	mustExec(`MATCH (u:User{id:1}) SET u.name = 'Ada'`)
+	if len(deltas) != 1 {
+		t.Fatalf("mid-transaction: %d deltas, want still 1", len(deltas))
+	}
+	mustExec(`COMMIT`)
+	if len(deltas) != 2 {
+		t.Fatalf("after COMMIT: %d deltas, want 2", len(deltas))
+	}
+	d = deltas[1]
+	if len(d.NodesCreated) != 0 || len(d.NodesDeleted) != 0 {
+		t.Fatalf("txn delta = %+v, want churned :Tmp netted away", d)
+	}
+	if len(d.PropsTouched) != 1 || d.PropsTouched[0].Key != "name" {
+		t.Fatalf("txn delta props = %+v, want one 'name' touch", d.PropsTouched)
+	}
+
+	// Rolled-back transactions and failing statements feed nothing.
+	mustExec(`BEGIN`)
+	mustExec(`CREATE (:Gone)`)
+	mustExec(`ROLLBACK`)
+	if _, err := db.Exec(`MATCH (u:User) DELETE u`, nil); err == nil {
+		t.Fatal("expected strict DELETE to fail on attached relationships")
+	}
+	if len(deltas) != 2 {
+		t.Fatalf("after rollback + failed statement: %d deltas, want 2", len(deltas))
+	}
+
+	// Reads inside a hook are allowed: the delta arrives with its epoch
+	// already published.
+	db.OnCommit(func(d *Delta) {
+		if got := db.Epoch(); got != d.Epoch {
+			t.Errorf("hook ran before epoch %d published (DB at %d)", d.Epoch, got)
+		}
+	})
+	if _, err := db.Exec(`CREATE INDEX ON :User(id)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	d = deltas[len(deltas)-1]
+	if len(d.IndexesCreated) != 1 || d.IndexesCreated[0].Label != "User" {
+		t.Fatalf("schema delta = %+v, want one index creation", d)
+	}
+}

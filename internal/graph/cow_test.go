@@ -1,0 +1,442 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// graphsEqual asserts two graphs hold identical content: same entities
+// under the same ids with equal labels/properties, same adjacency, same
+// label index, same schema, same statistics, same id counters. This is
+// strict equality (not isomorphism): the three commit paths must agree
+// bit-for-bit on observable state.
+func graphsEqual(t *testing.T, a, b *Graph, ctx string) {
+	t.Helper()
+	if got, want := a.NodeIDs(), b.NodeIDs(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: node ids %v vs %v", ctx, got, want)
+	}
+	for _, id := range a.NodeIDs() {
+		na, nb := a.Node(id), b.Node(id)
+		if !reflect.DeepEqual(na.Labels, nb.Labels) {
+			t.Fatalf("%s: node %d labels %v vs %v", ctx, id, na.Labels, nb.Labels)
+		}
+		if !reflect.DeepEqual(na.Props, nb.Props) {
+			t.Fatalf("%s: node %d props %v vs %v", ctx, id, na.Props, nb.Props)
+		}
+		if !relIDsEqual(a.Outgoing(id), b.Outgoing(id)) {
+			t.Fatalf("%s: node %d outgoing %v vs %v", ctx, id, a.Outgoing(id), b.Outgoing(id))
+		}
+		if !relIDsEqual(a.Incoming(id), b.Incoming(id)) {
+			t.Fatalf("%s: node %d incoming %v vs %v", ctx, id, a.Incoming(id), b.Incoming(id))
+		}
+	}
+	if got, want := a.RelIDs(), b.RelIDs(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: rel ids %v vs %v", ctx, got, want)
+	}
+	for _, id := range a.RelIDs() {
+		ra, rb := a.Rel(id), b.Rel(id)
+		if ra.Type != rb.Type || ra.Src != rb.Src || ra.Tgt != rb.Tgt {
+			t.Fatalf("%s: rel %d shape (%s %d->%d) vs (%s %d->%d)",
+				ctx, id, ra.Type, ra.Src, ra.Tgt, rb.Type, rb.Src, rb.Tgt)
+		}
+		if !reflect.DeepEqual(ra.Props, rb.Props) {
+			t.Fatalf("%s: rel %d props %v vs %v", ctx, id, ra.Props, rb.Props)
+		}
+	}
+	if !reflect.DeepEqual(a.Stats(), b.Stats()) {
+		t.Fatalf("%s: stats %+v vs %+v", ctx, a.Stats(), b.Stats())
+	}
+	if !reflect.DeepEqual(a.Indexes(), b.Indexes()) {
+		t.Fatalf("%s: index sets %v vs %v", ctx, a.Indexes(), b.Indexes())
+	}
+	if a.nextNode != b.nextNode || a.nextRel != b.nextRel {
+		t.Fatalf("%s: id counters (%d,%d) vs (%d,%d)", ctx, a.nextNode, a.nextRel, b.nextNode, b.nextRel)
+	}
+}
+
+// relIDsEqual compares adjacency lists element-wise, treating nil and
+// empty as equal (a copied-then-emptied row and a never-present row are
+// the same observable state).
+func relIDsEqual(a, b []RelID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkGraphInvariants asserts the incrementally maintained structures
+// of one graph agree with a from-scratch recount.
+func checkGraphInvariants(t *testing.T, g *Graph, ctx string) {
+	t.Helper()
+	want := ComputeStats(g)
+	got := g.Stats()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: incremental stats %+v, recount %+v", ctx, got, want)
+	}
+	checkIndexes(t, g, ctx)
+}
+
+// cowTestOps returns the operation generator shared by the equivalence
+// test: each call decides one mutation using rng and the probe graph's
+// current state, then applies the identical mutation to every target.
+// Because all targets hold identical content and identical id counters,
+// created ids and error outcomes match across them by construction.
+func cowTestOps(t *testing.T, rng *rand.Rand, probe func() *Graph, targets func() []*Graph) func() {
+	t.Helper()
+	labels := []string{"A", "B", "C"}
+	props := []string{"p", "q"}
+	randomValue := func() value.Value {
+		switch rng.Intn(4) {
+		case 0:
+			return value.Int(int64(rng.Intn(4)))
+		case 1:
+			return value.Float(float64(rng.Intn(4)))
+		case 2:
+			return value.String("s")
+		default:
+			return value.NullValue
+		}
+	}
+	pickNode := func() (NodeID, bool) {
+		ids := probe().NodeIDs()
+		if len(ids) == 0 {
+			return 0, false
+		}
+		return ids[rng.Intn(len(ids))], true
+	}
+	pickRel := func() (RelID, bool) {
+		ids := probe().RelIDs()
+		if len(ids) == 0 {
+			return 0, false
+		}
+		return ids[rng.Intn(len(ids))], true
+	}
+	return func() {
+		switch rng.Intn(14) {
+		case 0, 1, 2:
+			var ls []string
+			for _, l := range labels {
+				if rng.Intn(2) == 0 {
+					ls = append(ls, l)
+				}
+			}
+			pm := value.Map{}
+			if rng.Intn(2) == 0 {
+				pm["p"] = randomValue()
+			}
+			for _, g := range targets() {
+				g.CreateNode(ls, pm)
+			}
+		case 3, 4:
+			a, ok1 := pickNode()
+			b, ok2 := pickNode()
+			if ok1 && ok2 {
+				pm := value.Map{"w": randomValue()}
+				for _, g := range targets() {
+					if _, err := g.CreateRel(a, b, "R", pm); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		case 5:
+			if id, ok := pickRel(); ok {
+				for _, g := range targets() {
+					g.DeleteRel(id)
+				}
+			}
+		case 6:
+			if id, ok := pickNode(); ok {
+				for _, g := range targets() {
+					g.DetachDeleteNode(id)
+				}
+			}
+		case 7:
+			// Checked delete: errors (still-attached relationships) must
+			// agree across targets — same state, same outcome.
+			if id, ok := pickNode(); ok {
+				var errs []error
+				for _, g := range targets() {
+					errs = append(errs, g.DeleteNode(id))
+				}
+				for _, e := range errs[1:] {
+					if (e == nil) != (errs[0] == nil) {
+						t.Fatalf("DeleteNode(%d) outcomes diverged: %v vs %v", id, errs[0], e)
+					}
+				}
+			}
+		case 8, 9:
+			if id, ok := pickNode(); ok {
+				k, v := props[rng.Intn(len(props))], randomValue()
+				for _, g := range targets() {
+					if err := g.SetNodeProp(id, k, v); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		case 10:
+			if id, ok := pickRel(); ok {
+				v := randomValue()
+				for _, g := range targets() {
+					if err := g.SetRelProp(id, "w", v); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		case 11:
+			if id, ok := pickNode(); ok {
+				l := labels[rng.Intn(len(labels))]
+				for _, g := range targets() {
+					if err := g.AddLabel(id, l); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		case 12:
+			if id, ok := pickNode(); ok {
+				l := labels[rng.Intn(len(labels))]
+				for _, g := range targets() {
+					if err := g.RemoveLabel(id, l); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		case 13:
+			l, p := labels[rng.Intn(len(labels))], props[rng.Intn(len(props))]
+			if rng.Intn(2) == 0 {
+				for _, g := range targets() {
+					g.CreateIndex(l, p)
+				}
+			} else {
+				for _, g := range targets() {
+					g.DropIndex(l, p)
+				}
+			}
+		}
+	}
+}
+
+// TestCommitPathsEquivalent is the acceptance property test for the
+// copy-on-write commit pipeline: the in-place path (no pinned readers),
+// the copy-on-write path (reader pinned for the whole transaction) and
+// a deep-clone-per-transaction reference must produce identical
+// published graphs across random sequences of mutations, schema
+// operations, statement-level rollbacks (journal marks) and whole-
+// transaction rollbacks. A concurrent reader iterates the pinned
+// snapshot throughout, so `-race` verifies the copy-on-write writer
+// never touches structure a reader can see.
+func TestCommitPathsEquivalent(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			inPlaceStore := NewStore(New())
+			cowStore := NewStore(New())
+			ref := New() // deep-clone commit reference
+
+			for txn := 0; txn < 30; txn++ {
+				ctx := fmt.Sprintf("seed=%d txn=%d", seed, txn)
+
+				// Pin the COW store's snapshot: its writer must clone.
+				pin := cowStore.Acquire()
+				preNodes := pin.Graph().NumNodes()
+				preVersion := pin.Graph().Version()
+				preIdxEpoch := pin.Graph().IndexEpoch()
+
+				wIn := inPlaceStore.BeginWrite()
+				if wIn.cloned {
+					t.Fatal("in-place store writer cloned with no pinned readers")
+				}
+				wCow := cowStore.BeginWrite()
+				if !wCow.cloned {
+					t.Fatal("COW store writer did not clone despite a pinned reader")
+				}
+				refWork := ref.Clone()
+				refJ := refWork.BeginJournal()
+
+				// A concurrent reader hammers the pinned snapshot while
+				// the COW writer mutates its clone.
+				stop := make(chan struct{})
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						for _, id := range pin.Graph().NodeIDs() {
+							_ = pin.Graph().Node(id).SortedLabels()
+							_ = pin.Graph().Outgoing(id)
+						}
+						_ = pin.Graph().Stats()
+					}
+				}()
+
+				targets := []*Graph{wIn.Graph(), wCow.Graph(), refWork}
+				op := cowTestOps(t, rng,
+					func() *Graph { return wIn.Graph() },
+					func() []*Graph { return targets })
+
+				nOps := 1 + rng.Intn(8)
+				useMark := rng.Intn(3) == 0
+				var marks []int
+				for i := 0; i < nOps; i++ {
+					if useMark && i == nOps/2 {
+						marks = []int{wIn.Journal().Mark(), wCow.Journal().Mark(), refJ.Mark()}
+					}
+					op()
+				}
+				if marks != nil {
+					// Statement-level rollback inside the transaction.
+					wIn.Journal().RollbackTo(marks[0])
+					wCow.Journal().RollbackTo(marks[1])
+					refJ.RollbackTo(marks[2])
+				}
+
+				rollback := rng.Intn(4) == 0
+				if rollback {
+					wIn.Rollback()
+					wCow.Rollback()
+					// Deep-clone reference: discard the working copy,
+					// keep the consumed id counters (the historical
+					// rollback contract).
+					refJ.Discard()
+					ref.nextNode, ref.nextRel = refWork.nextNode, refWork.nextRel
+				} else {
+					wIn.Commit()
+					wCow.Commit()
+					refJ.Commit()
+					ref = refWork
+				}
+
+				close(stop)
+				<-done
+				// The pinned snapshot never observed the transaction.
+				if got := pin.Graph().NumNodes(); got != preNodes {
+					t.Fatalf("%s: pinned snapshot node count moved %d -> %d", ctx, preNodes, got)
+				}
+				pin.Release()
+
+				snapIn := inPlaceStore.Acquire()
+				snapCow := cowStore.Acquire()
+				graphsEqual(t, snapIn.Graph(), snapCow.Graph(), ctx+" in-place vs cow")
+				graphsEqual(t, snapIn.Graph(), ref, ctx+" in-place vs deep-clone")
+				checkGraphInvariants(t, snapCow.Graph(), ctx+" cow invariants")
+				if rollback {
+					// Satellite regression: a rolled-back COW transaction
+					// must not disturb the cache-relevant counters.
+					if snapCow.Graph().Version() != preVersion {
+						t.Fatalf("%s: rolled-back COW txn moved Version %d -> %d",
+							ctx, preVersion, snapCow.Graph().Version())
+					}
+					if snapCow.Graph().IndexEpoch() != preIdxEpoch {
+						t.Fatalf("%s: rolled-back COW txn moved IndexEpoch", ctx)
+					}
+				}
+				snapIn.Release()
+				snapCow.Release()
+			}
+		})
+	}
+}
+
+// TestCloneCOWSharesUntouchedStructure pins the O(changes) claim at the
+// container level: after a 1-node write transaction on a COW clone, the
+// untouched shards of the published base are the very same objects in
+// the committed graph (shared, not copied), while the touched shard was
+// replaced.
+func TestCloneCOWSharesUntouchedStructure(t *testing.T) {
+	g := New()
+	for i := 0; i < 4*(1<<shardBits); i++ {
+		g.CreateNode([]string{"N"}, value.Map{"i": value.Int(int64(i))})
+	}
+	s := NewStore(g)
+	pin := s.Acquire()
+	defer pin.Release()
+
+	w := s.BeginWrite()
+	if !w.cloned {
+		t.Fatal("expected the COW path")
+	}
+	clone := w.Graph()
+	// Directory copied, shards shared.
+	for si := range g.nodes.shards {
+		if clone.nodes.shards[si] != g.nodes.shards[si] {
+			t.Fatalf("node shard %d was copied before any write", si)
+		}
+	}
+	clone.CreateNode([]string{"N"}, nil) // touches only the last shard
+	touched := int(clone.nextNode >> shardBits)
+	copied := 0
+	for si := range g.nodes.shards {
+		if si < len(clone.nodes.shards) && clone.nodes.shards[si] != g.nodes.shards[si] {
+			copied++
+			if si != touched {
+				t.Fatalf("write to shard %d copied unrelated shard %d", touched, si)
+			}
+		}
+	}
+	if copied > 1 {
+		t.Fatalf("1-node write copied %d shards", copied)
+	}
+	w.Commit()
+}
+
+// TestInPlaceWriterRespectsOlderEpochSharing: after a COW commit, the
+// published graph shares buckets with the older, still-pinned epoch. A
+// subsequent in-place writer (no pins on the current epoch) must copy
+// those shared buckets rather than mutate them under the old reader.
+func TestInPlaceWriterRespectsOlderEpochSharing(t *testing.T) {
+	g := New()
+	n := g.CreateNode([]string{"N"}, value.Map{"v": value.Int(1)})
+	s := NewStore(g)
+
+	oldPin := s.Acquire() // pins epoch 0
+	w := s.BeginWrite()   // COW path
+	if !w.cloned {
+		t.Fatal("expected COW")
+	}
+	w.Graph().CreateNode([]string{"N"}, nil)
+	w.Commit() // epoch 1 shares node 1's shard with epoch 0
+
+	// No pins on epoch 1: the next writer goes in place on the epoch-1
+	// graph — and must not corrupt epoch 0's view of node 1.
+	w2 := s.BeginWrite()
+	if w2.cloned {
+		t.Fatal("expected the in-place path")
+	}
+	if err := w2.Graph().SetNodeProp(n.ID, "v", value.Int(99)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Graph().AddLabel(n.ID, "X"); err != nil {
+		t.Fatal(err)
+	}
+	w2.Commit()
+
+	if got := oldPin.Graph().Node(n.ID).Props["v"]; got != value.Int(1) {
+		t.Fatalf("old epoch saw in-place write: v = %v", got)
+	}
+	if oldPin.Graph().Node(n.ID).HasLabel("X") {
+		t.Fatal("old epoch saw in-place label write")
+	}
+	if len(oldPin.Graph().NodeIDsByLabel("X")) != 0 {
+		t.Fatal("old epoch's label index saw in-place write")
+	}
+	oldPin.Release()
+
+	cur := s.Acquire()
+	defer cur.Release()
+	if got := cur.Graph().Node(n.ID).Props["v"]; got != value.Int(99) {
+		t.Fatalf("current epoch lost the write: v = %v", got)
+	}
+}

@@ -16,7 +16,11 @@
 //     semantics of Section 7 (collect changes, detect conflicts, apply);
 //   - a journal for statement-level rollback;
 //   - an isomorphism checker used to verify "equal up to id renaming"
-//     determinism claims (Section 8).
+//     determinism claims (Section 8);
+//   - a transactional epoch store (store.go) whose writers commit in
+//     O(changes) via the copy-on-write containers of cow.go, and whose
+//     committed epochs carry a structural Delta for change-feed
+//     consumers (feed.go).
 package graph
 
 import (
@@ -38,6 +42,10 @@ type Node struct {
 	ID     NodeID
 	Labels map[string]struct{}
 	Props  map[string]value.Value
+
+	// owner tags the graph generation that may mutate this node in
+	// place; other generations sharing it copy-on-write first (cow.go).
+	owner uint64
 }
 
 // HasLabel reports whether the node carries the given label.
@@ -72,6 +80,9 @@ type Rel struct {
 	Type     string
 	Src, Tgt NodeID
 	Props    map[string]value.Value
+
+	// owner is the copy-on-write generation tag, as on Node.
+	owner uint64
 }
 
 // PropMap returns the relationship's properties as a value.Map (shallow copy).
@@ -84,14 +95,22 @@ func (r *Rel) PropMap() value.Map {
 }
 
 // Graph is an in-memory property graph. It is not safe for concurrent
-// mutation; the database layer serializes statements.
+// mutation; the database layer serializes statements. Its containers are
+// the copy-on-write structures of cow.go, so a graph produced by
+// cloneCOW shares unmodified shards with its parent and a mutation
+// copies only the bucket it touches.
 type Graph struct {
-	nodes map[NodeID]*Node
-	rels  map[RelID]*Rel
+	// tag is this graph generation's ownership tag: shards, rows,
+	// buckets and entities carrying a different tag are shared with
+	// another epoch and must be copied before mutation.
+	tag uint64
 
-	outgoing map[NodeID][]RelID
-	incoming map[NodeID][]RelID
-	byLabel  map[string]map[NodeID]struct{}
+	nodes idMap[*Node]
+	rels  idMap[*Rel]
+
+	outgoing idMap[*adjRow]
+	incoming idMap[*adjRow]
+	byLabel  map[string]*labelSet
 
 	nextNode NodeID
 	nextRel  RelID
@@ -117,11 +136,8 @@ type Graph struct {
 // New returns an empty graph.
 func New() *Graph {
 	return &Graph{
-		nodes:    make(map[NodeID]*Node),
-		rels:     make(map[RelID]*Rel),
-		outgoing: make(map[NodeID][]RelID),
-		incoming: make(map[NodeID][]RelID),
-		byLabel:  make(map[string]map[NodeID]struct{}),
+		tag:     newCowTag(),
+		byLabel: make(map[string]*labelSet),
 	}
 }
 
@@ -131,40 +147,46 @@ func New() *Graph {
 func (g *Graph) Version() int64 { return g.version }
 
 // NumNodes reports the number of nodes.
-func (g *Graph) NumNodes() int { return len(g.nodes) }
+func (g *Graph) NumNodes() int { return g.nodes.size() }
 
 // NumRels reports the number of relationships.
-func (g *Graph) NumRels() int { return len(g.rels) }
+func (g *Graph) NumRels() int { return g.rels.size() }
 
 // Node returns the node with the given id, or nil.
-func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
+func (g *Graph) Node(id NodeID) *Node {
+	n, _ := g.nodes.get(int64(id))
+	return n
+}
 
 // Rel returns the relationship with the given id, or nil.
-func (g *Graph) Rel(id RelID) *Rel { return g.rels[id] }
+func (g *Graph) Rel(id RelID) *Rel {
+	r, _ := g.rels.get(int64(id))
+	return r
+}
 
 // HasNode reports whether a node with the given id exists.
-func (g *Graph) HasNode(id NodeID) bool { _, ok := g.nodes[id]; return ok }
+func (g *Graph) HasNode(id NodeID) bool { _, ok := g.nodes.get(int64(id)); return ok }
 
 // HasRel reports whether a relationship with the given id exists.
-func (g *Graph) HasRel(id RelID) bool { _, ok := g.rels[id]; return ok }
+func (g *Graph) HasRel(id RelID) bool { _, ok := g.rels.get(int64(id)); return ok }
 
 // NodeIDs returns all node ids in ascending order. The deterministic order
 // is what makes legacy-mode scans reproducible for a given graph state.
 func (g *Graph) NodeIDs() []NodeID {
-	ids := make([]NodeID, 0, len(g.nodes))
-	for id := range g.nodes {
-		ids = append(ids, id)
-	}
+	ids := make([]NodeID, 0, g.nodes.size())
+	g.nodes.each(func(id int64, _ *Node) {
+		ids = append(ids, NodeID(id))
+	})
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
 // RelIDs returns all relationship ids in ascending order.
 func (g *Graph) RelIDs() []RelID {
-	ids := make([]RelID, 0, len(g.rels))
-	for id := range g.rels {
-		ids = append(ids, id)
-	}
+	ids := make([]RelID, 0, g.rels.size())
+	g.rels.each(func(id int64, _ *Rel) {
+		ids = append(ids, RelID(id))
+	})
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
@@ -172,10 +194,13 @@ func (g *Graph) RelIDs() []RelID {
 // NodeIDsByLabel returns the ids of nodes carrying the label, ascending.
 func (g *Graph) NodeIDsByLabel(label string) []NodeID {
 	set := g.byLabel[label]
-	ids := make([]NodeID, 0, len(set))
-	for id := range set {
-		ids = append(ids, id)
+	if set == nil {
+		return nil
 	}
+	ids := make([]NodeID, 0, set.size())
+	set.each(func(id int64, _ struct{}) {
+		ids = append(ids, NodeID(id))
+	})
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
@@ -187,14 +212,14 @@ func (g *Graph) NodeIDsByLabel(label string) []NodeID {
 // (Adjacency lists are maintained sorted on insert: ids are monotonic,
 // so creation appends in order, and deletion/restore preserve order.)
 func (g *Graph) Outgoing(id NodeID) []RelID {
-	return g.outgoing[id]
+	return adjIDs(&g.outgoing, id)
 }
 
 // Incoming returns the ids of relationships whose target is the node,
 // in ascending order, under the same read-only-view contract as
 // Outgoing.
 func (g *Graph) Incoming(id NodeID) []RelID {
-	return g.incoming[id]
+	return adjIDs(&g.incoming, id)
 }
 
 // insertRelIDSorted inserts id into an ascending slice, keeping it
@@ -212,7 +237,7 @@ func insertRelIDSorted(ids []RelID, id RelID) []RelID {
 // Degree reports the total number of relationships attached to the node
 // (a self-loop counts twice: once outgoing, once incoming).
 func (g *Graph) Degree(id NodeID) int {
-	return len(g.outgoing[id]) + len(g.incoming[id])
+	return len(g.Outgoing(id)) + len(g.Incoming(id))
 }
 
 // CreateNode adds a node with the given labels and properties and returns
@@ -225,6 +250,7 @@ func (g *Graph) CreateNode(labels []string, props value.Map) *Node {
 		ID:     g.nextNode,
 		Labels: make(map[string]struct{}, len(labels)),
 		Props:  make(map[string]value.Value, len(props)),
+		owner:  g.tag,
 	}
 	for _, l := range labels {
 		n.Labels[l] = struct{}{}
@@ -234,7 +260,7 @@ func (g *Graph) CreateNode(labels []string, props value.Map) *Node {
 			n.Props[k] = v
 		}
 	}
-	g.nodes[n.ID] = n
+	g.nodes.put(g.tag, int64(n.ID), n)
 	for l := range n.Labels {
 		g.indexLabel(l, n.ID)
 	}
@@ -266,15 +292,20 @@ func (g *Graph) CreateRel(src, tgt NodeID, relType string, props value.Map) (*Re
 		Src:   src,
 		Tgt:   tgt,
 		Props: make(map[string]value.Value, len(props)),
+		owner: g.tag,
 	}
 	for k, v := range props {
 		if !value.IsNull(v) {
 			r.Props[k] = v
 		}
 	}
-	g.rels[r.ID] = r
-	g.outgoing[src] = append(g.outgoing[src], r.ID)
-	g.incoming[tgt] = append(g.incoming[tgt], r.ID)
+	g.rels.put(g.tag, int64(r.ID), r)
+	// A freshly created id exceeds every stored one, so appending keeps
+	// the adjacency rows sorted.
+	out := g.adjWritable(&g.outgoing, src)
+	out.ids = append(out.ids, r.ID)
+	in := g.adjWritable(&g.incoming, tgt)
+	in.ids = append(in.ids, r.ID)
 	g.statsRel(r, +1)
 	if g.journal != nil {
 		g.journal.record(undoCreateRel{id: r.ID})
@@ -285,7 +316,7 @@ func (g *Graph) CreateRel(src, tgt NodeID, relType string, props value.Map) (*Re
 // DeleteRel removes a relationship. Removing a missing relationship is a
 // no-op (it may have been deleted earlier in the same statement).
 func (g *Graph) DeleteRel(id RelID) {
-	r, ok := g.rels[id]
+	r, ok := g.rels.get(int64(id))
 	if !ok {
 		return
 	}
@@ -293,15 +324,15 @@ func (g *Graph) DeleteRel(id RelID) {
 		g.journal.record(undoDeleteRel{rel: copyRel(r)})
 	}
 	g.statsRel(r, -1)
-	delete(g.rels, id)
-	g.outgoing[r.Src] = removeRelID(g.outgoing[r.Src], id)
-	g.incoming[r.Tgt] = removeRelID(g.incoming[r.Tgt], id)
+	g.rels.del(g.tag, int64(id))
+	g.adjRemove(&g.outgoing, r.Src, id)
+	g.adjRemove(&g.incoming, r.Tgt, id)
 }
 
 // DeleteNode removes a node, returning an error if relationships are still
 // attached (the DELETE failure mode described in Section 3 of the paper).
 func (g *Graph) DeleteNode(id NodeID) error {
-	n, ok := g.nodes[id]
+	n, ok := g.nodes.get(int64(id))
 	if !ok {
 		return nil
 	}
@@ -320,7 +351,7 @@ func (g *Graph) DeleteNode(id NodeID) error {
 // state of legacy Cypher 9 DELETE (Section 4.2); Validate will fail until
 // the dangling relationships are also removed.
 func (g *Graph) DeleteNodeUnchecked(id NodeID) {
-	n, ok := g.nodes[id]
+	n, ok := g.nodes.get(int64(id))
 	if !ok {
 		return
 	}
@@ -337,17 +368,17 @@ func (g *Graph) removeNodeInternal(n *Node) {
 	// only their surviving endpoint's contribution.
 	g.statsNodeRels(n, -1)
 	g.indexNode(n, false)
-	delete(g.nodes, n.ID)
+	g.nodes.del(g.tag, int64(n.ID))
 	for l := range n.Labels {
 		g.unindexLabel(l, n.ID)
 	}
-	// Adjacency lists for the node are retained only if non-empty
+	// Adjacency rows for the node are retained only if non-empty
 	// (dangling rels keep referring to the removed node id).
-	if len(g.outgoing[n.ID]) == 0 {
-		delete(g.outgoing, n.ID)
+	if len(adjIDs(&g.outgoing, n.ID)) == 0 {
+		g.outgoing.del(g.tag, int64(n.ID))
 	}
-	if len(g.incoming[n.ID]) == 0 {
-		delete(g.incoming, n.ID)
+	if len(adjIDs(&g.incoming, n.ID)) == 0 {
+		g.incoming.del(g.tag, int64(n.ID))
 	}
 }
 
@@ -357,10 +388,10 @@ func (g *Graph) DetachDeleteNode(id NodeID) {
 		return
 	}
 	// Copy the adjacency lists before deleting: DeleteRel mutates them.
-	for _, rid := range append([]RelID(nil), g.outgoing[id]...) {
+	for _, rid := range append([]RelID(nil), g.Outgoing(id)...) {
 		g.DeleteRel(rid)
 	}
-	for _, rid := range append([]RelID(nil), g.incoming[id]...) {
+	for _, rid := range append([]RelID(nil), g.Incoming(id)...) {
 		g.DeleteRel(rid)
 	}
 	g.DeleteNodeUnchecked(id)
@@ -368,8 +399,8 @@ func (g *Graph) DetachDeleteNode(id NodeID) {
 
 // SetNodeProp sets (or, when v is null, removes) a node property.
 func (g *Graph) SetNodeProp(id NodeID, key string, v value.Value) error {
-	n, ok := g.nodes[id]
-	if !ok {
+	n := g.mutableNode(id)
+	if n == nil {
 		return fmt.Errorf("graph: node %d does not exist", id)
 	}
 	old, had := n.Props[key]
@@ -388,8 +419,8 @@ func (g *Graph) SetNodeProp(id NodeID, key string, v value.Value) error {
 
 // SetRelProp sets (or, when v is null, removes) a relationship property.
 func (g *Graph) SetRelProp(id RelID, key string, v value.Value) error {
-	r, ok := g.rels[id]
-	if !ok {
+	r := g.mutableRel(id)
+	if r == nil {
 		return fmt.Errorf("graph: relationship %d does not exist", id)
 	}
 	if g.journal != nil {
@@ -406,8 +437,8 @@ func (g *Graph) SetRelProp(id RelID, key string, v value.Value) error {
 
 // AddLabel adds a label to a node.
 func (g *Graph) AddLabel(id NodeID, label string) error {
-	n, ok := g.nodes[id]
-	if !ok {
+	n := g.mutableNode(id)
+	if n == nil {
 		return fmt.Errorf("graph: node %d does not exist", id)
 	}
 	if _, has := n.Labels[label]; has {
@@ -425,8 +456,8 @@ func (g *Graph) AddLabel(id NodeID, label string) error {
 
 // RemoveLabel removes a label from a node.
 func (g *Graph) RemoveLabel(id NodeID, label string) error {
-	n, ok := g.nodes[id]
-	if !ok {
+	n := g.mutableNode(id)
+	if n == nil {
 		return fmt.Errorf("graph: node %d does not exist", id)
 	}
 	if _, has := n.Labels[label]; !has {
@@ -445,16 +476,16 @@ func (g *Graph) RemoveLabel(id NodeID, label string) error {
 func (g *Graph) indexLabel(label string, id NodeID) {
 	set, ok := g.byLabel[label]
 	if !ok {
-		set = make(map[NodeID]struct{})
+		set = &labelSet{}
 		g.byLabel[label] = set
 	}
-	set[id] = struct{}{}
+	set.put(g.tag, int64(id), struct{}{})
 }
 
 func (g *Graph) unindexLabel(label string, id NodeID) {
 	if set, ok := g.byLabel[label]; ok {
-		delete(set, id)
-		if len(set) == 0 {
+		set.del(g.tag, int64(id))
+		if set.size() == 0 {
 			delete(g.byLabel, label)
 		}
 	}
@@ -485,7 +516,7 @@ func (e *DanglingError) Error() string {
 // endpoints exist, returning the first violation found.
 func (g *Graph) Validate() error {
 	for _, id := range g.RelIDs() {
-		r := g.rels[id]
+		r := g.Rel(id)
 		if !g.HasNode(r.Src) {
 			return fmt.Errorf("graph: relationship %d has dangling source %d", r.ID, r.Src)
 		}
@@ -498,38 +529,45 @@ func (g *Graph) Validate() error {
 
 // Clone returns a deep copy of the graph sharing no mutable state. Stored
 // property values are immutable by convention (the evaluator never mutates
-// a stored List/Map in place), so values themselves are shared.
+// a stored List/Map in place), so values themselves are shared. Contrast
+// cloneCOW (cow.go), which shares structure and is what write
+// transactions use; Clone remains the independent-database copy
+// (DB.Snapshot, dialect switching) and the baseline the copy-on-write
+// paths are property-tested against.
 func (g *Graph) Clone() *Graph {
-	ng := &Graph{
-		nodes:      make(map[NodeID]*Node, len(g.nodes)),
-		rels:       make(map[RelID]*Rel, len(g.rels)),
-		outgoing:   make(map[NodeID][]RelID, len(g.outgoing)),
-		incoming:   make(map[NodeID][]RelID, len(g.incoming)),
-		byLabel:    make(map[string]map[NodeID]struct{}, len(g.byLabel)),
-		nextNode:   g.nextNode,
-		nextRel:    g.nextRel,
-		version:    g.version,
-		indexes:    cloneIndexes(g.indexes),
-		indexEpoch: g.indexEpoch,
-	}
-	for id, n := range g.nodes {
-		ng.nodes[id] = copyNode(n)
-	}
-	for id, r := range g.rels {
-		ng.rels[id] = copyRel(r)
-	}
-	for id, rs := range g.outgoing {
-		ng.outgoing[id] = append([]RelID(nil), rs...)
-	}
-	for id, rs := range g.incoming {
-		ng.incoming[id] = append([]RelID(nil), rs...)
-	}
+	ng := New()
+	ng.nextNode = g.nextNode
+	ng.nextRel = g.nextRel
+	ng.version = g.version
+	ng.indexEpoch = g.indexEpoch
+	g.nodes.each(func(id int64, n *Node) {
+		c := copyNode(n)
+		c.owner = ng.tag
+		ng.nodes.put(ng.tag, id, c)
+	})
+	g.rels.each(func(id int64, r *Rel) {
+		c := copyRel(r)
+		c.owner = ng.tag
+		ng.rels.put(ng.tag, id, c)
+	})
+	g.outgoing.each(func(id int64, row *adjRow) {
+		ng.outgoing.put(ng.tag, id, &adjRow{ids: append([]RelID(nil), row.ids...), owner: ng.tag})
+	})
+	g.incoming.each(func(id int64, row *adjRow) {
+		ng.incoming.put(ng.tag, id, &adjRow{ids: append([]RelID(nil), row.ids...), owner: ng.tag})
+	})
 	for l, set := range g.byLabel {
-		ns := make(map[NodeID]struct{}, len(set))
-		for id := range set {
-			ns[id] = struct{}{}
-		}
+		ns := &labelSet{}
+		set.each(func(id int64, _ struct{}) {
+			ns.put(ng.tag, id, struct{}{})
+		})
 		ng.byLabel[l] = ns
+	}
+	if len(g.indexes) > 0 {
+		ng.indexes = make(map[IndexKey]*propIndex, len(g.indexes))
+		for k, idx := range g.indexes {
+			ng.indexes[k] = idx.cloneDeep(ng.tag)
+		}
 	}
 	ng.stats = g.stats.clone()
 	return ng
@@ -565,9 +603,12 @@ func copyRel(r *Rel) *Rel {
 }
 
 // restoreNode reinstates a node with its original id (journal rollback).
+// The node object becomes owned by this graph generation: journal
+// captures are private copies, so no other epoch can hold it.
 func (g *Graph) restoreNode(n *Node) {
 	g.version++
-	g.nodes[n.ID] = n
+	n.owner = g.tag
+	g.nodes.put(g.tag, int64(n.ID), n)
 	for l := range n.Labels {
 		g.indexLabel(l, n.ID)
 	}
@@ -581,8 +622,11 @@ func (g *Graph) restoreNode(n *Node) {
 // rollback, codec decode). The insert keeps adjacency lists sorted:
 // restored ids may be smaller than those of surviving relationships.
 func (g *Graph) restoreRel(r *Rel) {
-	g.rels[r.ID] = r
-	g.outgoing[r.Src] = insertRelIDSorted(g.outgoing[r.Src], r.ID)
-	g.incoming[r.Tgt] = insertRelIDSorted(g.incoming[r.Tgt], r.ID)
+	r.owner = g.tag
+	g.rels.put(g.tag, int64(r.ID), r)
+	out := g.adjWritable(&g.outgoing, r.Src)
+	out.ids = insertRelIDSorted(out.ids, r.ID)
+	in := g.adjWritable(&g.incoming, r.Tgt)
+	in.ids = insertRelIDSorted(in.ids, r.ID)
 	g.statsRel(r, +1)
 }

@@ -20,6 +20,13 @@ package graph
 // property-style test over random mutation/rollback sequences
 // (index_test.go, the sibling of stats_test.go).
 //
+// The index participates in the copy-on-write commit path (cow.go):
+// cloneShared hands a write transaction an index whose bucket directory
+// and bucket sets are all shared with the published epoch, and the
+// maintenance hooks copy exactly the directory shard and bucket a write
+// touches. A 1-row write against a 100k-entry index therefore copies
+// one bucket, not the index.
+//
 // Seek soundness: an index seek enumerates the bucket of the sought
 // value's key and still runs the full per-candidate checks
 // (labels, inline property maps, pushed predicates). Key equality is
@@ -41,56 +48,91 @@ type IndexKey struct {
 }
 
 // propIndex is the hash index for one (label, property) pair: canonical
-// value keys to node-id sets. entries counts (node, value) pairs so the
-// planner can estimate the average bucket size in O(1).
+// value keys to node-id sets, stored in the sharded copy-on-write
+// strMap of cow.go. entries counts (node, value) pairs so the planner
+// can estimate the average bucket size in O(1).
 type propIndex struct {
-	buckets map[string]map[NodeID]struct{}
+	buckets strMap
 	entries int
 }
 
 func newPropIndex() *propIndex {
-	return &propIndex{buckets: make(map[string]map[NodeID]struct{})}
+	return &propIndex{}
 }
 
-func (x *propIndex) add(id NodeID, v value.Value) {
+// add inserts node id under value v on behalf of the graph generation
+// tag, copying the touched directory shard and bucket if still shared.
+func (x *propIndex) add(tag uint64, id NodeID, v value.Value) {
 	k := value.Key(v)
-	set, ok := x.buckets[k]
-	if !ok {
-		set = make(map[NodeID]struct{})
-		x.buckets[k] = set
-	}
-	if _, dup := set[id]; !dup {
-		set[id] = struct{}{}
-		x.entries++
-	}
-}
-
-func (x *propIndex) remove(id NodeID, v value.Value) {
-	k := value.Key(v)
-	set, ok := x.buckets[k]
-	if !ok {
-		return
-	}
-	if _, had := set[id]; !had {
-		return
-	}
-	delete(set, id)
-	x.entries--
-	if len(set) == 0 {
-		delete(x.buckets, k)
-	}
-}
-
-func (x *propIndex) clone() *propIndex {
-	c := &propIndex{buckets: make(map[string]map[NodeID]struct{}, len(x.buckets)), entries: x.entries}
-	for k, set := range x.buckets {
-		ns := make(map[NodeID]struct{}, len(set))
-		for id := range set {
-			ns[id] = struct{}{}
+	if set := x.buckets.bucket(k); set != nil {
+		if _, dup := set[id]; dup {
+			return
 		}
-		c.buckets[k] = ns
+	}
+	_, set := x.buckets.writableBucket(tag, k)
+	set.m[id] = struct{}{}
+	x.entries++
+}
+
+// remove deletes node id's entry under value v, copying only when the
+// entry is actually present.
+func (x *propIndex) remove(tag uint64, id NodeID, v value.Value) {
+	k := value.Key(v)
+	cur := x.buckets.bucket(k)
+	if cur == nil {
+		return
+	}
+	if _, had := cur[id]; !had {
+		return
+	}
+	sh, set := x.buckets.writableBucket(tag, k)
+	delete(set.m, id)
+	x.entries--
+	if len(set.m) == 0 {
+		delete(sh.m, k)
+		x.buckets.keys--
+	}
+}
+
+// cloneShared returns an index sharing every directory shard and bucket
+// with x, for the copy-on-write commit path. The clone's writes copy
+// shards/buckets via the owner-tag checks above.
+func (x *propIndex) cloneShared() *propIndex {
+	return &propIndex{buckets: x.buckets, entries: x.entries}
+}
+
+// cloneDeep rebuilds a fully private copy owned by tag (Graph.Clone).
+func (x *propIndex) cloneDeep(tag uint64) *propIndex {
+	c := &propIndex{entries: x.entries}
+	c.buckets.keys = x.buckets.keys
+	for si, sh := range x.buckets.shards {
+		if sh == nil {
+			continue
+		}
+		ns := &strShard{m: make(map[string]*idSetCOW, len(sh.m)), owner: tag}
+		for k, set := range sh.m {
+			cs := &idSetCOW{m: make(map[NodeID]struct{}, len(set.m)), owner: tag}
+			for n := range set.m {
+				cs.m[n] = struct{}{}
+			}
+			ns.m[k] = cs
+		}
+		c.buckets.shards[si] = ns
 	}
 	return c
+}
+
+// each calls f for every (canonical key, bucket) pair, in no particular
+// order. The bucket map must not be mutated.
+func (x *propIndex) each(f func(key string, bucket map[NodeID]struct{})) {
+	for _, sh := range x.buckets.shards {
+		if sh == nil {
+			continue
+		}
+		for k, set := range sh.m {
+			f(k, set.m)
+		}
+	}
 }
 
 // CreateIndex creates a property index on (label, prop), populating it
@@ -115,9 +157,9 @@ func (g *Graph) CreateIndex(label, prop string) bool {
 // DROP INDEX undo path).
 func (g *Graph) buildIndex(key IndexKey) {
 	idx := newPropIndex()
-	for id := range g.byLabel[key.Label] {
-		if v, ok := g.nodes[id].Props[key.Prop]; ok {
-			idx.add(id, v)
+	for _, id := range g.NodeIDsByLabel(key.Label) {
+		if v, ok := g.Node(id).Props[key.Prop]; ok {
+			idx.add(g.tag, id, v)
 		}
 	}
 	if g.indexes == nil {
@@ -187,7 +229,7 @@ func (g *Graph) NodeIDsByProp(label, prop string, v value.Value) []NodeID {
 	if !ok {
 		return nil
 	}
-	set := idx.buckets[value.Key(v)]
+	set := idx.buckets.bucket(value.Key(v))
 	ids := make([]NodeID, 0, len(set))
 	for id := range set {
 		ids = append(ids, id)
@@ -204,10 +246,10 @@ func (g *Graph) IndexAvgBucket(label, prop string) float64 {
 	if !ok {
 		return -1
 	}
-	if len(idx.buckets) == 0 {
+	if idx.buckets.keys == 0 {
 		return 0
 	}
-	return float64(idx.entries) / float64(len(idx.buckets))
+	return float64(idx.entries) / float64(idx.buckets.keys)
 }
 
 // ---------------------------------------------------------------------
@@ -243,9 +285,9 @@ func (g *Graph) indexNodeLabel(n *Node, label string, add bool) {
 			continue
 		}
 		if add {
-			idx.add(n.ID, v)
+			idx.add(g.tag, n.ID, v)
 		} else {
-			idx.remove(n.ID, v)
+			idx.remove(g.tag, n.ID, v)
 		}
 	}
 }
@@ -264,24 +306,12 @@ func (g *Graph) indexPropWrite(n *Node, prop string, old value.Value, had bool, 
 			continue
 		}
 		if had {
-			idx.remove(n.ID, old)
+			idx.remove(g.tag, n.ID, old)
 		}
 		if has {
-			idx.add(n.ID, new)
+			idx.add(g.tag, n.ID, new)
 		}
 	}
-}
-
-// cloneIndexes deep-copies the index set for Graph.Clone.
-func cloneIndexes(in map[IndexKey]*propIndex) map[IndexKey]*propIndex {
-	if len(in) == 0 {
-		return nil
-	}
-	out := make(map[IndexKey]*propIndex, len(in))
-	for k, idx := range in {
-		out[k] = idx.clone()
-	}
-	return out
 }
 
 // ---------------------------------------------------------------------

@@ -15,8 +15,8 @@ import (
 // label, as a map from canonical value keys to sorted node-id slices.
 func rescanIndex(g *Graph, key IndexKey) map[string][]NodeID {
 	want := make(map[string][]NodeID)
-	for id := range g.byLabel[key.Label] {
-		if v, ok := g.nodes[id].Props[key.Prop]; ok {
+	for _, id := range g.NodeIDsByLabel(key.Label) {
+		if v, ok := g.Node(id).Props[key.Prop]; ok {
 			k := value.Key(v)
 			want[k] = append(want[k], id)
 		}
@@ -35,13 +35,18 @@ func checkIndexes(t *testing.T, g *Graph, ctx string) {
 	for _, key := range g.Indexes() {
 		want := rescanIndex(g, key)
 		idx := g.indexes[key]
-		if len(idx.buckets) != len(want) {
-			t.Fatalf("%s: index %v has %d buckets, rescan has %d", ctx, key, len(idx.buckets), len(want))
+		if idx.buckets.keys != len(want) {
+			t.Fatalf("%s: index %v has %d buckets, rescan has %d", ctx, key, idx.buckets.keys, len(want))
+		}
+		buckets := 0
+		idx.each(func(string, map[NodeID]struct{}) { buckets++ })
+		if buckets != idx.buckets.keys {
+			t.Fatalf("%s: index %v stores %d buckets but counts %d", ctx, key, buckets, idx.buckets.keys)
 		}
 		entries := 0
 		for k, ids := range want {
 			entries += len(ids)
-			set := idx.buckets[k]
+			set := idx.buckets.bucket(k)
 			if len(set) != len(ids) {
 				t.Fatalf("%s: index %v bucket %q has %d members, rescan %d", ctx, key, k, len(set), len(ids))
 			}

@@ -7,6 +7,11 @@ import "repro/internal/value"
 // Rollback replays the inverses in reverse order. This is how the engine
 // guarantees that a failing statement (e.g. a revised-semantics SET
 // conflict or strict DELETE error) leaves the graph untouched.
+//
+// The journal doubles as the change record of the commit pipeline: the
+// entries describe exactly what a transaction touched, so the store
+// derives the committed epoch's structural Delta from them (feed.go) —
+// the copy-on-write commit path introduces no separate change tracking.
 type Journal struct {
 	g       *Graph
 	entries []undoEntry
@@ -67,27 +72,37 @@ func (j *Journal) Rollback() {
 	j.entries = nil
 }
 
+// Discard detaches the journal and abandons its entries without undoing
+// them. The copy-on-write rollback path uses it: when a transaction's
+// working graph is a structure-sharing clone, rolling back means
+// throwing the clone away wholesale — replaying inverses onto a graph
+// nobody will ever observe would be wasted work.
+func (j *Journal) Discard() {
+	j.g.journal = nil
+	j.entries = nil
+}
+
 type undoCreateNode struct{ id NodeID }
 
 func (u undoCreateNode) undo(g *Graph) {
-	if n, ok := g.nodes[u.id]; ok {
+	if n := g.Node(u.id); n != nil {
 		g.removeNodeInternal(n)
 	}
-	delete(g.outgoing, u.id)
-	delete(g.incoming, u.id)
+	g.outgoing.del(g.tag, int64(u.id))
+	g.incoming.del(g.tag, int64(u.id))
 }
 
 type undoCreateRel struct{ id RelID }
 
 func (u undoCreateRel) undo(g *Graph) {
-	r, ok := g.rels[u.id]
-	if !ok {
+	r := g.Rel(u.id)
+	if r == nil {
 		return
 	}
 	g.statsRel(r, -1)
-	delete(g.rels, u.id)
-	g.outgoing[r.Src] = removeRelID(g.outgoing[r.Src], u.id)
-	g.incoming[r.Tgt] = removeRelID(g.incoming[r.Tgt], u.id)
+	g.rels.del(g.tag, int64(u.id))
+	g.adjRemove(&g.outgoing, r.Src, u.id)
+	g.adjRemove(&g.incoming, r.Tgt, u.id)
 }
 
 type undoDeleteNode struct{ node *Node }
@@ -106,8 +121,8 @@ type undoSetNodeProp struct {
 }
 
 func (u undoSetNodeProp) undo(g *Graph) {
-	n, ok := g.nodes[u.id]
-	if !ok {
+	n := g.mutableNode(u.id)
+	if n == nil {
 		return
 	}
 	cur, has := n.Props[u.key]
@@ -127,8 +142,8 @@ type undoSetRelProp struct {
 }
 
 func (u undoSetRelProp) undo(g *Graph) {
-	r, ok := g.rels[u.id]
-	if !ok {
+	r := g.mutableRel(u.id)
+	if r == nil {
 		return
 	}
 	if u.had {
@@ -144,8 +159,8 @@ type undoAddLabel struct {
 }
 
 func (u undoAddLabel) undo(g *Graph) {
-	n, ok := g.nodes[u.id]
-	if !ok {
+	n := g.mutableNode(u.id)
+	if n == nil {
 		return
 	}
 	g.statsLabel(u.id, u.label, -1)
@@ -160,8 +175,8 @@ type undoRemoveLabel struct {
 }
 
 func (u undoRemoveLabel) undo(g *Graph) {
-	n, ok := g.nodes[u.id]
-	if !ok {
+	n := g.mutableNode(u.id)
+	if n == nil {
 		return
 	}
 	n.Labels[u.label] = struct{}{}

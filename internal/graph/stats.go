@@ -65,13 +65,13 @@ func bump[K comparable](m map[K]int, k K, delta int) map[K]int {
 func (g *Graph) statsRel(r *Rel, delta int) {
 	g.version++
 	g.stats.relType = bump(g.stats.relType, r.Type, delta)
-	if src, ok := g.nodes[r.Src]; ok {
+	if src := g.Node(r.Src); src != nil {
 		for l := range src.Labels {
 			g.stats.out = bump(g.stats.out, LabelType{l, r.Type}, delta)
 			g.stats.outLabel = bump(g.stats.outLabel, l, delta)
 		}
 	}
-	if tgt, ok := g.nodes[r.Tgt]; ok {
+	if tgt := g.Node(r.Tgt); tgt != nil {
 		for l := range tgt.Labels {
 			g.stats.in = bump(g.stats.in, LabelType{l, r.Type}, delta)
 			g.stats.inLabel = bump(g.stats.inLabel, l, delta)
@@ -84,9 +84,9 @@ func (g *Graph) statsRel(r *Rel, delta int) {
 // appears (restore) or disappears (removal, including the unchecked
 // legacy deletion that leaves relationships dangling).
 func (g *Graph) statsNodeRels(n *Node, delta int) {
-	for _, rid := range g.outgoing[n.ID] {
-		r, ok := g.rels[rid]
-		if !ok {
+	for _, rid := range g.Outgoing(n.ID) {
+		r := g.Rel(rid)
+		if r == nil {
 			continue
 		}
 		for l := range n.Labels {
@@ -94,9 +94,9 @@ func (g *Graph) statsNodeRels(n *Node, delta int) {
 			g.stats.outLabel = bump(g.stats.outLabel, l, delta)
 		}
 	}
-	for _, rid := range g.incoming[n.ID] {
-		r, ok := g.rels[rid]
-		if !ok {
+	for _, rid := range g.Incoming(n.ID) {
+		r := g.Rel(rid)
+		if r == nil {
 			continue
 		}
 		for l := range n.Labels {
@@ -111,14 +111,14 @@ func (g *Graph) statsNodeRels(n *Node, delta int) {
 // still-existing relationships.
 func (g *Graph) statsLabel(id NodeID, label string, delta int) {
 	g.version++
-	for _, rid := range g.outgoing[id] {
-		if r, ok := g.rels[rid]; ok {
+	for _, rid := range g.Outgoing(id) {
+		if r := g.Rel(rid); r != nil {
 			g.stats.out = bump(g.stats.out, LabelType{label, r.Type}, delta)
 			g.stats.outLabel = bump(g.stats.outLabel, label, delta)
 		}
 	}
-	for _, rid := range g.incoming[id] {
-		if r, ok := g.rels[rid]; ok {
+	for _, rid := range g.Incoming(id) {
+		if r := g.Rel(rid); r != nil {
 			g.stats.in = bump(g.stats.in, LabelType{label, r.Type}, delta)
 			g.stats.inLabel = bump(g.stats.inLabel, label, delta)
 		}
@@ -157,7 +157,12 @@ func (s statsCounters) clone() statsCounters {
 // ---------------------------------------------------------------------
 
 // NodeCountByLabel reports the number of nodes carrying the label, O(1).
-func (g *Graph) NodeCountByLabel(label string) int { return len(g.byLabel[label]) }
+func (g *Graph) NodeCountByLabel(label string) int {
+	if set := g.byLabel[label]; set != nil {
+		return set.size()
+	}
+	return 0
+}
 
 // RelCountByType reports the number of relationships of the type, O(1).
 func (g *Graph) RelCountByType(relType string) int { return g.stats.relType[relType] }
@@ -196,7 +201,7 @@ func (g *Graph) AvgInDegree(label, relType string) float64 {
 func (g *Graph) degreeCount(label, relType string, out bool) int {
 	if label == "" {
 		if relType == "" {
-			return len(g.rels)
+			return g.rels.size()
 		}
 		return g.stats.relType[relType]
 	}
@@ -208,9 +213,9 @@ func (g *Graph) degreeCount(label, relType string, out bool) int {
 
 func (g *Graph) nodeBase(label string) int {
 	if label == "" {
-		return len(g.nodes)
+		return g.nodes.size()
 	}
-	return len(g.byLabel[label])
+	return g.NodeCountByLabel(label)
 }
 
 func avgDegree(rels, nodes int) float64 {
@@ -226,15 +231,15 @@ func avgDegree(rels, nodes int) float64 {
 // than a full recount.
 func (g *Graph) Stats() Stats {
 	s := Stats{
-		Nodes:    len(g.nodes),
-		Rels:     len(g.rels),
+		Nodes:    g.nodes.size(),
+		Rels:     g.rels.size(),
 		Labels:   make(map[string]int, len(g.byLabel)),
 		RelTypes: make(map[string]int, len(g.stats.relType)),
 		OutDeg:   make(map[LabelType]int, len(g.stats.out)),
 		InDeg:    make(map[LabelType]int, len(g.stats.in)),
 	}
 	for l, set := range g.byLabel {
-		s.Labels[l] = len(set)
+		s.Labels[l] = set.size()
 	}
 	for t, c := range g.stats.relType {
 		s.RelTypes[t] = c

@@ -23,7 +23,9 @@ import (
 // epoch number. Acquire pins that snapshot (a reference count) and
 // returns it; a pinned graph is immutable for as long as the pin is
 // held, so readers iterate it with no lock held at all. Release drops
-// the pin.
+// the pin (and panics on a double release — an unbalanced pin count
+// could otherwise silently route a later writer onto the in-place path
+// while a reader still streams).
 //
 // # The single-writer pipeline
 //
@@ -36,16 +38,30 @@ import (
 //     until the transaction finishes (they would otherwise observe torn
 //     state). This is the fast path: a single-threaded workload pays
 //     nothing for the transaction layer.
-//   - If readers ARE pinned, the writer clones the graph and mutates the
-//     clone, while current and new readers keep streaming from the
-//     published snapshot. Commit atomically publishes the clone as the
-//     next epoch; the old snapshot stays valid until its pins drain.
+//   - If readers ARE pinned, the writer works on a copy-on-write clone
+//     (cloneCOW): the clone shares every container bucket with the
+//     published snapshot and copies only the buckets the transaction
+//     touches, so the commit costs O(changes), not O(graph). Current
+//     and new readers keep streaming from the published snapshot;
+//     Commit atomically publishes the clone as the next epoch, and the
+//     old snapshot stays valid until its pins drain.
 //
-// Either way the transaction runs under a journal, so rollback restores
-// the pre-transaction state (and the writer's working graph is then
-// published unchanged in content, keeping id-counter behaviour
-// identical across both paths). Readers therefore see exactly the
-// pre-commit or the post-commit epoch — never anything in between.
+// Because epochs share buckets, an in-place writer may still hold
+// structure in common with OLDER pinned epochs; the ownership tags of
+// cow.go make that safe — a mutation copies any bucket another epoch
+// can still see before writing it.
+//
+// Commit publishes the transaction's journal with the new epoch; the
+// net structural Delta is derived from it lazily (Snapshot.Delta) or
+// at commit time when OnCommit hooks are registered.
+// Rollback on the copy-on-write path simply discards the clone and
+// republishes the pre-transaction content — no undo replay, no bumped
+// version or index epoch, so plan caches keyed on those counters
+// survive a rolled-back transaction untouched. (Only the id counters
+// carry over: ids consumed by a rolled-back transaction stay consumed,
+// matching the in-place path's journal-driven rollback.) Readers
+// therefore see exactly the pre-commit or the post-commit epoch — never
+// anything in between.
 type Store struct {
 	mu       sync.Mutex
 	readable *sync.Cond // readers waiting out an in-place write
@@ -56,6 +72,9 @@ type Store struct {
 	// writerMu is the single-writer baton: held from BeginWrite until
 	// Commit/Rollback, serializing write transactions.
 	writerMu sync.Mutex
+
+	// onCommit holds the registered change-feed hooks (OnCommit).
+	onCommit []func(*Delta)
 
 	epoch int64
 }
@@ -77,6 +96,14 @@ type Snapshot struct {
 	g     *Graph
 	epoch int64
 	pins  atomic.Int64
+
+	// The epoch's change record: the committing transaction's journal
+	// entries, netted into a Delta lazily (deltaOnce) so commits nobody
+	// observes — no OnCommit hooks, Delta never called — skip the
+	// netting pass entirely.
+	deltaEntries []undoEntry
+	deltaOnce    sync.Once
+	delta        *Delta
 }
 
 // Graph returns the snapshot's immutable graph.
@@ -85,8 +112,36 @@ func (sn *Snapshot) Graph() *Graph { return sn.g }
 // Epoch reports the committed epoch this snapshot captures.
 func (sn *Snapshot) Epoch() int64 { return sn.epoch }
 
+// Delta returns the net structural change the transaction that
+// committed this epoch applied, or nil for epoch 0, for rolled-back
+// transactions (which change nothing) and for commits with no net
+// effect. The delta references the snapshot's graph state: consumers
+// resolve entity ids against Graph(). It is derived from the
+// transaction's journal on first call (safe under concurrent readers).
+func (sn *Snapshot) Delta() *Delta {
+	sn.deltaOnce.Do(func() {
+		sn.delta = netDelta(sn.deltaEntries)
+		if sn.delta != nil {
+			sn.delta.Epoch = sn.epoch
+		}
+		sn.deltaEntries = nil
+	})
+	return sn.delta
+}
+
 // Release drops the pin. The snapshot must not be used afterwards.
-func (sn *Snapshot) Release() { sn.pins.Add(-1) }
+// Driving the pin count negative panics, so an unbalanced Release is
+// caught at the latest when the count bottoms out — always immediately
+// when no other reader holds a pin. (While other pins are outstanding
+// an early double release is indistinguishable from their legitimate
+// releases and surfaces only at the final one; the count still ends
+// negative, so the corruption cannot stay silent and flip a writer
+// onto the in-place path forever undetected.)
+func (sn *Snapshot) Release() {
+	if sn.pins.Add(-1) < 0 {
+		panic("graph: Snapshot.Release without a matching Acquire (double release?)")
+	}
+}
 
 // Acquire pins the latest committed epoch and returns it. If a write
 // transaction is mutating the published graph in place (the no-reader
@@ -112,13 +167,26 @@ func (s *Store) Epoch() int64 {
 	return s.epoch
 }
 
+// OnCommit registers fn as a change-feed consumer: after every commit
+// that changed anything, fn is called with the new epoch's Delta.
+// Hooks run on the committing goroutine, in epoch order, while the
+// writer baton is still held — they must return promptly and must not
+// start a write transaction on the same store (deadlock); reading via
+// Acquire is fine. Rolled-back and no-op transactions produce no call.
+func (s *Store) OnCommit(fn func(*Delta)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onCommit = append(s.onCommit, fn)
+}
+
 // WriteTxn is an open write transaction: a working graph (the published
-// graph itself, or a private clone when readers are pinned), journaled
-// so it can roll back, holding the writer baton until Commit or
-// Rollback.
+// graph itself, or a copy-on-write clone when readers are pinned),
+// journaled so it can roll back, holding the writer baton until Commit
+// or Rollback.
 type WriteTxn struct {
 	s      *Store
 	g      *Graph
+	base   *Graph // the epoch the txn started from (== g unless cloned)
 	j      *Journal
 	cloned bool
 	done   bool
@@ -131,8 +199,8 @@ type WriteTxn struct {
 func (s *Store) BeginWrite() *WriteTxn { return s.beginWrite(false) }
 
 // BeginWriteIsolated opens a write transaction that always works on a
-// private clone, never blocking readers: the published epoch stays
-// readable for the whole transaction. Intended for explicit
+// private copy-on-write clone, never blocking readers: the published
+// epoch stays readable for the whole transaction. Intended for explicit
 // (BEGIN…COMMIT) transactions, whose lifetime is caller-paced and may
 // include think time.
 func (s *Store) BeginWriteIsolated() *WriteTxn { return s.beginWrite(true) }
@@ -142,9 +210,12 @@ func (s *Store) beginWrite(isolated bool) *WriteTxn {
 	s.mu.Lock()
 	w := &WriteTxn{s: s}
 	cur := s.cur
+	w.base = cur.g
 	if !isolated && cur.pins.Load() == 0 && s.waiting == 0 {
-		// Nobody is reading: mutate in place; Acquire blocks until the
-		// transaction finishes.
+		// Nobody is reading this epoch: mutate in place; Acquire blocks
+		// until the transaction finishes. Buckets still shared with
+		// older pinned epochs are protected by the copy-on-write
+		// ownership tags.
 		w.g = cur.g
 		s.inPlace = true
 		s.mu.Unlock()
@@ -153,12 +224,14 @@ func (s *Store) beginWrite(isolated bool) *WriteTxn {
 		// woken by the previous transaction and have not re-pinned yet —
 		// counting them prevents a back-to-back writer from starving
 		// readers through repeated in-place transactions): leave the
-		// snapshot untouched and work on a clone. The O(graph) copy runs
-		// outside the store mutex so readers keep acquiring snapshots
-		// meanwhile — cur cannot be replaced while writerMu is held, and
-		// a published graph is immutable, so the unlocked read is safe.
+		// snapshot untouched and work on a copy-on-write clone. The
+		// clone copies only container directories — O(changes the txn
+		// will make), not O(graph) — and runs outside the store mutex so
+		// readers keep acquiring snapshots meanwhile; cur cannot be
+		// replaced while writerMu is held, and a published graph is
+		// immutable, so the unlocked read is safe.
 		s.mu.Unlock()
-		w.g = cur.g.Clone()
+		w.g = cur.g.cloneCOW()
 		w.cloned = true
 	}
 	w.j = w.g.BeginJournal()
@@ -175,38 +248,77 @@ func (w *WriteTxn) Journal() *Journal { return w.j }
 
 // Commit keeps all mutations and publishes the working graph as the
 // next epoch, releasing the writer baton. It returns the new epoch.
+// The epoch carries the transaction's net Delta (derived from the
+// journal), delivered to OnCommit hooks and readable via
+// Snapshot.Delta.
 func (w *WriteTxn) Commit() int64 {
 	if w.done {
 		panic("graph: commit of a finished write transaction")
 	}
+	entries := w.j.entries // netted lazily; Journal.Commit only drops its reference
 	w.j.Commit()
-	return w.finish()
+	return w.finish(entries)
 }
 
-// Rollback undoes every mutation of the transaction (via the journal)
-// and publishes the restored working graph, releasing the writer baton.
-// Content-wise the published epoch equals the pre-transaction state;
-// the epoch number still advances, and id counters stay consumed,
-// matching the engine's historical statement-rollback behaviour on both
-// the in-place and the clone path.
+// Rollback undoes every mutation of the transaction and publishes the
+// restored state, releasing the writer baton. On the in-place path the
+// journal replays its inverses; on the copy-on-write path the clone is
+// simply discarded and the pre-transaction content republished, leaving
+// the cache-relevant counters (Version, IndexEpoch, statistics) exactly
+// as they were — a rolled-back transaction no longer invalidates plan
+// caches or churns memory. Either way the published epoch equals the
+// pre-transaction state content-wise, the epoch number still advances,
+// and id counters stay consumed, matching the engine's historical
+// statement-rollback behaviour on both paths.
 func (w *WriteTxn) Rollback() {
 	if w.done {
 		panic("graph: rollback of a finished write transaction")
 	}
+	if w.cloned {
+		// The published base still holds the exact pre-transaction
+		// state; abandon the working clone (journal included) and
+		// republish the base's content. A fresh cloneCOW — not the base
+		// graph object itself — keeps the new epoch distinct from the
+		// still-pinned old one: publishing the very same *Graph would
+		// let a later in-place writer mutate it while old-epoch readers,
+		// whose pins the in-place check cannot see, still stream.
+		w.j.Discard()
+		g := w.base.cloneCOW()
+		g.nextNode, g.nextRel = w.g.nextNode, w.g.nextRel
+		w.g = g
+		w.finish(nil)
+		return
+	}
 	w.j.Rollback()
-	w.finish()
+	w.finish(nil)
 }
 
-func (w *WriteTxn) finish() int64 {
+func (w *WriteTxn) finish(entries []undoEntry) int64 {
 	w.done = true
 	s := w.s
 	s.mu.Lock()
 	s.epoch++
 	epoch := s.epoch
-	s.cur = &Snapshot{store: s, g: w.g, epoch: epoch}
+	sn := &Snapshot{store: s, g: w.g, epoch: epoch, deltaEntries: entries}
+	var hooks []func(*Delta)
+	if len(entries) > 0 {
+		hooks = s.onCommit
+	}
+	s.cur = sn
 	s.inPlace = false
 	s.mu.Unlock()
 	s.readable.Broadcast()
+	// Feed hooks run before the writer baton is released so deltas
+	// arrive in strict epoch order. Dispatching them forces the lazy
+	// netting; without hooks it stays deferred to the first
+	// Snapshot.Delta call (or never happens).
+	if len(hooks) > 0 {
+		if d := sn.Delta(); d != nil {
+			for _, h := range hooks {
+				h(d)
+			}
+		}
+	}
 	s.writerMu.Unlock()
 	return epoch
 }

@@ -310,6 +310,66 @@ func TestPlanCacheSurvivesUndriftedMutation(t *testing.T) {
 	}
 }
 
+// TestPlanCacheSurvivesRolledBackTxn is the regression test for the
+// copy-on-write rollback path: a transaction that creates an index and
+// bulk-loads nodes but then rolls back leaves the published graph
+// content-identical, so a plan cached before the transaction must be
+// reused afterwards — the rollback must not bump the cache-relevant
+// counters (Version, IndexEpoch) or drift the statistics. Before the
+// fix, the store published the undo-restored clone, whose churned
+// counters invalidated every cached plan for no content change.
+func TestPlanCacheSurvivesRolledBackTxn(t *testing.T) {
+	g := graph.New()
+	g.CreateIndex("A", "v")
+	for i := 0; i < 10; i++ {
+		g.CreateNode([]string{"A"}, value.Map{"v": value.Int(int64(i))})
+	}
+	for i := 0; i < 1000; i++ {
+		g.CreateNode([]string{"B"}, nil)
+	}
+	s := graph.NewStore(g)
+
+	snap := s.Acquire()
+	m := &Matcher{Graph: snap.Graph(), Ev: &expr.Evaluator{Graph: snap.Graph()}}
+	parts := patternOf(t, "(a:A{v:1})-[:R]->(b:B)")
+	plans1 := m.plansFor(parts, expr.Env{})
+	if plans1[0].seek == nil {
+		t.Fatal("expected an index-seek anchor on :A(v)")
+	}
+	preVersion, preIdxEpoch := snap.Graph().Version(), snap.Graph().IndexEpoch()
+
+	// Clone-path transaction (the snapshot above keeps the reader
+	// pinned): schema op + heavy skew, then a full rollback.
+	w := s.BeginWrite()
+	w.Graph().CreateIndex("B", "v")
+	w.Graph().DropIndex("A", "v")
+	for i := 0; i < 5000; i++ {
+		w.Graph().CreateNode([]string{"A"}, nil)
+	}
+	w.Rollback()
+	snap.Release()
+
+	after := s.Acquire()
+	defer after.Release()
+	if got := after.Graph().Version(); got != preVersion {
+		t.Fatalf("rolled-back txn moved Version %d -> %d", preVersion, got)
+	}
+	if got := after.Graph().IndexEpoch(); got != preIdxEpoch {
+		t.Fatalf("rolled-back txn moved IndexEpoch %d -> %d", preIdxEpoch, got)
+	}
+	// Re-point the matcher at the newly published epoch, as the next
+	// statement would: the cached plan must survive.
+	m.Graph = after.Graph()
+	m.Ev = &expr.Evaluator{Graph: after.Graph()}
+	plans2 := m.plansFor(parts, expr.Env{})
+	if &plans1[0] != &plans2[0] {
+		t.Error("rolled-back transaction invalidated the cached plan")
+	}
+	if plans2[0].seek == nil {
+		t.Error("cached plan lost its index seek anchor")
+	}
+}
+
 // TestPlanCacheReplansOnStatsDrift is the regression test for stale
 // anchors: a skewed bulk load inverts which label is rare, and the
 // cached plan must be re-planned onto the new anchor rather than kept
