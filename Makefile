@@ -1,11 +1,12 @@
 # Build, test and benchmark entry points. CI runs `make test`, the
-# race detector (`make race`), the short bench smoke and the docs
-# smoke; `make bench` records the perf trajectory into BENCH_pr5.json
-# (one file per PR so regressions are diffable).
+# race detector (`make race`), the spill suite (`make spill`), the
+# short bench smoke and the docs smoke; `make bench` records the perf
+# trajectory into BENCH_pr6.json (one file per PR so regressions are
+# diffable).
 
-BENCH_OUT ?= BENCH_pr5.json
+BENCH_OUT ?= BENCH_pr6.json
 
-.PHONY: all test vet race stress bench bench-smoke docs-smoke
+.PHONY: all test vet race stress spill bench bench-smoke docs-smoke
 
 all: test
 
@@ -29,6 +30,16 @@ race:
 stress:
 	go test -race -count=2 -run 'TestStoreReaderWriterStress|TestCommitPathsEquivalent|TestStoreConcurrentReadersSeeCommittedEpochsOnly' ./internal/graph
 	go test -race -run 'TestConcurrent|TestSession' ./cypher
+
+# The spill suites under the race detector: forced-spill equivalence
+# (tiny budgets make every barrier take the external-sort / hash-
+# partition path), temp-file cleanup on error and early-LIMIT close,
+# and the executor sweep over the script corpus.
+spill:
+	go test -race -run 'TestExternalSort|TestSpilling|TestSpillFiles|TestSpillCodec|TestOperator' ./internal/plan
+	go test -race -run 'TestTinyBudgetSpillEquivalence|TestBudgetBoundsBarrierPeak|TestExecutorTriEquivalence' ./internal/core
+	go test -race -run 'TestCorpusExecutorSweep' ./internal/script
+	go test -race -run 'TestWithMemoryBudget|TestProfile' ./cypher
 
 # Full benchmark run, serialized to JSON. -benchtime is modest because
 # the B-suite covers 12 benchmark families; raise it for stable numbers.

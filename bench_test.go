@@ -20,6 +20,8 @@
 //	B13 concurrent snapshot readers vs lock-serialized execution
 //	B14 property-index seeks: equality-anchored MATCH and bulk MERGE
 //	B15 commit latency under pinned readers: copy-on-write vs deep clone
+//	B16 vectorized batch execution vs row-at-a-time streaming
+//	B17 spilling barriers under a memory budget vs unlimited in-memory
 package repro_test
 
 import (
@@ -589,6 +591,97 @@ func BenchmarkB15CommitUnderReaders(b *testing.B) {
 				smallTxn(b, working, i)
 				j.Commit()
 				published = working
+			}
+		})
+	}
+}
+
+// B16: the vectorized executor against the row-at-a-time streaming
+// baseline on read pipelines — the per-row map allocations and pull
+// calls the batch discipline amortizes show up as allocs/op and ns/row.
+func BenchmarkB16BatchedExecutor(b *testing.B) {
+	const n = 20000
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.CreateNode([]string{"U"}, value.Map{
+			"i": value.Int(int64(i)),
+			"g": value.Int(int64(i % 64)),
+		})
+	}
+	tbl := table.New("x")
+	for i := 0; i < 50000; i++ {
+		tbl.AppendRow(value.Int(int64(i)))
+	}
+	queries := []struct {
+		name, q string
+		t0      *table.Table
+	}{
+		{"match-filter-project", `MATCH (u:U) WITH u.i AS i WHERE i % 3 = 0 RETURN i % 7 AS r, i`, nil},
+		{"table-filter-project", `WITH x WHERE x % 2 = 0 RETURN x % 997 AS r, x`, tbl},
+		{"table-distinct", `RETURN DISTINCT x % 512 AS r`, tbl},
+	}
+	execs := []struct {
+		name string
+		ex   core.Executor
+	}{
+		{"batched", core.ExecStreaming},
+		{"row-at-a-time", core.ExecStreamingRows},
+	}
+	for _, q := range queries {
+		for _, e := range execs {
+			b.Run(fmt.Sprintf("%s/%s/nodes=%d", q.name, e.name, n), func(b *testing.B) {
+				cfg := core.Config{Dialect: core.DialectRevised, Executor: e.ex}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					execBench(b, cfg, g, q.q, q.t0)
+				}
+			})
+		}
+	}
+}
+
+// B17: barrier-heavy pipelines (ORDER BY over everything, then a
+// high-cardinality aggregation) whose working set exceeds a small
+// memory budget. The budgeted run spills sorted runs and hash
+// partitions to temp files; the benchmark first asserts its output is
+// bit-identical to the unlimited in-memory run, then measures the cost
+// of bounded peak memory.
+func BenchmarkB17SpillingBarriers(b *testing.B) {
+	const n = 30000
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.CreateNode([]string{"E"}, value.Map{
+			"i": value.Int(int64(i)),
+			"k": value.Int(int64((i * 7919) % n)), // high-cardinality group key
+		})
+	}
+	query := `MATCH (e:E) WITH e.k AS k, e.i AS i ORDER BY k DESC, i RETURN k % 1000 AS bucket, count(*) AS c, min(i) AS lo ORDER BY bucket`
+	budgets := []struct {
+		name   string
+		budget int64
+	}{
+		{"unlimited", 0},
+		{"budget=256KB", 256 << 10},
+		{"budget=64KB", 64 << 10},
+	}
+	render := func(cfg core.Config) string {
+		res := execBench(b, cfg, g, query, nil)
+		return res.Table.String()
+	}
+	want := render(core.Config{Dialect: core.DialectRevised})
+	for _, c := range budgets[1:] {
+		if got := render(core.Config{Dialect: core.DialectRevised, MemoryBudget: c.budget}); got != want {
+			b.Fatalf("%s output diverges from unlimited run", c.name)
+		}
+	}
+	for _, c := range budgets {
+		b.Run(fmt.Sprintf("%s/nodes=%d", c.name, n), func(b *testing.B) {
+			cfg := core.Config{Dialect: core.DialectRevised, MemoryBudget: c.budget}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				execBench(b, cfg, g, query, nil)
 			}
 		})
 	}

@@ -8,6 +8,8 @@
 //	:merge <strategy>     force a MERGE strategy (legacy, atomic,
 //	                      grouping, weak-collapse, collapse,
 //	                      strong-collapse, from-form)
+//	:set budget <bytes>   cap per-statement barrier memory (0 = unlimited);
+//	                      barriers beyond the cap spill to temp files
 //	:stats                print graph statistics
 //	:indexes              list property indexes
 //	:epoch                print the committed transaction epoch
@@ -36,16 +38,21 @@
 // removes it. :indexes lists the current indexes.
 //
 // A statement prefixed with EXPLAIN prints the streaming operator plan
-// (with its transaction boundaries) instead of executing it.
+// (with its transaction boundaries) instead of executing it; when a
+// memory budget is set, the plan header states the effective budget. A
+// statement prefixed with PROFILE executes it and prints the plan
+// annotated with observed per-operator rows/batches and, for barriers,
+// peak accounted memory and spill-run counts.
 //
-// Switching dialects preserves the graph contents; it is refused while
-// a transaction is open.
+// Switching dialects or setting a budget preserves the graph contents;
+// both are refused while a transaction is open.
 package main
 
 import (
 	"bufio"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/cypher"
@@ -137,7 +144,7 @@ func main() {
 // so must not run while a transaction is open).
 func switchesDatabase(cmd string) bool {
 	switch strings.Fields(cmd)[0] {
-	case ":dialect", ":merge", ":clear":
+	case ":dialect", ":merge", ":clear", ":set":
 		return true
 	}
 	return false
@@ -150,10 +157,12 @@ func meta(db *cypher.DB, dialect, cmd string) (*cypher.DB, string, bool) {
 		return db, dialect, true
 	case ":help":
 		fmt.Println("statements end with ';'. EXPLAIN <query>; prints the operator plan with its transaction boundaries.")
+		fmt.Println("PROFILE <query>; executes it and prints the plan with observed rows/batches/peak-mem/spill counters.")
 		fmt.Println("transactions: BEGIN; opens one (statements see its writes; errors roll back the statement only),")
 		fmt.Println("COMMIT; publishes it atomically, ROLLBACK; discards it. Without BEGIN, statements auto-commit.")
 		fmt.Println("indexes: CREATE INDEX ON :Label(prop); / DROP INDEX ON :Label(prop); — :indexes lists them.")
-		fmt.Println("Meta: :dialect cypher9|revised, :merge <strategy>, :stats, :indexes, :epoch, :clear, :quit")
+		fmt.Println("memory: :set budget <bytes> caps per-statement barrier memory (spill to disk beyond it; 0 = unlimited).")
+		fmt.Println("Meta: :dialect cypher9|revised, :merge <strategy>, :set budget <bytes>, :stats, :indexes, :epoch, :clear, :quit")
 	case ":clear":
 		opt := cypher.WithDialect(cypher.Revised)
 		if dialect == "cypher9" {
@@ -190,6 +199,24 @@ func meta(db *cypher.DB, dialect, cmd string) (*cypher.DB, string, bool) {
 			break
 		}
 		return db.Snapshot(cypher.WithMergeStrategy(s)), dialect, false
+	case ":set":
+		if len(fields) != 3 || fields[1] != "budget" {
+			fmt.Println("usage: :set budget <bytes>   (0 = unlimited)")
+			break
+		}
+		n, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil || n < 0 {
+			fmt.Println("budget must be a non-negative byte count:", fields[2])
+			break
+		}
+		if n == 0 {
+			fmt.Println("memory budget: unlimited")
+		} else {
+			fmt.Printf("memory budget: %d bytes per statement (barriers beyond it spill to temp files)\n", n)
+		}
+		// Snapshot carries the budget in the DB's options, so it survives
+		// later :dialect and :merge switches.
+		return db.Snapshot(cypher.WithMemoryBudget(n)), dialect, false
 	default:
 		fmt.Println("unknown meta command:", fields[0])
 	}
@@ -223,11 +250,27 @@ func execute(sess *cypher.Session, query string) {
 		fmt.Println(tree)
 		return
 	}
+	// PROFILE <query> executes the statement and prints the operator
+	// plan annotated with observed execution counters.
+	if rest, ok := cutPrefixFold(query, "PROFILE"); ok {
+		res, tree, err := sess.Profile(strings.TrimSpace(rest), nil)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println(tree)
+		printResult(res)
+		return
+	}
 	res, err := sess.Exec(query, nil)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
+	printResult(res)
+}
+
+func printResult(res *cypher.Result) {
 	cols := res.Columns()
 	if len(cols) > 0 {
 		fmt.Println(strings.Join(cols, " | "))

@@ -1,0 +1,81 @@
+package cypher
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestWithMemoryBudgetSpillsIdentically opens the same graph with and
+// without a memory budget and requires identical query output — the
+// budget changes where barriers hold rows (disk vs memory), never what
+// they produce.
+func TestWithMemoryBudgetSpillsIdentically(t *testing.T) {
+	db := Open()
+	if _, err := db.Exec(`UNWIND range(0, 300) AS i CREATE (:N{i:i, g:i % 11})`, nil); err != nil {
+		t.Fatal(err)
+	}
+	tiny := db.Snapshot(WithMemoryBudget(1))
+	q := `MATCH (a:N) RETURN a.g AS g, count(*) AS c ORDER BY g DESC`
+	want, err := db.Exec(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tiny.Exec(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Rows(), want.Rows()) {
+		t.Errorf("budgeted result diverges:\n%v\nvs\n%v", got.Rows(), want.Rows())
+	}
+	// EXPLAIN surfaces the effective budget.
+	out, err := tiny.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "budget=1 bytes") {
+		t.Errorf("explain header missing budget:\n%s", out)
+	}
+}
+
+// TestProfileAnnotatesPlan checks DB.Profile executes the statement and
+// returns the counter-annotated plan, and that Session.Profile sees an
+// open transaction's writes.
+func TestProfileAnnotatesPlan(t *testing.T) {
+	db := Open(WithMemoryBudget(1))
+	if _, err := db.Exec(`UNWIND range(0, 50) AS i CREATE (:N{i:i})`, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, planText, err := db.Profile(`MATCH (a:N) RETURN a.i AS i ORDER BY i LIMIT 4`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 4 {
+		t.Fatalf("rows = %d, want 4", res.NumRows())
+	}
+	if !strings.Contains(planText, "rows=") || !strings.Contains(planText, "spill-runs=") {
+		t.Errorf("profile plan lacks counters:\n%s", planText)
+	}
+
+	sess := db.Session()
+	defer sess.Close()
+	if err := sess.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec(`CREATE (:N{i:999})`, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, _, err = sess.Profile(`MATCH (a:N{i:999}) RETURN a.i AS i`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 1 {
+		t.Errorf("profile inside txn saw %d rows, want the uncommitted write", res.NumRows())
+	}
+	if err := sess.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.Profile(`BEGIN`, nil); err == nil {
+		t.Error("profiling BEGIN must be rejected")
+	}
+}

@@ -137,6 +137,16 @@ func WithPlanner(p PlannerMode) Option {
 	return func(o *options) { o.cfg.Planner = p }
 }
 
+// WithMemoryBudget caps the bytes each statement's blocking operators
+// (ORDER BY, aggregation, DISTINCT) may hold in memory. A statement
+// whose barriers exceed the budget spills sorted runs and hash
+// partitions to temporary files and merges them back, trading disk I/O
+// for bounded peak memory; results are identical either way. Zero or
+// negative (the default) means unlimited.
+func WithMemoryBudget(bytes int64) Option {
+	return func(o *options) { o.cfg.MemoryBudget = bytes }
+}
+
 // DB is an embedded graph database. All methods are safe for concurrent
 // use. Statements execute transactionally: updating statements are
 // serialized through a single-writer commit pipeline, while read-only
@@ -258,6 +268,28 @@ func (db *DB) Explain(query string) (string, error) {
 		return "", err
 	}
 	return core.NewSession(db.engine, db.store).Explain(stmt, nil)
+}
+
+// Profile runs a statement on the streaming executor and returns its
+// result together with the operator plan annotated with observed
+// execution counters: per-operator rows and batches, and for barriers
+// the peak accounted memory and spill-run count when a memory budget is
+// in force. Unlike Explain, Profile EXECUTES the statement — updates
+// apply exactly as with Exec.
+func (db *DB) Profile(query string, params map[string]any) (*Result, string, error) {
+	stmt, err := parser.Parse(query)
+	if err != nil {
+		return nil, "", err
+	}
+	vparams, err := convertParams(params)
+	if err != nil {
+		return nil, "", err
+	}
+	res, planText, err := core.NewSession(db.engine, db.store).Profile(stmt, vparams)
+	if err != nil {
+		return nil, "", err
+	}
+	return wrapResult(res), planText, nil
 }
 
 // Parse checks a statement for syntactic and dialect validity without
@@ -557,6 +589,27 @@ func (s *Session) Explain(query string) (string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.cs.Explain(stmt, nil)
+}
+
+// Profile runs a statement in the session (inside the open transaction,
+// if any) and returns its result together with the operator plan
+// annotated with observed execution counters. See DB.Profile.
+func (s *Session) Profile(query string, params map[string]any) (*Result, string, error) {
+	stmt, err := parser.Parse(query)
+	if err != nil {
+		return nil, "", err
+	}
+	vparams, err := convertParams(params)
+	if err != nil {
+		return nil, "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, planText, err := s.cs.Profile(stmt, vparams)
+	if err != nil {
+		return nil, "", err
+	}
+	return wrapResult(res), planText, nil
 }
 
 // Stats summarizes the graph state the session's next statement would

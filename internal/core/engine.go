@@ -122,21 +122,31 @@ type Executor int
 // Executors.
 const (
 	// ExecStreaming (the default) lowers the statement to a tree of
-	// cursor-driven operators (package plan): read-only pipelines
-	// stream row-at-a-time and LIMIT/EXISTS exit early.
+	// cursor-driven operators (package plan) pulled in columnar batches
+	// of up to plan.BatchTarget rows: per-row map allocation and
+	// coroutine switches amortize over a batch, and LIMIT/EXISTS still
+	// exit early (consumers bound how many rows they request).
 	ExecStreaming Executor = iota
 	// ExecMaterializing is the original clause-at-a-time interpreter
 	// that builds every intermediate table in full. It is retained as
 	// the executable specification the streaming executor is tested
 	// against (golden equivalence), and for A/B benchmarking.
 	ExecMaterializing
+	// ExecStreamingRows is the streaming executor pulled row-at-a-time
+	// (the pre-vectorization discipline). Retained as the baseline the
+	// batched path is cross-checked and benchmarked against.
+	ExecStreamingRows
 )
 
 func (e Executor) String() string {
-	if e == ExecMaterializing {
+	switch e {
+	case ExecMaterializing:
 		return "materializing"
+	case ExecStreamingRows:
+		return "streaming-rows"
+	default:
+		return "streaming"
 	}
-	return "streaming"
 }
 
 // PlannerMode selects how MATCH enumeration is planned.
@@ -182,6 +192,12 @@ type Config struct {
 	// left-to-right enumeration. Both executors honour it, so golden
 	// cross-executor comparisons hold in either mode.
 	Planner PlannerMode
+	// MemoryBudget caps, in bytes, the accounted memory the streaming
+	// executors' barriers (ORDER BY, aggregation, DISTINCT) may hold per
+	// statement before spilling to temp files. Zero (the default) means
+	// unlimited: no accounting, no spilling. Results are identical with
+	// and without a budget; only peak memory and speed change.
+	MemoryBudget int64
 
 	// onPlan, when set, receives the root operator of every streaming
 	// statement after execution finishes (tests use it to assert
@@ -314,7 +330,7 @@ func (e *Engine) executeUnion(g *graph.Graph, stmt *ast.Statement, params map[st
 	if stmt.Index != nil {
 		return executeIndexStmt(g, stmt.Index)
 	}
-	if e.cfg.Executor == ExecStreaming {
+	if e.cfg.Executor != ExecMaterializing {
 		return e.executeStreaming(g, stmt, params, t0)
 	}
 	var out *table.Table
@@ -394,7 +410,11 @@ func (e *Engine) executeStreaming(g *graph.Graph, stmt *ast.Statement, params ma
 	if e.cfg.onPlan != nil {
 		defer e.cfg.onPlan(root)
 	}
-	out, err := plan.Collect(root)
+	collect := plan.Collect
+	if e.cfg.Executor == ExecStreamingRows {
+		collect = plan.CollectRows
+	}
+	out, err := collect(root)
 	if err != nil {
 		return nil, err
 	}
@@ -411,6 +431,7 @@ func (x *executor) buildPlan(stmt *ast.Statement, t0 *table.Table) (plan.Operato
 		Write: func(c ast.Clause, in *table.Table) (*table.Table, error) {
 			return x.clause(c, in)
 		},
+		MemoryBudget: x.cfg.MemoryBudget,
 	}
 	return b.BuildStatement(stmt, t0)
 }
@@ -469,6 +490,9 @@ func (e *Engine) explainStatement(g *graph.Graph, stmt *ast.Statement, params ma
 		header = "txn: auto-commit write — writer lock held for the statement; [barrier:writer-lock] operators apply journaled deltas"
 	default:
 		header = "txn: auto-commit read-only — streams from a pinned snapshot, no locks held"
+	}
+	if e.cfg.MemoryBudget > 0 {
+		header += fmt.Sprintf("\nmem: budget=%d bytes per statement — barriers beyond it spill to temp files", e.cfg.MemoryBudget)
 	}
 	return header + "\n" + plan.Explain(root), nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/graph"
+	"repro/internal/plan"
 	"repro/internal/table"
 	"repro/internal/value"
 )
@@ -205,6 +206,45 @@ func (s *Session) Explain(stmt *ast.Statement, params map[string]value.Value) (s
 	snap := s.store.Acquire()
 	defer snap.Release()
 	return s.e.explainStatement(snap.Graph(), stmt, params, false)
+}
+
+// Profile executes the statement on the streaming executor and renders
+// the operator tree annotated with its observed execution counters —
+// per-operator rows and batches, and for barriers the peak accounted
+// memory and spill-run count when a memory budget is in force. Unlike
+// Explain it RUNS the statement: updates apply exactly as in Execute.
+// Transaction control cannot be profiled (it has no operator plan).
+func (s *Session) Profile(stmt *ast.Statement, params map[string]value.Value) (*Result, string, error) {
+	if stmt.TxnControl != ast.TxnNone {
+		return nil, "", fmt.Errorf("PROFILE: %s is transaction control — no operator plan", stmt.TxnControl)
+	}
+	// Run on a temporary engine copy that captures the executed plan
+	// (chaining any existing hook) and never picks the plan-less
+	// materializing executor.
+	var root plan.Operator
+	prof := *s.e
+	prev := prof.cfg.onPlan
+	prof.cfg.onPlan = func(op plan.Operator) {
+		root = op
+		if prev != nil {
+			prev(op)
+		}
+	}
+	if prof.cfg.Executor == ExecMaterializing {
+		prof.cfg.Executor = ExecStreaming
+	}
+	saved := s.e
+	s.e = &prof
+	res, err := s.Execute(stmt, params)
+	s.e = saved
+	if err != nil {
+		return nil, "", err
+	}
+	if root == nil {
+		// Schema statements (CREATE/DROP INDEX) have no operator plan.
+		return res, "(no operator plan)", nil
+	}
+	return res, plan.Explain(root), nil
 }
 
 // Stats summarizes the graph the session's next statement would see:

@@ -15,6 +15,13 @@ type Aggregator interface {
 	Add(v value.Value) error
 	// Result finalizes the aggregate.
 	Result() value.Value
+	// Retains estimates the additional bytes this aggregator would hold
+	// on to if v were Added now. Fixed-state aggregators (count, sum,
+	// avg, stDev, min/max, which keep at most one value) report 0;
+	// collect and DISTINCT report the growth of their buffers. The
+	// executor's memory accounting calls this before Add only when a
+	// memory budget is configured.
+	Retains(v value.Value) int64
 }
 
 // NewAggregator returns an aggregator for the named function.
@@ -64,6 +71,14 @@ func (d *distinctAgg) Add(v value.Value) error {
 
 func (d *distinctAgg) Result() value.Value { return d.inner.Result() }
 
+func (d *distinctAgg) Retains(v value.Value) int64 {
+	k := value.Key(v)
+	if d.seen[k] {
+		return 0
+	}
+	return 48 + int64(len(k)) + d.inner.Retains(v)
+}
+
 type countAgg struct {
 	star bool
 	n    int64
@@ -77,6 +92,8 @@ func (c *countAgg) Add(v value.Value) error {
 }
 
 func (c *countAgg) Result() value.Value { return value.Int(c.n) }
+
+func (c *countAgg) Retains(value.Value) int64 { return 0 }
 
 type sumAgg struct {
 	intSum   int64
@@ -109,6 +126,8 @@ func (s *sumAgg) Result() value.Value {
 	return value.Int(s.intSum)
 }
 
+func (s *sumAgg) Retains(value.Value) int64 { return 0 }
+
 type avgAgg struct {
 	sum sumAgg
 	n   int64
@@ -132,6 +151,8 @@ func (a *avgAgg) Result() value.Value {
 	total, _ := value.AsFloat(a.sum.Result())
 	return value.Float(total / float64(a.n))
 }
+
+func (a *avgAgg) Retains(value.Value) int64 { return 0 }
 
 type minMaxAgg struct {
 	min  bool
@@ -160,6 +181,9 @@ func (m *minMaxAgg) Result() value.Value {
 	return m.best
 }
 
+// Retains reports 0: min/max hold at most one value at a time.
+func (m *minMaxAgg) Retains(value.Value) int64 { return 0 }
+
 type collectAgg struct {
 	vals value.List
 }
@@ -177,6 +201,13 @@ func (c *collectAgg) Result() value.Value {
 		return value.List{}
 	}
 	return c.vals
+}
+
+func (c *collectAgg) Retains(v value.Value) int64 {
+	if value.IsNull(v) {
+		return 0
+	}
+	return value.ApproxSize(v)
 }
 
 // stdevAgg implements Welford's online algorithm.
@@ -215,3 +246,5 @@ func (s *stdevAgg) Result() value.Value {
 	}
 	return value.Float(math.Sqrt(s.m2 / div))
 }
+
+func (s *stdevAgg) Retains(value.Value) int64 { return 0 }

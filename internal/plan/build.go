@@ -25,6 +25,13 @@ type Builder struct {
 	// and returns the clause's output table (the [[C]](G, T) of the
 	// paper, with the graph mutated in place).
 	Write func(c ast.Clause, in *table.Table) (*table.Table, error)
+	// MemoryBudget caps the accounted bytes the statement's barriers
+	// (Sort, Aggregate, Distinct) may hold in memory before spilling to
+	// temp files. Zero or negative means unlimited (no accounting).
+	// One budget is shared across all barriers of the statement.
+	MemoryBudget int64
+
+	bud *budget
 }
 
 // BuildStatement lowers a whole statement: one pipeline per UNION
@@ -32,6 +39,11 @@ type Builder struct {
 // table), a sequential Union on top, and a Distinct when any plain
 // UNION asks for bag deduplication.
 func (b *Builder) BuildStatement(stmt *ast.Statement, t0 *table.Table) (Operator, error) {
+	if b.MemoryBudget > 0 {
+		b.bud = newBudget(b.MemoryBudget)
+	} else {
+		b.bud = nil
+	}
 	members := make([]Operator, 0, len(stmt.Queries))
 	for _, q := range stmt.Queries {
 		var src Operator
@@ -66,7 +78,9 @@ func (b *Builder) BuildStatement(stmt *ast.Statement, t0 *table.Table) (Operator
 		}
 	}
 	if !allAll {
-		root = NewDistinct(root)
+		d := NewDistinct(root)
+		d.budget = b.bud
+		root = d
 	}
 	return root, nil
 }
@@ -182,7 +196,9 @@ func (b *Builder) buildProjection(child Operator, proj *ast.Projection, where as
 
 	var cur Operator
 	if hasAgg {
-		cur = NewAggregate(child, items, cols, b.Ev)
+		agg := NewAggregate(child, items, cols, b.Ev)
+		agg.budget = b.bud
+		cur = agg
 	} else {
 		// ORDER BY over a plain projection may also reference the
 		// pre-projection variables (the projection is row-to-row), so
@@ -192,10 +208,14 @@ func (b *Builder) buildProjection(child Operator, proj *ast.Projection, where as
 		cur = NewProject(child, items, cols, b.Ev, keepSrc)
 	}
 	if proj.Distinct {
-		cur = NewDistinct(cur)
+		d := NewDistinct(cur)
+		d.budget = b.bud
+		cur = d
 	}
 	if len(proj.OrderBy) > 0 {
-		cur = NewSort(cur, proj.OrderBy, b.Ev)
+		s := NewSort(cur, proj.OrderBy, b.Ev)
+		s.budget = b.bud
+		cur = s
 	}
 	if proj.Skip != nil {
 		cur = NewSkip(cur, proj.Skip, b.Ev)

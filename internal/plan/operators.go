@@ -3,7 +3,6 @@ package plan
 import (
 	"fmt"
 	"iter"
-	"sort"
 
 	"repro/internal/ast"
 	"repro/internal/expr"
@@ -21,8 +20,10 @@ var nullValue = value.NullValue
 // Unit emits the single empty record T() that starts query evaluation
 // (Section 8.1 of the paper).
 type Unit struct {
-	done bool
-	rows int64
+	done    bool
+	st      opState
+	rows    int64
+	batches int64
 }
 
 // NewUnit returns the unit source.
@@ -32,7 +33,7 @@ func NewUnit() *Unit { return &Unit{} }
 func (o *Unit) Columns() []string { return nil }
 
 // Open implements Operator.
-func (o *Unit) Open() error { o.done = false; return nil }
+func (o *Unit) Open() error { return o.st.open("Unit") }
 
 // Next implements Operator.
 func (o *Unit) Next() (Row, bool, error) {
@@ -45,10 +46,10 @@ func (o *Unit) Next() (Row, bool, error) {
 }
 
 // Close implements Operator.
-func (o *Unit) Close() {}
+func (o *Unit) Close() { o.st.close() }
 
 // Name implements Operator.
-func (o *Unit) Name() string { return "Unit" }
+func (o *Unit) Name() string { return "Unit" + statsSuffix(o.rows, o.batches) }
 
 // Children implements Operator.
 func (o *Unit) Children() []Operator { return nil }
@@ -60,9 +61,12 @@ func (o *Unit) RowsEmitted() int64 { return o.rows }
 // ExecuteWithTable entry point of the Section 6 experiments, and the
 // output side of every materialization barrier).
 type TableScan struct {
-	t    *table.Table
-	cur  *table.Cursor
-	rows int64
+	t       *table.Table
+	cur     *table.Cursor
+	bpos    int
+	st      opState
+	rows    int64
+	batches int64
 }
 
 // NewTableScan returns a scan over t.
@@ -72,7 +76,13 @@ func NewTableScan(t *table.Table) *TableScan { return &TableScan{t: t} }
 func (o *TableScan) Columns() []string { return o.t.Columns() }
 
 // Open implements Operator.
-func (o *TableScan) Open() error { o.cur = o.t.Iter(); return nil }
+func (o *TableScan) Open() error {
+	if err := o.st.open("Scan"); err != nil {
+		return err
+	}
+	o.cur = o.t.Iter()
+	return nil
+}
 
 // Next implements Operator.
 func (o *TableScan) Next() (Row, bool, error) {
@@ -84,11 +94,11 @@ func (o *TableScan) Next() (Row, bool, error) {
 }
 
 // Close implements Operator.
-func (o *TableScan) Close() {}
+func (o *TableScan) Close() { o.st.close() }
 
 // Name implements Operator.
 func (o *TableScan) Name() string {
-	return fmt.Sprintf("Scan(%d×%d)", o.t.Len(), len(o.t.Columns()))
+	return fmt.Sprintf("Scan(%d×%d)", o.t.Len(), len(o.t.Columns())) + statsSuffix(o.rows, o.batches)
 }
 
 // Children implements Operator.
@@ -119,6 +129,17 @@ type Match struct {
 	curRow  expr.Env
 	emitted int
 	rows    int64
+
+	// Batch-pull state (see NextBatch in batch.go). Each parent commits
+	// to one pull discipline per execution, so row and batch state never
+	// coexist.
+	st      opState
+	batches int64
+	bin     *Batch
+	binIdx  int
+	bcur    *match.Cursor
+	bbuf    []expr.Env
+	bdone   bool
 }
 
 // NewMatch builds a Match operator over child. newVars are the pattern
@@ -178,7 +199,12 @@ func newMatchCursor(m *match.Matcher, ev *expr.Evaluator, cl *ast.MatchClause, e
 func (o *Match) Columns() []string { return o.cols }
 
 // Open implements Operator.
-func (o *Match) Open() error { return o.child.Open() }
+func (o *Match) Open() error {
+	if err := o.st.open("Match"); err != nil {
+		return err
+	}
+	return o.child.Open()
+}
 
 // Next implements Operator.
 func (o *Match) Next() (Row, bool, error) {
@@ -217,9 +243,16 @@ func (o *Match) Next() (Row, bool, error) {
 
 // Close implements Operator.
 func (o *Match) Close() {
+	if !o.st.close() {
+		return
+	}
 	if o.cur != nil {
 		o.cur.stop()
 		o.cur = nil
+	}
+	if o.bcur != nil {
+		o.bcur.Stop()
+		o.bcur = nil
 	}
 	o.child.Close()
 }
@@ -246,7 +279,7 @@ func (o *Match) Name() string {
 	if o.cl.Where != nil {
 		s += " WHERE …"
 	}
-	return s
+	return s + statsSuffix(o.rows, o.batches)
 }
 
 // Children implements Operator.
@@ -289,10 +322,12 @@ type Unwind struct {
 	ev    *expr.Evaluator
 	cols  []string
 
-	curRow expr.Env
-	elems  value.List
-	idx    int
-	rows   int64
+	curRow  expr.Env
+	elems   value.List
+	idx     int
+	st      opState
+	rows    int64
+	batches int64
 }
 
 // NewUnwind builds an Unwind operator over child.
@@ -307,7 +342,12 @@ func NewUnwind(child Operator, cl *ast.UnwindClause, ev *expr.Evaluator) *Unwind
 func (o *Unwind) Columns() []string { return o.cols }
 
 // Open implements Operator.
-func (o *Unwind) Open() error { o.elems, o.idx = nil, 0; return o.child.Open() }
+func (o *Unwind) Open() error {
+	if err := o.st.open("Unwind"); err != nil {
+		return err
+	}
+	return o.child.Open()
+}
 
 // Next implements Operator.
 func (o *Unwind) Next() (Row, bool, error) {
@@ -339,11 +379,16 @@ func (o *Unwind) Next() (Row, bool, error) {
 }
 
 // Close implements Operator.
-func (o *Unwind) Close() { o.child.Close() }
+func (o *Unwind) Close() {
+	if !o.st.close() {
+		return
+	}
+	o.child.Close()
+}
 
 // Name implements Operator.
 func (o *Unwind) Name() string {
-	return fmt.Sprintf("Unwind(%s AS %s)", o.cl.Expr.String(), o.cl.Var)
+	return fmt.Sprintf("Unwind(%s AS %s)", o.cl.Expr.String(), o.cl.Var) + statsSuffix(o.rows, o.batches)
 }
 
 // Children implements Operator.
@@ -363,9 +408,11 @@ type LoadCSV struct {
 	ev    *expr.Evaluator
 	cols  []string
 
-	curRow expr.Env
-	reader *CSVReader
-	rows   int64
+	curRow  expr.Env
+	reader  *CSVReader
+	st      opState
+	rows    int64
+	batches int64
 }
 
 // NewLoadCSV builds a LoadCSV operator over child.
@@ -381,9 +428,8 @@ func (o *LoadCSV) Columns() []string { return o.cols }
 
 // Open implements Operator.
 func (o *LoadCSV) Open() error {
-	if o.reader != nil {
-		o.reader.Close()
-		o.reader = nil
+	if err := o.st.open("LoadCSV"); err != nil {
+		return err
 	}
 	return o.child.Open()
 }
@@ -427,6 +473,9 @@ func (o *LoadCSV) Next() (Row, bool, error) {
 
 // Close implements Operator.
 func (o *LoadCSV) Close() {
+	if !o.st.close() {
+		return
+	}
 	if o.reader != nil {
 		o.reader.Close()
 		o.reader = nil
@@ -436,7 +485,7 @@ func (o *LoadCSV) Close() {
 
 // Name implements Operator.
 func (o *LoadCSV) Name() string {
-	return fmt.Sprintf("LoadCSV(%s AS %s)", o.cl.URL.String(), o.cl.Var)
+	return fmt.Sprintf("LoadCSV(%s AS %s)", o.cl.URL.String(), o.cl.Var) + statsSuffix(o.rows, o.batches)
 }
 
 // Children implements Operator.
@@ -455,7 +504,12 @@ type Filter struct {
 	child Operator
 	pred  ast.Expr
 	ev    *expr.Evaluator
-	rows  int64
+
+	st      opState
+	rows    int64
+	batches int64
+	scratch expr.Env
+	selbuf  []int
 }
 
 // NewFilter builds a Filter over child.
@@ -467,7 +521,12 @@ func NewFilter(child Operator, pred ast.Expr, ev *expr.Evaluator) *Filter {
 func (o *Filter) Columns() []string { return o.child.Columns() }
 
 // Open implements Operator.
-func (o *Filter) Open() error { return o.child.Open() }
+func (o *Filter) Open() error {
+	if err := o.st.open("Filter"); err != nil {
+		return err
+	}
+	return o.child.Open()
+}
 
 // Next implements Operator.
 func (o *Filter) Next() (Row, bool, error) {
@@ -488,10 +547,17 @@ func (o *Filter) Next() (Row, bool, error) {
 }
 
 // Close implements Operator.
-func (o *Filter) Close() { o.child.Close() }
+func (o *Filter) Close() {
+	if !o.st.close() {
+		return
+	}
+	o.child.Close()
+}
 
 // Name implements Operator.
-func (o *Filter) Name() string { return fmt.Sprintf("Filter(%s)", o.pred.String()) }
+func (o *Filter) Name() string {
+	return fmt.Sprintf("Filter(%s)", o.pred.String()) + statsSuffix(o.rows, o.batches)
+}
 
 // Children implements Operator.
 func (o *Filter) Children() []Operator { return []Operator{o.child} }
@@ -516,7 +582,12 @@ type Project struct {
 	cols    []string
 	ev      *expr.Evaluator
 	keepSrc bool
-	rows    int64
+
+	st         opState
+	rows       int64
+	batches    int64
+	scratch    expr.Env
+	outScratch expr.Env
 }
 
 // NewProject builds a Project over child.
@@ -528,7 +599,12 @@ func NewProject(child Operator, items []Item, cols []string, ev *expr.Evaluator,
 func (o *Project) Columns() []string { return o.cols }
 
 // Open implements Operator.
-func (o *Project) Open() error { return o.child.Open() }
+func (o *Project) Open() error {
+	if err := o.st.open("Project"); err != nil {
+		return err
+	}
+	return o.child.Open()
+}
 
 // Next implements Operator.
 func (o *Project) Next() (Row, bool, error) {
@@ -553,10 +629,17 @@ func (o *Project) Next() (Row, bool, error) {
 }
 
 // Close implements Operator.
-func (o *Project) Close() { o.child.Close() }
+func (o *Project) Close() {
+	if !o.st.close() {
+		return
+	}
+	o.child.Close()
+}
 
 // Name implements Operator.
-func (o *Project) Name() string { return "Project" + describeItems(o.items) }
+func (o *Project) Name() string {
+	return "Project" + describeItems(o.items) + statsSuffix(o.rows, o.batches)
+}
 
 // Children implements Operator.
 func (o *Project) Children() []Operator { return []Operator{o.child} }
@@ -574,11 +657,30 @@ func describeItems(items []Item) string {
 
 // Distinct drops duplicate records under value equivalence, keeping
 // first occurrences in order. Unlike Sort it needs no barrier: the
-// first occurrence can be forwarded the moment it arrives.
+// first occurrence can be forwarded the moment it arrives. Its
+// seen-set, however, is barrier-like state: under a memory budget the
+// batch path caps it and spills overflow keys to hash partitions (see
+// distinctNextBatch in spill.go).
 type Distinct struct {
-	child Operator
-	seen  map[string]bool
-	rows  int64
+	child  Operator
+	seen   map[string]bool
+	budget *budget
+	rows   int64
+
+	// Batch-pull state (see spill.go).
+	st       opState
+	batches  int64
+	dcols    []string
+	keybuf   []value.Value
+	selbuf   []int
+	seq      int64
+	drained  bool
+	spilling bool
+	parts    []*spillFile
+	merged   *runMerger
+	held     int64
+	peak     int64
+	spills   int64
 }
 
 // NewDistinct builds a Distinct over child.
@@ -588,7 +690,13 @@ func NewDistinct(child Operator) *Distinct { return &Distinct{child: child} }
 func (o *Distinct) Columns() []string { return o.child.Columns() }
 
 // Open implements Operator.
-func (o *Distinct) Open() error { o.seen = make(map[string]bool); return o.child.Open() }
+func (o *Distinct) Open() error {
+	if err := o.st.open("Distinct"); err != nil {
+		return err
+	}
+	o.seen = make(map[string]bool)
+	return o.child.Open()
+}
 
 // Next implements Operator.
 func (o *Distinct) Next() (Row, bool, error) {
@@ -614,11 +722,30 @@ func (o *Distinct) Next() (Row, bool, error) {
 	}
 }
 
-// Close implements Operator.
-func (o *Distinct) Close() { o.child.Close() }
+// Close implements Operator. It releases any spill state: partition
+// files still on disk (early-LIMIT abandonment, errors) are removed
+// and the accounted budget is returned.
+func (o *Distinct) Close() {
+	if !o.st.close() {
+		return
+	}
+	if o.merged != nil {
+		o.merged.close()
+		o.merged = nil
+	}
+	for _, p := range o.parts {
+		p.discard()
+	}
+	o.parts = nil
+	o.budget.shrink(o.held)
+	o.held = 0
+	o.child.Close()
+}
 
 // Name implements Operator.
-func (o *Distinct) Name() string { return "Distinct" }
+func (o *Distinct) Name() string {
+	return "Distinct" + barrierSuffix(o.rows, o.batches, o.peak, o.spills)
+}
 
 // Children implements Operator.
 func (o *Distinct) Children() []Operator { return []Operator{o.child} }
@@ -626,16 +753,24 @@ func (o *Distinct) Children() []Operator { return []Operator{o.child} }
 // RowsEmitted implements Operator.
 func (o *Distinct) RowsEmitted() int64 { return o.rows }
 
+// PeakBytes reports the peak accounted seen-set memory.
+func (o *Distinct) PeakBytes() int64 { return o.peak }
+
+// SpillRuns reports how many partition files were spilled and replayed.
+func (o *Distinct) SpillRuns() int64 { return o.spills }
+
 // Skip drops the first n records; Limit stops after n. Both evaluate
 // their count expression lazily on first pull (parameters only — the
 // expression has no variables in scope).
 type Skip struct {
-	child Operator
-	expr  ast.Expr
-	ev    *expr.Evaluator
-	n     int
-	ready bool
-	rows  int64
+	child   Operator
+	expr    ast.Expr
+	ev      *expr.Evaluator
+	n       int
+	ready   bool
+	st      opState
+	rows    int64
+	batches int64
 }
 
 // NewSkip builds a Skip over child.
@@ -647,20 +782,36 @@ func NewSkip(child Operator, e ast.Expr, ev *expr.Evaluator) *Skip {
 func (o *Skip) Columns() []string { return o.child.Columns() }
 
 // Open implements Operator.
-func (o *Skip) Open() error { o.ready = false; return o.child.Open() }
+func (o *Skip) Open() error {
+	if err := o.st.open("Skip"); err != nil {
+		return err
+	}
+	return o.child.Open()
+}
+
+// ensure evaluates the count expression once, on first pull.
+func (o *Skip) ensure() error {
+	if o.ready {
+		return nil
+	}
+	v, err := o.ev.Eval(o.expr, expr.Env{})
+	if err != nil {
+		return err
+	}
+	s, ok := value.AsInt(v)
+	if !ok || s < 0 {
+		return fmt.Errorf("SKIP expects a non-negative integer, got %s", v)
+	}
+	o.n, o.ready = int(s), true
+	return nil
+}
 
 // Next implements Operator.
 func (o *Skip) Next() (Row, bool, error) {
 	if !o.ready {
-		v, err := o.ev.Eval(o.expr, expr.Env{})
-		if err != nil {
+		if err := o.ensure(); err != nil {
 			return Row{}, false, err
 		}
-		s, ok := value.AsInt(v)
-		if !ok || s < 0 {
-			return Row{}, false, fmt.Errorf("SKIP expects a non-negative integer, got %s", v)
-		}
-		o.n, o.ready = int(s), true
 		for i := 0; i < o.n; i++ {
 			if _, ok, err := o.child.Next(); err != nil || !ok {
 				return Row{}, false, err
@@ -675,10 +826,17 @@ func (o *Skip) Next() (Row, bool, error) {
 }
 
 // Close implements Operator.
-func (o *Skip) Close() { o.child.Close() }
+func (o *Skip) Close() {
+	if !o.st.close() {
+		return
+	}
+	o.child.Close()
+}
 
 // Name implements Operator.
-func (o *Skip) Name() string { return fmt.Sprintf("Skip(%s)", o.expr.String()) }
+func (o *Skip) Name() string {
+	return fmt.Sprintf("Skip(%s)", o.expr.String()) + statsSuffix(o.rows, o.batches)
+}
 
 // Children implements Operator.
 func (o *Skip) Children() []Operator { return []Operator{o.child} }
@@ -690,12 +848,14 @@ func (o *Skip) RowsEmitted() int64 { return o.rows }
 // pulling its child again — the early exit that prunes upstream
 // enumeration.
 type Limit struct {
-	child Operator
-	expr  ast.Expr
-	ev    *expr.Evaluator
-	n     int
-	ready bool
-	rows  int64
+	child   Operator
+	expr    ast.Expr
+	ev      *expr.Evaluator
+	n       int
+	ready   bool
+	st      opState
+	rows    int64
+	batches int64
 }
 
 // NewLimit builds a Limit over child.
@@ -707,20 +867,34 @@ func NewLimit(child Operator, e ast.Expr, ev *expr.Evaluator) *Limit {
 func (o *Limit) Columns() []string { return o.child.Columns() }
 
 // Open implements Operator.
-func (o *Limit) Open() error { o.ready = false; o.rows = 0; return o.child.Open() }
+func (o *Limit) Open() error {
+	if err := o.st.open("Limit"); err != nil {
+		return err
+	}
+	return o.child.Open()
+}
+
+// ensure evaluates the count expression once, on first pull.
+func (o *Limit) ensure() error {
+	if o.ready {
+		return nil
+	}
+	v, err := o.ev.Eval(o.expr, expr.Env{})
+	if err != nil {
+		return err
+	}
+	l, ok := value.AsInt(v)
+	if !ok || l < 0 {
+		return fmt.Errorf("LIMIT expects a non-negative integer, got %s", v)
+	}
+	o.n, o.ready = int(l), true
+	return nil
+}
 
 // Next implements Operator.
 func (o *Limit) Next() (Row, bool, error) {
-	if !o.ready {
-		v, err := o.ev.Eval(o.expr, expr.Env{})
-		if err != nil {
-			return Row{}, false, err
-		}
-		l, ok := value.AsInt(v)
-		if !ok || l < 0 {
-			return Row{}, false, fmt.Errorf("LIMIT expects a non-negative integer, got %s", v)
-		}
-		o.n, o.ready = int(l), true
+	if err := o.ensure(); err != nil {
+		return Row{}, false, err
 	}
 	if o.rows >= int64(o.n) {
 		return Row{}, false, nil
@@ -733,10 +907,17 @@ func (o *Limit) Next() (Row, bool, error) {
 }
 
 // Close implements Operator.
-func (o *Limit) Close() { o.child.Close() }
+func (o *Limit) Close() {
+	if !o.st.close() {
+		return
+	}
+	o.child.Close()
+}
 
 // Name implements Operator.
-func (o *Limit) Name() string { return fmt.Sprintf("Limit(%s)", o.expr.String()) }
+func (o *Limit) Name() string {
+	return fmt.Sprintf("Limit(%s)", o.expr.String()) + statsSuffix(o.rows, o.batches)
+}
 
 // Children implements Operator.
 func (o *Limit) Children() []Operator { return []Operator{o.child} }
@@ -748,19 +929,31 @@ func (o *Limit) RowsEmitted() int64 { return o.rows }
 // Barriers: Sort, Aggregate, Apply, Discard
 // ---------------------------------------------------------------------
 
-// Sort is a materialization barrier implementing ORDER BY: it drains
-// its child, sorts stably by the key expressions, and replays. Keys may
-// reference pre-projection variables when the rows carry their source
-// environments (see Project.keepSrc).
+// Sort is a materialization barrier implementing ORDER BY as an
+// external sort: rows accumulate in memory (keys computed at intake,
+// which may reference pre-projection variables when rows carry their
+// source environments — see Project.keepSrc); under a memory budget,
+// full runs are sorted and spilled to temp files and replay is a k-way
+// merge. A unique intake sequence number breaks ties, reproducing the
+// stable in-memory order exactly. See fill/next1 in spill.go.
 type Sort struct {
-	child Operator
-	sorts []*ast.SortItem
-	ev    *expr.Evaluator
+	child  Operator
+	sorts  []*ast.SortItem
+	ev     *expr.Evaluator
+	budget *budget
 
-	out  []Row
-	idx  int
-	done bool
-	rows int64
+	st      opState
+	filled  bool
+	ocols   []string
+	mem     []spillRow
+	memIdx  int
+	runs    []*spillFile
+	merged  *runMerger
+	rows    int64
+	batches int64
+	held    int64
+	peak    int64
+	spills  int64
 }
 
 // NewSort builds a Sort barrier over child.
@@ -772,81 +965,49 @@ func NewSort(child Operator, sorts []*ast.SortItem, ev *expr.Evaluator) *Sort {
 func (o *Sort) Columns() []string { return o.child.Columns() }
 
 // Open implements Operator.
-func (o *Sort) Open() error { o.out, o.idx, o.done = nil, 0, false; return o.child.Open() }
-
-func (o *Sort) fill() error {
-	var rows []Row
-	for {
-		in, ok, err := o.child.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
-		rows = append(rows, in)
+func (o *Sort) Open() error {
+	if err := o.st.open("Sort"); err != nil {
+		return err
 	}
-	keys := make([][]value.Value, len(rows))
-	for i, r := range rows {
-		env := expr.Env{}
-		for k, v := range r.Src {
-			env[k] = v
-		}
-		for k, v := range r.Env {
-			env[k] = v
-		}
-		keys[i] = make([]value.Value, len(o.sorts))
-		for s, item := range o.sorts {
-			v, err := o.ev.Eval(item.Expr, env)
-			if err != nil {
-				return err
-			}
-			keys[i][s] = v
-		}
-	}
-	idx := make([]int, len(rows))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		for s, item := range o.sorts {
-			c := value.CompareOrder(keys[idx[a]][s], keys[idx[b]][s])
-			if item.Desc {
-				c = -c
-			}
-			if c != 0 {
-				return c < 0
-			}
-		}
-		return false
-	})
-	o.out = make([]Row, len(rows))
-	for i, p := range idx {
-		// The source environments have served their purpose.
-		o.out[i] = Row{Env: rows[p].Env}
-	}
-	return nil
+	return o.child.Open()
 }
 
 // Next implements Operator.
 func (o *Sort) Next() (Row, bool, error) {
-	if !o.done {
+	if !o.filled {
 		if err := o.fill(); err != nil {
 			return Row{}, false, err
 		}
-		o.done = true
+		o.filled = true
 	}
-	if o.idx >= len(o.out) {
-		return Row{}, false, nil
+	r, ok, err := o.next1()
+	if err != nil || !ok {
+		return Row{}, false, err
 	}
-	row := o.out[o.idx]
-	o.idx++
 	o.rows++
-	return row, true, nil
+	return Row{Env: envFromVals(o.ocols, r.vals)}, true, nil
 }
 
-// Close implements Operator.
-func (o *Sort) Close() { o.child.Close() }
+// Close implements Operator. It releases the sort's state: any run
+// files still on disk (early-LIMIT abandonment, errors) are removed
+// and the accounted budget is returned.
+func (o *Sort) Close() {
+	if !o.st.close() {
+		return
+	}
+	if o.merged != nil {
+		o.merged.close()
+		o.merged = nil
+	}
+	for _, f := range o.runs {
+		f.discard()
+	}
+	o.runs = nil
+	o.mem = nil
+	o.budget.shrink(o.held)
+	o.held = 0
+	o.child.Close()
+}
 
 // Name implements Operator.
 func (o *Sort) Name() string {
@@ -858,7 +1019,7 @@ func (o *Sort) Name() string {
 		}
 		parts = append(parts, p)
 	}
-	return fmt.Sprintf("Sort[barrier](%s)", joinTrunc(parts, 50))
+	return fmt.Sprintf("Sort[barrier](%s)", joinTrunc(parts, 50)) + barrierSuffix(o.rows, o.batches, o.peak, o.spills)
 }
 
 // Children implements Operator.
@@ -867,21 +1028,36 @@ func (o *Sort) Children() []Operator { return []Operator{o.child} }
 // RowsEmitted implements Operator.
 func (o *Sort) RowsEmitted() int64 { return o.rows }
 
+// PeakBytes reports the peak accounted intake memory.
+func (o *Sort) PeakBytes() int64 { return o.peak }
+
+// SpillRuns reports how many sorted runs were spilled to disk.
+func (o *Sort) SpillRuns() int64 { return o.spills }
+
 // Aggregate is a materialization barrier implementing grouped
 // projection: records group by the non-aggregating items, aggregates
 // accumulate per group, and one row per group is emitted in
 // first-appearance order. Zero input records with no grouping keys
 // produce the single global group (count(*) = 0).
 type Aggregate struct {
-	child Operator
-	items []Item
-	cols  []string
-	ev    *expr.Evaluator
+	child  Operator
+	items  []Item
+	cols   []string
+	ev     *expr.Evaluator
+	budget *budget
 
 	out  []expr.Env
 	idx  int
 	done bool
-	rows int64
+
+	st       opState
+	rows     int64
+	batches  int64
+	spilling bool
+	parts    []*spillFile
+	held     int64
+	peak     int64
+	spills   int64
 }
 
 // NewAggregate builds an Aggregate barrier over child.
@@ -893,121 +1069,14 @@ func NewAggregate(child Operator, items []Item, cols []string, ev *expr.Evaluato
 func (o *Aggregate) Columns() []string { return o.cols }
 
 // Open implements Operator.
-func (o *Aggregate) Open() error { o.out, o.idx, o.done = nil, 0, false; return o.child.Open() }
-
-func (o *Aggregate) fill() error {
-	var keyItems []int
-	var aggCalls []*ast.FuncCall
-	for idx, it := range o.items {
-		if !ast.ContainsAggregate(it.Expr) {
-			keyItems = append(keyItems, idx)
-		}
-		ast.Walk(it.Expr, func(e ast.Expr) bool {
-			if f, ok := e.(*ast.FuncCall); ok && ast.AggregateFuncs[f.Name] {
-				aggCalls = append(aggCalls, f)
-				return false // aggregates cannot nest
-			}
-			return true
-		})
+func (o *Aggregate) Open() error {
+	if err := o.st.open("Aggregate"); err != nil {
+		return err
 	}
-
-	type group struct {
-		rep  expr.Env
-		aggs []expr.Aggregator
-	}
-	newGroup := func(rep expr.Env) (*group, error) {
-		grp := &group{rep: rep}
-		for _, f := range aggCalls {
-			agg, err := expr.NewAggregator(f.Name, f.Distinct, f.Star)
-			if err != nil {
-				return nil, err
-			}
-			grp.aggs = append(grp.aggs, agg)
-		}
-		return grp, nil
-	}
-	groups := make(map[string]*group)
-	var order []string
-
-	n := 0
-	for {
-		in, ok, err := o.child.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
-		n++
-		env := in.Env
-		keyVals := make([]value.Value, len(keyItems))
-		for k, ki := range keyItems {
-			v, err := o.ev.Eval(o.items[ki].Expr, env)
-			if err != nil {
-				return err
-			}
-			keyVals[k] = v
-		}
-		key := value.KeyList(keyVals)
-		grp, ok2 := groups[key]
-		if !ok2 {
-			var err error
-			grp, err = newGroup(env)
-			if err != nil {
-				return err
-			}
-			groups[key] = grp
-			order = append(order, key)
-		}
-		for ai, f := range aggCalls {
-			var v value.Value = nullValue
-			if !f.Star {
-				if len(f.Args) != 1 {
-					return fmt.Errorf("%s() expects 1 argument", f.Name)
-				}
-				var err error
-				v, err = o.ev.Eval(f.Args[0], env)
-				if err != nil {
-					return err
-				}
-			}
-			if err := grp.aggs[ai].Add(v); err != nil {
-				return err
-			}
-		}
-	}
-
-	// Zero input rows with no grouping keys: a single global group.
-	if n == 0 && len(keyItems) == 0 {
-		grp, err := newGroup(expr.Env{})
-		if err != nil {
-			return err
-		}
-		groups["_"] = grp
-		order = append(order, "_")
-	}
-
-	for _, key := range order {
-		grp := groups[key]
-		aggResults := make(map[ast.Expr]value.Value, len(aggCalls))
-		for ai, f := range aggCalls {
-			aggResults[f] = grp.aggs[ai].Result()
-		}
-		o.ev.AggResults = aggResults
-		out := make(expr.Env, len(o.items))
-		for _, it := range o.items {
-			v, err := o.ev.Eval(it.Expr, grp.rep)
-			if err != nil {
-				o.ev.AggResults = nil
-				return err
-			}
-			out[it.Alias] = v
-		}
-		o.ev.AggResults = nil
-		o.out = append(o.out, normalize(o.cols, out))
-	}
-	return nil
+	return o.child.Open()
 }
+
+// fill (the spilling hash aggregation) lives in spill.go.
 
 // Next implements Operator.
 func (o *Aggregate) Next() (Row, bool, error) {
@@ -1026,17 +1095,38 @@ func (o *Aggregate) Next() (Row, bool, error) {
 	return Row{Env: env}, true, nil
 }
 
-// Close implements Operator.
-func (o *Aggregate) Close() { o.child.Close() }
+// Close implements Operator. It releases any spill state: partition
+// files still on disk (early-LIMIT abandonment, errors) are removed
+// and the accounted budget is returned.
+func (o *Aggregate) Close() {
+	if !o.st.close() {
+		return
+	}
+	for _, p := range o.parts {
+		p.discard()
+	}
+	o.parts = nil
+	o.budget.shrink(o.held)
+	o.held = 0
+	o.child.Close()
+}
 
 // Name implements Operator.
-func (o *Aggregate) Name() string { return "Aggregate[barrier]" + describeItems(o.items) }
+func (o *Aggregate) Name() string {
+	return "Aggregate[barrier]" + describeItems(o.items) + barrierSuffix(o.rows, o.batches, o.peak, o.spills)
+}
 
 // Children implements Operator.
 func (o *Aggregate) Children() []Operator { return []Operator{o.child} }
 
 // RowsEmitted implements Operator.
 func (o *Aggregate) RowsEmitted() int64 { return o.rows }
+
+// PeakBytes reports the peak accounted group-state memory.
+func (o *Aggregate) PeakBytes() int64 { return o.peak }
+
+// SpillRuns reports how many hash partitions were spilled and replayed.
+func (o *Aggregate) SpillRuns() int64 { return o.spills }
 
 // Apply is the update barrier: it materializes its child into a driving
 // table (in stream order — exactly the table the materializing executor
@@ -1051,9 +1141,13 @@ type Apply struct {
 	cols  []string
 	fn    func(*table.Table) (*table.Table, error)
 
-	cur  *table.Cursor
-	done bool
-	rows int64
+	cur     *table.Cursor
+	out     *table.Table
+	outIdx  int
+	done    bool
+	st      opState
+	rows    int64
+	batches int64
 }
 
 // NewApply builds an update barrier over child. cols is the planner's
@@ -1066,19 +1160,28 @@ func NewApply(child Operator, label string, cols []string, fn func(*table.Table)
 func (o *Apply) Columns() []string { return o.cols }
 
 // Open implements Operator.
-func (o *Apply) Open() error { o.cur, o.done = nil, false; return o.child.Open() }
+func (o *Apply) Open() error {
+	if err := o.st.open("Update"); err != nil {
+		return err
+	}
+	return o.child.Open()
+}
 
+// fill materializes the child batch-at-a-time (one row-slice
+// allocation per record, no per-record map) and applies the update
+// function. Stream order is preserved — exactly the table the
+// materializing executor would hand the clause.
 func (o *Apply) fill() error {
 	in := table.New(o.child.Columns()...)
 	for {
-		row, ok, err := o.child.Next()
+		b, ok, err := o.child.NextBatch(BatchTarget)
 		if err != nil {
 			return err
 		}
 		if !ok {
 			break
 		}
-		in.AppendMap(row.Env)
+		in.AppendColumns(b.vals, b.n)
 	}
 	out, err := o.fn(in)
 	if err != nil {
@@ -1093,6 +1196,7 @@ func (o *Apply) fill() error {
 			return internalErrorf("%s produced columns %v, planner predicted %v", o.label, got, o.cols)
 		}
 	}
+	o.out = out
 	o.cur = out.Iter()
 	return nil
 }
@@ -1113,10 +1217,17 @@ func (o *Apply) Next() (Row, bool, error) {
 }
 
 // Close implements Operator.
-func (o *Apply) Close() { o.child.Close() }
+func (o *Apply) Close() {
+	if !o.st.close() {
+		return
+	}
+	o.child.Close()
+}
 
 // Name implements Operator.
-func (o *Apply) Name() string { return fmt.Sprintf("Update[barrier:writer-lock](%s)", o.label) }
+func (o *Apply) Name() string {
+	return fmt.Sprintf("Update[barrier:writer-lock](%s)", o.label) + statsSuffix(o.rows, o.batches)
+}
 
 // Children implements Operator.
 func (o *Apply) Children() []Operator { return []Operator{o.child} }
@@ -1127,8 +1238,10 @@ func (o *Apply) RowsEmitted() int64 { return o.rows }
 // Discard drains its child for effects and emits nothing: the plan of a
 // query without RETURN, which outputs the empty zero-column table.
 type Discard struct {
-	child Operator
-	done  bool
+	child   Operator
+	done    bool
+	st      opState
+	batches int64
 }
 
 // NewDiscard builds a Discard over child.
@@ -1138,7 +1251,12 @@ func NewDiscard(child Operator) *Discard { return &Discard{child: child} }
 func (o *Discard) Columns() []string { return nil }
 
 // Open implements Operator.
-func (o *Discard) Open() error { o.done = false; return o.child.Open() }
+func (o *Discard) Open() error {
+	if err := o.st.open("Discard"); err != nil {
+		return err
+	}
+	return o.child.Open()
+}
 
 // Next implements Operator.
 func (o *Discard) Next() (Row, bool, error) {
@@ -1158,10 +1276,15 @@ func (o *Discard) Next() (Row, bool, error) {
 }
 
 // Close implements Operator.
-func (o *Discard) Close() { o.child.Close() }
+func (o *Discard) Close() {
+	if !o.st.close() {
+		return
+	}
+	o.child.Close()
+}
 
 // Name implements Operator.
-func (o *Discard) Name() string { return "Discard" }
+func (o *Discard) Name() string { return "Discard" + statsSuffix(0, o.batches) }
 
 // Children implements Operator.
 func (o *Discard) Children() []Operator { return []Operator{o.child} }
@@ -1180,7 +1303,9 @@ func (o *Discard) RowsEmitted() int64 { return 0 }
 type Union struct {
 	children []Operator
 	idx      int
+	st       opState
 	rows     int64
+	batches  int64
 }
 
 // NewUnion builds a Union. Members must agree on columns (checked by
@@ -1192,7 +1317,9 @@ func (o *Union) Columns() []string { return o.children[0].Columns() }
 
 // Open implements Operator.
 func (o *Union) Open() error {
-	o.idx = 0
+	if err := o.st.open("Union"); err != nil {
+		return err
+	}
 	for _, c := range o.children {
 		if err := c.Open(); err != nil {
 			return err
@@ -1219,13 +1346,18 @@ func (o *Union) Next() (Row, bool, error) {
 
 // Close implements Operator.
 func (o *Union) Close() {
+	if !o.st.close() {
+		return
+	}
 	for _, c := range o.children {
 		c.Close()
 	}
 }
 
 // Name implements Operator.
-func (o *Union) Name() string { return fmt.Sprintf("Union(%d members)", len(o.children)) }
+func (o *Union) Name() string {
+	return fmt.Sprintf("Union(%d members)", len(o.children)) + statsSuffix(o.rows, o.batches)
+}
 
 // Children implements Operator.
 func (o *Union) Children() []Operator { return o.children }

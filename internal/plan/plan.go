@@ -27,6 +27,23 @@
 // preserves its input order and the pull discipline reproduces the
 // nested-loop order of the materializing executor, so the paper's
 // record-order reproductions (ScanOrder, Example 3) are unaffected.
+//
+// Operators support two pull disciplines: Next (one record at a time)
+// and NextBatch (columnar batches of up to a requested row count, see
+// Batch in batch.go). Both produce identical row sequences; batches
+// amortize per-row overhead (map allocation, coroutine switches) and
+// are the default executor path. A parent commits to exactly one
+// discipline per child for a whole execution — the disciplines share
+// underlying state (match cursors, barrier fills) and must not be
+// mixed on the same edge.
+//
+// Barriers account the bytes they hold against an optional per-
+// statement memory budget (see Builder.MemoryBudget): when over
+// budget, Sort spills sorted runs to temp files and merges them back,
+// and Aggregate/Distinct cap their hash state and spill overflow keys
+// to hash partitions processed one at a time. Results — including row
+// order and DISTINCT's first-occurrence choice — are identical with
+// and without spilling; only peak memory changes.
 package plan
 
 import (
@@ -60,6 +77,11 @@ type Operator interface {
 	Open() error
 	// Next returns the next record. ok=false means end of stream.
 	Next() (row Row, ok bool, err error)
+	// NextBatch returns the next batch of 1..max records; ok=false means
+	// end of stream (an empty batch is never returned with ok=true).
+	// Row sequence is identical to Next's. A parent must use either
+	// Next or NextBatch for a given child, never both.
+	NextBatch(max int) (b *Batch, ok bool, err error)
 	// Close releases resources, cascading to children. Idempotent.
 	Close()
 	// Name is a one-line description for EXPLAIN output.
@@ -73,7 +95,31 @@ type Operator interface {
 
 // Collect executes a plan to completion, materializing its output into
 // a table (the engine's statement boundary). Close is always called.
+// It pulls columnar batches and appends them without per-row map
+// allocation; CollectRows is the row-at-a-time equivalent.
 func Collect(root Operator) (*table.Table, error) {
+	defer root.Close()
+	if err := root.Open(); err != nil {
+		return nil, err
+	}
+	out := table.New(root.Columns()...)
+	for {
+		b, ok, err := root.NextBatch(BatchTarget)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out.AppendColumns(b.vals, b.n)
+	}
+}
+
+// CollectRows executes a plan to completion using the row-at-a-time
+// pull discipline. Semantically identical to Collect; kept as the
+// baseline the vectorized path is benchmarked and cross-checked
+// against (core.ExecStreamingRows).
+func CollectRows(root Operator) (*table.Table, error) {
 	defer root.Close()
 	if err := root.Open(); err != nil {
 		return nil, err

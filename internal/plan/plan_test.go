@@ -33,6 +33,9 @@ func (o *countingScan) Next() (Row, bool, error) {
 	o.rows++
 	return Row{Env: env}, true, nil
 }
+func (o *countingScan) NextBatch(max int) (*Batch, bool, error) {
+	return nextBatchFromRows(o, max)
+}
 func (o *countingScan) Close()               {}
 func (o *countingScan) Name() string         { return "CountingScan" }
 func (o *countingScan) Children() []Operator { return nil }

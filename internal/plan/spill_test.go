@@ -1,0 +1,412 @@
+package plan
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/expr"
+	"repro/internal/table"
+	"repro/internal/value"
+)
+
+// ---------------------------------------------------------------------
+// Operator lifecycle (single-use contract)
+// ---------------------------------------------------------------------
+
+func TestOperatorDoubleOpenErrors(t *testing.T) {
+	o := NewTableScan(table.New("x"))
+	if err := o.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Open(); err == nil || !strings.Contains(err.Error(), "single-use") {
+		t.Fatalf("second Open = %v, want single-use error", err)
+	}
+	o.Close()
+}
+
+func TestOperatorOpenAfterCloseErrors(t *testing.T) {
+	o := NewTableScan(table.New("x"))
+	if err := o.Open(); err != nil {
+		t.Fatal(err)
+	}
+	o.Close()
+	if err := o.Open(); err == nil || !strings.Contains(err.Error(), "single-use") {
+		t.Fatalf("Open after Close = %v, want single-use error", err)
+	}
+}
+
+func TestOperatorCloseIdempotentAndBeforeOpen(t *testing.T) {
+	// Close before Open must be a no-op (EXPLAIN closes plans it never
+	// opened), and double Close must not panic or double-release.
+	tbl := table.New("x")
+	tbl.AppendRow(value.Int(1))
+	o := NewDistinct(NewTableScan(tbl))
+	o.Close()
+	o.Close()
+	// A fresh operator still works after the above pattern on another.
+	o2 := NewDistinct(NewTableScan(tbl))
+	out, err := Collect(o2)
+	if err != nil || out.Len() != 1 {
+		t.Fatalf("Collect = (%v rows, %v)", out.Len(), err)
+	}
+	o2.Close() // Collect already closed it; must stay idempotent.
+}
+
+// errAfter yields n good rows, then fails. It drives the
+// cleanup-on-error paths of the spilling barriers.
+type errAfter struct {
+	n, i int
+	st   opState
+}
+
+func (o *errAfter) Columns() []string { return []string{"x"} }
+func (o *errAfter) Open() error       { return o.st.open("ErrAfter") }
+func (o *errAfter) Next() (Row, bool, error) {
+	if o.i >= o.n {
+		return Row{}, false, fmt.Errorf("synthetic source failure")
+	}
+	o.i++
+	return Row{Env: expr.Env{"x": value.Int(int64(o.i))}}, true, nil
+}
+func (o *errAfter) NextBatch(max int) (*Batch, bool, error) {
+	return nextBatchFromRows(o, max)
+}
+func (o *errAfter) Close()               { o.st.close() }
+func (o *errAfter) Name() string         { return "ErrAfter" }
+func (o *errAfter) Children() []Operator { return nil }
+func (o *errAfter) RowsEmitted() int64   { return int64(o.i) }
+
+func TestOperatorOpenAfterErrorErrors(t *testing.T) {
+	// A child error does not reset the consumer: re-opening after a
+	// failed execution must be refused, not silently half-work.
+	ev := &expr.Evaluator{}
+	s := NewSort(&errAfter{n: 3}, []*ast.SortItem{{Expr: &ast.Variable{Name: "x"}}}, ev)
+	if _, err := Collect(s); err == nil || !strings.Contains(err.Error(), "synthetic source failure") {
+		t.Fatalf("Collect err = %v, want synthetic source failure", err)
+	}
+	if err := s.Open(); err == nil || !strings.Contains(err.Error(), "single-use") {
+		t.Fatalf("Open after failed run = %v, want single-use error", err)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Spill codec
+// ---------------------------------------------------------------------
+
+func TestSpillCodecRoundTripsAllKinds(t *testing.T) {
+	vals := []value.Value{
+		value.NullValue,
+		value.Bool(true),
+		value.Bool(false),
+		value.Int(-9_000_000_000),
+		value.Int(0),
+		value.Float(3.5),
+		value.Float(math.NaN()),
+		value.Float(math.Inf(-1)),
+		value.String(""),
+		value.String("héllo\x00world"),
+		value.Node{ID: 42},
+		value.Rel{ID: 7},
+		value.Path{Nodes: []int64{1, 2, 3}, Rels: []int64{10, 11}},
+		value.List{value.Int(1), value.List{value.String("nested")}, value.NullValue},
+		value.Map{"a": value.Int(1), "b": value.Map{"c": value.Float(math.NaN())}},
+	}
+	row := spillRow{seq: 123, key: "k\x00ey", keys: vals[:3], vals: vals}
+
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := writeSpillRow(w, row); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readSpillRow(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.seq != row.seq || got.key != row.key {
+		t.Fatalf("seq/key = %d/%q, want %d/%q", got.seq, got.key, row.seq, row.key)
+	}
+	if len(got.keys) != len(row.keys) || len(got.vals) != len(row.vals) {
+		t.Fatalf("lengths = %d/%d, want %d/%d", len(got.keys), len(got.vals), len(row.keys), len(row.vals))
+	}
+	for i, want := range vals {
+		if !sameValue(got.vals[i], want) {
+			t.Errorf("vals[%d] = %#v, want %#v", i, got.vals[i], want)
+		}
+	}
+}
+
+// sameValue compares values treating NaN as equal to itself (the codec
+// must round-trip NaN by bit pattern, which == cannot check).
+func sameValue(a, b value.Value) bool {
+	if fa, ok := a.(value.Float); ok {
+		fb, ok := b.(value.Float)
+		return ok && math.Float64bits(float64(fa)) == math.Float64bits(float64(fb))
+	}
+	switch xa := a.(type) {
+	case value.List:
+		xb, ok := b.(value.List)
+		if !ok || len(xa) != len(xb) {
+			return false
+		}
+		for i := range xa {
+			if !sameValue(xa[i], xb[i]) {
+				return false
+			}
+		}
+		return true
+	case value.Map:
+		xb, ok := b.(value.Map)
+		if !ok || len(xa) != len(xb) {
+			return false
+		}
+		for k, va := range xa {
+			vb, ok := xb[k]
+			if !ok || !sameValue(va, vb) {
+				return false
+			}
+		}
+		return true
+	case value.Path:
+		xb, ok := b.(value.Path)
+		if !ok || len(xa.Nodes) != len(xb.Nodes) || len(xa.Rels) != len(xb.Rels) {
+			return false
+		}
+		for i := range xa.Nodes {
+			if xa.Nodes[i] != xb.Nodes[i] {
+				return false
+			}
+		}
+		for i := range xa.Rels {
+			if xa.Rels[i] != xb.Rels[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return a == b
+}
+
+// ---------------------------------------------------------------------
+// Forced-spill equivalence: barriers under a tiny budget must produce
+// byte-identical output to the unlimited in-memory path.
+// ---------------------------------------------------------------------
+
+// sortInput builds a table with repeated keys (x) and a unique payload
+// (y), so tie order is observable.
+func sortInput(n int) *table.Table {
+	tbl := table.New("x", "y")
+	for i := 0; i < n; i++ {
+		tbl.AppendRow(value.Int(int64((n-i)%17)), value.Int(int64(i)))
+	}
+	return tbl
+}
+
+func collectSorted(t *testing.T, n int, bud *budget) (*table.Table, *Sort) {
+	t.Helper()
+	ev := &expr.Evaluator{}
+	s := NewSort(NewTableScan(sortInput(n)),
+		[]*ast.SortItem{{Expr: &ast.Variable{Name: "x"}}}, ev)
+	s.budget = bud
+	out, err := Collect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, s
+}
+
+func TestExternalSortMatchesInMemoryAndKeepsTieOrder(t *testing.T) {
+	const n = 500
+	want, s0 := collectSorted(t, n, nil)
+	if s0.SpillRuns() != 0 {
+		t.Fatalf("unlimited sort spilled %d runs", s0.SpillRuns())
+	}
+	got, s1 := collectSorted(t, n, newBudget(1))
+	if s1.SpillRuns() == 0 {
+		t.Fatal("budget=1 sort did not spill")
+	}
+	if live := SpillFilesLive(); live != 0 {
+		t.Fatalf("%d spill files still live after Collect", live)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("rows = %d, want %d", got.Len(), want.Len())
+	}
+	for i := 0; i < want.Len(); i++ {
+		if got.Get(i, "x") != want.Get(i, "x") || got.Get(i, "y") != want.Get(i, "y") {
+			t.Fatalf("row %d = (%v,%v), want (%v,%v)", i,
+				got.Get(i, "x"), got.Get(i, "y"), want.Get(i, "x"), want.Get(i, "y"))
+		}
+	}
+	// Stability spot check: within equal keys, payloads keep input order.
+	for i := 1; i < got.Len(); i++ {
+		if got.Get(i, "x") == got.Get(i-1, "x") && got.Get(i, "y").(value.Int) < got.Get(i-1, "y").(value.Int) {
+			t.Fatalf("tie order violated at row %d", i)
+		}
+	}
+}
+
+func TestSpillingDistinctKeepsFirstOccurrenceOrder(t *testing.T) {
+	tbl := table.New("x")
+	const n = 600
+	for i := 0; i < n; i++ {
+		tbl.AppendRow(value.Int(int64((i * 7) % 97)))
+	}
+	want, err := Collect(NewDistinct(NewTableScan(tbl)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDistinct(NewTableScan(tbl))
+	d.budget = newBudget(1)
+	got, err := Collect(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SpillRuns() == 0 {
+		t.Fatal("budget=1 distinct did not spill")
+	}
+	if live := SpillFilesLive(); live != 0 {
+		t.Fatalf("%d spill files still live after Collect", live)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("rows = %d, want %d", got.Len(), want.Len())
+	}
+	for i := 0; i < want.Len(); i++ {
+		if got.Get(i, "x") != want.Get(i, "x") {
+			t.Fatalf("row %d = %v, want %v (first-occurrence order)", i, got.Get(i, "x"), want.Get(i, "x"))
+		}
+	}
+}
+
+func TestSpillingAggregateMatchesInMemory(t *testing.T) {
+	tbl := table.New("x")
+	const n = 800
+	for i := 0; i < n; i++ {
+		tbl.AppendRow(value.Int(int64(i % 131)))
+	}
+	ev := &expr.Evaluator{}
+	items := []Item{
+		{Expr: &ast.Variable{Name: "x"}, Alias: "x"},
+		{Expr: &ast.FuncCall{Name: "count", Star: true}, Alias: "n"},
+	}
+	cols := []string{"x", "n"}
+	want, err := Collect(NewAggregate(NewTableScan(tbl.Clone()), items, cols, ev))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAggregate(NewTableScan(tbl), items, cols, ev)
+	a.budget = newBudget(1)
+	got, err := Collect(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SpillRuns() == 0 {
+		t.Fatal("budget=1 aggregate did not spill")
+	}
+	if live := SpillFilesLive(); live != 0 {
+		t.Fatalf("%d spill files still live after Collect", live)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("groups = %d, want %d", got.Len(), want.Len())
+	}
+	for i := 0; i < want.Len(); i++ {
+		if got.Get(i, "x") != want.Get(i, "x") || got.Get(i, "n") != want.Get(i, "n") {
+			t.Fatalf("group %d = (%v,%v), want (%v,%v)", i,
+				got.Get(i, "x"), got.Get(i, "n"), want.Get(i, "x"), want.Get(i, "n"))
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Temp-file cleanup on abnormal paths
+// ---------------------------------------------------------------------
+
+func TestSpillFilesFreedOnChildError(t *testing.T) {
+	ev := &expr.Evaluator{}
+	// Enough rows to force several runs before the child fails.
+	s := NewSort(&errAfter{n: 300}, []*ast.SortItem{{Expr: &ast.Variable{Name: "x"}}}, ev)
+	s.budget = newBudget(1)
+	if _, err := Collect(s); err == nil || !strings.Contains(err.Error(), "synthetic source failure") {
+		t.Fatalf("Collect err = %v, want synthetic source failure", err)
+	}
+	if live := SpillFilesLive(); live != 0 {
+		t.Fatalf("%d spill files still live after child error", live)
+	}
+}
+
+func TestSpillFilesFreedOnEarlyLimitClose(t *testing.T) {
+	ev := &expr.Evaluator{}
+	s := NewSort(NewTableScan(sortInput(500)),
+		[]*ast.SortItem{{Expr: &ast.Variable{Name: "x"}}}, ev)
+	s.budget = newBudget(1)
+	lim := NewLimit(s, &ast.Literal{Value: int64(3)}, ev)
+	out, err := Collect(lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Fatalf("rows = %d, want 3", out.Len())
+	}
+	if s.SpillRuns() == 0 {
+		t.Fatal("sort did not spill (budget not honored?)")
+	}
+	// LIMIT closed the plan long before the merge was drained; the
+	// run files must be released anyway.
+	if live := SpillFilesLive(); live != 0 {
+		t.Fatalf("%d spill files still live after early LIMIT close", live)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Batch adapter
+// ---------------------------------------------------------------------
+
+func TestNextBatchFromRowsRespectsMax(t *testing.T) {
+	src := &countingScan{n: 10, col: "x"}
+	if err := src.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	b, ok, err := nextBatchFromRows(src, 4)
+	if err != nil || !ok || b.Len() != 4 {
+		t.Fatalf("batch = (%v, %v, %v), want 4 rows", b, ok, err)
+	}
+	if src.pulls != 4 {
+		t.Fatalf("adapter pulled %d rows for max=4 (must not probe past max)", src.pulls)
+	}
+	var last *Batch
+	for { // drain the rest: 4, then the 2-row tail
+		b, ok, err = nextBatchFromRows(src, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		last = b
+	}
+	if last == nil || last.Len() != 2 {
+		t.Fatalf("tail batch = %v, want 2 rows", last)
+	}
+	if _, ok, _ := nextBatchFromRows(src, 4); ok {
+		t.Fatal("adapter yielded a batch past end of input")
+	}
+}
+
+func TestExplainShowsBarrierStatsAfterRun(t *testing.T) {
+	d := NewDistinct(NewTableScan(sortInput(100)))
+	d.budget = newBudget(1)
+	if _, err := Collect(d); err != nil {
+		t.Fatal(err)
+	}
+	out := Explain(d)
+	if !strings.Contains(out, "rows=") || !strings.Contains(out, "spill-runs=") {
+		t.Fatalf("post-run explain lacks counters:\n%s", out)
+	}
+}

@@ -74,6 +74,64 @@ func (t *Table) AppendRow(vals ...value.Value) {
 	t.rows = append(t.rows, row)
 }
 
+// AppendValues adds a record given as a value slice in column order,
+// taking ownership of the slice (it must not be mutated afterwards).
+// Nil entries become null.
+func (t *Table) AppendValues(vals []value.Value) {
+	if len(vals) != len(t.cols) {
+		panic(fmt.Sprintf("table: row width %d != %d columns", len(vals), len(t.cols)))
+	}
+	for i, v := range vals {
+		if v == nil {
+			vals[i] = value.NullValue
+		}
+	}
+	t.rows = append(t.rows, vals)
+}
+
+// AppendColumns adds n records given as columnar slices (cols[j][r] is
+// row r of column j, matching the table's column order), transposing
+// into the table's row-major layout. This is the batch append used by
+// the vectorized executor's Collect: one row-slice allocation per
+// record, no per-record map.
+func (t *Table) AppendColumns(cols [][]value.Value, n int) {
+	if len(cols) != len(t.cols) {
+		panic(fmt.Sprintf("table: batch width %d != %d columns", len(cols), len(t.cols)))
+	}
+	for r := 0; r < n; r++ {
+		row := make([]value.Value, len(cols))
+		for j := range cols {
+			v := cols[j][r]
+			if v == nil {
+				v = value.NullValue
+			}
+			row[j] = v
+		}
+		t.rows = append(t.rows, row)
+	}
+}
+
+// ReadColumns appends rows [from, to) to dst, a columnar buffer with
+// one slice per column in table order (dst[j] receives column j's
+// values). This is the batch read used by the vectorized table scan:
+// values are appended without per-row map or slice allocation. Nil
+// cells are surfaced as null, matching Get.
+func (t *Table) ReadColumns(from, to int, dst [][]value.Value) {
+	if len(dst) != len(t.cols) {
+		panic(fmt.Sprintf("table: batch width %d != %d columns", len(dst), len(t.cols)))
+	}
+	for i := from; i < to; i++ {
+		row := t.rows[i]
+		for j := range dst {
+			v := row[j]
+			if v == nil {
+				v = value.NullValue
+			}
+			dst[j] = append(dst[j], v)
+		}
+	}
+}
+
 // AppendMap adds a record given as a map; missing columns become null.
 func (t *Table) AppendMap(m map[string]value.Value) {
 	row := make([]value.Value, len(t.cols))

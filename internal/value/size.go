@@ -1,0 +1,34 @@
+package value
+
+// ApproxSize estimates the heap footprint of a value in bytes. The
+// estimate is used by the executor's memory accounting (barrier
+// operators charge buffered rows against a per-statement budget and
+// spill to disk beyond it); it deliberately trades exactness for speed:
+// interface headers, small-object rounding and allocator overhead are
+// folded into flat per-kind constants.
+func ApproxSize(v Value) int64 {
+	switch x := v.(type) {
+	case nil, Null, Bool, Int, Float, Node, Rel:
+		// One interface word pair; the payload fits the header or a
+		// single word.
+		return 16
+	case String:
+		return 16 + int64(len(x))
+	case Path:
+		return 48 + 8*int64(len(x.Nodes)+len(x.Rels))
+	case List:
+		n := int64(24)
+		for _, e := range x {
+			n += ApproxSize(e)
+		}
+		return n
+	case Map:
+		n := int64(48)
+		for k, e := range x {
+			n += 16 + int64(len(k)) + ApproxSize(e)
+		}
+		return n
+	default:
+		return 16
+	}
+}
