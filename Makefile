@@ -1,12 +1,13 @@
 # Build, test and benchmark entry points. CI runs `make test`, the
 # race detector (`make race`), the spill suite (`make spill`), the
-# short bench smoke and the docs smoke; `make bench` records the perf
-# trajectory into BENCH_pr6.json (one file per PR so regressions are
+# crash-recovery suite (`make crash`), the short bench smoke, the fuzz
+# smoke and the docs smoke; `make bench` records the perf
+# trajectory into BENCH_pr7.json (one file per PR so regressions are
 # diffable).
 
-BENCH_OUT ?= BENCH_pr6.json
+BENCH_OUT ?= BENCH_pr7.json
 
-.PHONY: all test vet race stress spill bench bench-smoke docs-smoke
+.PHONY: all test vet race stress spill crash fuzz bench bench-smoke docs-smoke
 
 all: test
 
@@ -40,6 +41,23 @@ spill:
 	go test -race -run 'TestTinyBudgetSpillEquivalence|TestBudgetBoundsBarrierPeak|TestExecutorTriEquivalence' ./internal/core
 	go test -race -run 'TestCorpusExecutorSweep' ./internal/script
 	go test -race -run 'TestWithMemoryBudget|TestProfile' ./cypher
+
+# The durability gate: the kill-at-random-point property test, 250
+# randomized iterations under the race detector. Each iteration runs a
+# random workload against a store whose filesystem dies at a random
+# byte offset, recovers with the real filesystem, and requires the
+# recovered graph to be bit-identical to a published epoch (and, under
+# fsync-per-commit, no older than the last successful commit).
+crash:
+	CRASH_ITERS=250 go test -race -count=1 -run TestKillAtRandomPointRecovery ./internal/graph
+
+# Short fuzz runs over the three codecs that parse untrusted bytes:
+# WAL records, binary spill/WAL values, and the graph JSON snapshot.
+# Each must reject or round-trip canonically, never panic.
+fuzz:
+	go test -run '^$$' -fuzz FuzzWALRecordRoundTrip -fuzztime 15s ./internal/graph
+	go test -run '^$$' -fuzz FuzzBinaryValueRoundTrip -fuzztime 15s ./internal/graph
+	go test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime 15s ./cypher
 
 # Full benchmark run, serialized to JSON. -benchtime is modest because
 # the B-suite covers 12 benchmark families; raise it for stable numbers.

@@ -22,6 +22,7 @@
 //	B15 commit latency under pinned readers: copy-on-write vs deep clone
 //	B16 vectorized batch execution vs row-at-a-time streaming
 //	B17 spilling barriers under a memory budget vs unlimited in-memory
+//	B18 durable commit latency: WAL off / no-sync / grouped fsync / fsync-per-commit
 package repro_test
 
 import (
@@ -29,6 +30,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/cypher"
 	"repro/internal/core"
@@ -682,6 +684,56 @@ func BenchmarkB17SpillingBarriers(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				execBench(b, cfg, g, query, nil)
+			}
+		})
+	}
+}
+
+// B18: durable commit latency. The same small write transaction
+// against the in-memory store and against WAL-backed stores in each
+// sync mode: no sync (crash loses the tail), grouped fsync every 2ms
+// (bounded loss window, amortized sync), and fsync-per-commit (the
+// durability contract, dominated by the disk's flush latency).
+func BenchmarkB18DurableCommit(b *testing.B) {
+	smallTxn := func(b *testing.B, g *graph.Graph, i int) {
+		b.Helper()
+		n := g.CreateNode([]string{"User"}, value.Map{"id": value.Int(int64(i))})
+		m := g.CreateNode([]string{"User"}, value.Map{"id": value.Int(int64(-i))})
+		if _, err := g.CreateRel(n.ID, m.ID, "KNOWS", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run := func(b *testing.B, st *graph.Store) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w := st.BeginWrite()
+			smallTxn(b, w.Graph(), i)
+			if _, err := w.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("memory", func(b *testing.B) {
+		run(b, graph.NewStore(graph.New()))
+	})
+	for _, mode := range []struct {
+		name string
+		d    graph.Durability
+	}{
+		{"wal-sync-never", graph.Durability{Sync: graph.SyncNever}},
+		{"wal-sync-2ms", graph.Durability{Sync: graph.SyncInterval, SyncEvery: 2 * time.Millisecond}},
+		{"wal-sync-always", graph.Durability{Sync: graph.SyncAlways}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			st, wal, err := graph.Recover(b.TempDir(), mode.d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			run(b, st)
+			b.StopTimer()
+			if err := wal.Close(); err != nil {
+				b.Fatal(err)
 			}
 		})
 	}

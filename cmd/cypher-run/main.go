@@ -5,9 +5,14 @@
 // DROP INDEX alongside queries; an unclosed transaction rolls back at
 // exit.
 //
+// With -data <dir> the script runs against the durable database rooted
+// there: previously committed state is recovered before the script
+// starts, and every statement the script commits is on the write-ahead
+// log (fsynced per commit) before the next one runs.
+//
 // Usage:
 //
-//	cypher-run [-dialect revised|cypher9] [-merge strategy] script.cypher
+//	cypher-run [-dialect revised|cypher9] [-merge strategy] [-data dir] script.cypher
 package main
 
 import (
@@ -21,13 +26,18 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	dialect := flag.String("dialect", "revised", "update dialect: revised or cypher9")
 	mergeStrategy := flag.String("merge", "from-form",
 		"MERGE strategy: from-form, legacy, atomic, grouping, weak-collapse, collapse, strong-collapse")
+	dataDir := flag.String("data", "", "data directory for durable operation (empty = in-memory)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cypher-run [-dialect d] [-merge s] script.cypher")
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, "usage: cypher-run [-dialect d] [-merge s] [-data dir] script.cypher")
+		return 2
 	}
 
 	var opts []cypher.Option
@@ -38,7 +48,7 @@ func main() {
 		opts = append(opts, cypher.WithDialect(cypher.Cypher9))
 	default:
 		fmt.Fprintln(os.Stderr, "unknown dialect:", *dialect)
-		os.Exit(2)
+		return 2
 	}
 	strategies := map[string]cypher.MergeStrategy{
 		"from-form": cypher.MergeFromForm, "legacy": cypher.MergeLegacy,
@@ -49,27 +59,38 @@ func main() {
 	s, ok := strategies[*mergeStrategy]
 	if !ok {
 		fmt.Fprintln(os.Stderr, "unknown merge strategy:", *mergeStrategy)
-		os.Exit(2)
+		return 2
 	}
 	opts = append(opts, cypher.WithMergeStrategy(s))
 
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		return 1
 	}
 
-	db := cypher.Open(opts...)
+	var db *cypher.DB
+	if *dataDir != "" {
+		db, err = cypher.OpenDir(*dataDir, opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "open:", err)
+			return 1
+		}
+		fmt.Printf("-- data: %s (recovered epoch %d)\n", *dataDir, db.Epoch())
+	} else {
+		db = cypher.Open(opts...)
+	}
 	// One session for the whole script, so BEGIN/COMMIT/ROLLBACK work as
 	// script statements (an unclosed transaction rolls back at exit).
 	sess := db.Session()
-	defer sess.Close()
+	code := 0
 	for i, stmt := range script.Split(string(src)) {
 		fmt.Printf("-- statement %d\n%s\n", i+1, stmt)
 		res, err := sess.Exec(stmt, nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			code = 1
+			break
 		}
 		cols := res.Columns()
 		if len(cols) > 0 {
@@ -84,5 +105,13 @@ func main() {
 		}
 		fmt.Println()
 	}
-	fmt.Println("final graph:", db.Stats())
+	sess.Close()
+	if err := db.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "close:", err)
+		code = 1
+	}
+	if code == 0 {
+		fmt.Println("final graph:", db.Stats())
+	}
+	return code
 }

@@ -13,8 +13,20 @@
 //	:stats                print graph statistics
 //	:indexes              list property indexes
 //	:epoch                print the committed transaction epoch
+//	:wal                  print write-ahead log status (durable mode)
+//	:wal checkpoint       force a checkpoint (snapshot + log truncate)
+//	:save <path>          write a JSON snapshot atomically to <path>
 //	:clear                reset the database
 //	:quit                 exit
+//
+// With -data <dir> the shell opens the database durably: committed
+// statements are appended to <dir>/wal.log (fsync policy -sync
+// always|interval|never, default always) and the next start recovers
+// exactly the committed state. Without -data the database is
+// in-memory and vanishes on exit. The database-replacing metas
+// (:dialect, :merge, :set, :clear) are refused in durable mode — they
+// switch to a detached in-memory copy, which would silently stop
+// persisting; restart with different flags instead.
 //
 // The graph-inspection metas (:stats, :indexes) are routed through the
 // shell's session: inside an open transaction they read the
@@ -50,6 +62,7 @@ package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -59,10 +72,40 @@ import (
 )
 
 func main() {
+	dataDir := flag.String("data", "", "data directory for durable operation (empty = in-memory)")
+	syncMode := flag.String("sync", "always", "wal fsync policy with -data: always|interval|never")
+	flag.Parse()
+
 	fmt.Println("cypher-shell — graph updates per Green et al., PVLDB 2019")
 	fmt.Println("dialect: revised (use :dialect cypher9 for the legacy semantics); :help for help")
 
-	db := cypher.Open()
+	var db *cypher.DB
+	if *dataDir != "" {
+		var d cypher.Durability
+		switch *syncMode {
+		case "always":
+			d.Sync = cypher.SyncAlways
+		case "interval":
+			d.Sync = cypher.SyncInterval
+		case "never":
+			d.Sync = cypher.SyncNever
+		default:
+			fmt.Fprintln(os.Stderr, "unknown -sync mode:", *syncMode)
+			os.Exit(1)
+		}
+		var err error
+		db, err = cypher.OpenDir(*dataDir, cypher.WithDurability(d))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "open:", err)
+			os.Exit(1)
+		}
+		st, _ := db.WALStatus()
+		fmt.Printf("data: %s (wal sync=%s, epoch %d, %d record(s) replayed)\n",
+			*dataDir, st.Sync, db.Epoch(), st.Replayed)
+	} else {
+		db = cypher.Open()
+	}
+	defer func() { closeDB(db) }()
 	sess := db.Session()
 	dialect := "revised"
 	sc := bufio.NewScanner(os.Stdin)
@@ -87,6 +130,13 @@ func main() {
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, ":") {
 			if sess.InTransaction() && switchesDatabase(trimmed) {
 				fmt.Println("a transaction is open; COMMIT or ROLLBACK it first")
+				prompt()
+				continue
+			}
+			if db.Durable() && switchesDatabase(trimmed) {
+				// These metas swap in a detached in-memory copy, which
+				// would silently stop persisting to the data directory.
+				fmt.Println("refused in durable (-data) mode: restart the shell with different flags instead")
 				prompt()
 				continue
 			}
@@ -155,6 +205,28 @@ func meta(db *cypher.DB, dialect, cmd string) (*cypher.DB, string, bool) {
 	switch fields[0] {
 	case ":quit", ":exit", ":q":
 		return db, dialect, true
+	case ":wal":
+		if len(fields) == 2 && fields[1] == "checkpoint" {
+			if err := db.Checkpoint(); err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+		} else if len(fields) != 1 {
+			fmt.Println("usage: :wal [checkpoint]")
+			break
+		}
+		printWALStatus(db)
+	case ":save":
+		path := strings.TrimSpace(strings.TrimPrefix(cmd, ":save"))
+		if path == "" {
+			fmt.Println("usage: :save <path>")
+			break
+		}
+		if err := db.SaveFile(path); err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Println("saved", path)
 	case ":help":
 		fmt.Println("statements end with ';'. EXPLAIN <query>; prints the operator plan with its transaction boundaries.")
 		fmt.Println("PROFILE <query>; executes it and prints the plan with observed rows/batches/peak-mem/spill counters.")
@@ -162,7 +234,9 @@ func meta(db *cypher.DB, dialect, cmd string) (*cypher.DB, string, bool) {
 		fmt.Println("COMMIT; publishes it atomically, ROLLBACK; discards it. Without BEGIN, statements auto-commit.")
 		fmt.Println("indexes: CREATE INDEX ON :Label(prop); / DROP INDEX ON :Label(prop); — :indexes lists them.")
 		fmt.Println("memory: :set budget <bytes> caps per-statement barrier memory (spill to disk beyond it; 0 = unlimited).")
-		fmt.Println("Meta: :dialect cypher9|revised, :merge <strategy>, :set budget <bytes>, :stats, :indexes, :epoch, :clear, :quit")
+		fmt.Println("durability: run with -data <dir> to persist commits to a write-ahead log; :wal shows its status,")
+		fmt.Println(":wal checkpoint compacts it, and :save <path> writes an atomic JSON snapshot anywhere.")
+		fmt.Println("Meta: :dialect cypher9|revised, :merge <strategy>, :set budget <bytes>, :stats, :indexes, :epoch, :wal, :save <path>, :clear, :quit")
 	case ":clear":
 		opt := cypher.WithDialect(cypher.Revised)
 		if dialect == "cypher9" {
@@ -221,6 +295,27 @@ func meta(db *cypher.DB, dialect, cmd string) (*cypher.DB, string, bool) {
 		fmt.Println("unknown meta command:", fields[0])
 	}
 	return db, dialect, false
+}
+
+func printWALStatus(db *cypher.DB) {
+	st, ok := db.WALStatus()
+	if !ok {
+		fmt.Println("in-memory database (start with -data <dir> for durability)")
+		return
+	}
+	fmt.Printf("wal: %s (sync=%s)\n", st.Dir, st.Sync)
+	fmt.Printf("  log: %d bytes, last epoch %d, %d record(s) appended, %d replayed at open\n",
+		st.Bytes, st.LastEpoch, st.Records, st.Replayed)
+	fmt.Printf("  checkpoint: epoch %d, %d taken since open\n", st.CheckpointEpoch, st.Checkpoints)
+	if st.Err != nil {
+		fmt.Println("  FAILED:", st.Err)
+	}
+}
+
+func closeDB(db *cypher.DB) {
+	if err := db.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "close:", err)
+	}
 }
 
 func printIndexes(ixs []cypher.IndexView) {

@@ -101,6 +101,31 @@ const (
 // Value is a Cypher runtime value (see repro/internal/value for kinds).
 type Value = value.Value
 
+// Durability configures the write-ahead log of a database opened with
+// OpenDir: the fsync policy and the log size that triggers automatic
+// checkpoints. The zero value is the safe default (fsync every commit,
+// checkpoint every 4 MiB of log).
+type Durability = graph.Durability
+
+// SyncMode selects when the write-ahead log is fsynced.
+type SyncMode = graph.SyncMode
+
+// Sync modes.
+const (
+	// SyncAlways fsyncs on every commit (the default): committed means
+	// crash-proof.
+	SyncAlways = graph.SyncAlways
+	// SyncInterval fsyncs in the background every Durability.SyncEvery:
+	// a crash loses at most the last interval's commits.
+	SyncInterval = graph.SyncInterval
+	// SyncNever leaves flushing to the operating system.
+	SyncNever = graph.SyncNever
+)
+
+// WALStatus is a point-in-time summary of a durable database's
+// write-ahead log (see DB.WALStatus and the shell's :wal command).
+type WALStatus = graph.WALStatus
+
 // UpdateStats counts the effects of a statement.
 type UpdateStats = core.UpdateStats
 
@@ -147,6 +172,13 @@ func WithMemoryBudget(bytes int64) Option {
 	return func(o *options) { o.cfg.MemoryBudget = bytes }
 }
 
+// WithDurability sets the write-ahead log configuration used when the
+// database is opened against a data directory (OpenDir). It has no
+// effect on a purely in-memory database.
+func WithDurability(d Durability) Option {
+	return func(o *options) { o.cfg.Durability = d }
+}
+
 // DB is an embedded graph database. All methods are safe for concurrent
 // use. Statements execute transactionally: updating statements are
 // serialized through a single-writer commit pipeline, while read-only
@@ -160,6 +192,7 @@ type DB struct {
 	store  *graph.Store
 	engine *core.Engine
 	opts   options
+	wal    *graph.WAL // non-nil when opened durably (OpenDir)
 }
 
 // Open creates an empty database.
@@ -174,6 +207,65 @@ func Open(opts ...Option) *DB {
 		engine: core.NewEngine(o.cfg),
 		opts:   o,
 	}
+}
+
+// OpenDir opens a durable database rooted at dir, creating the
+// directory if needed. The latest checkpoint snapshot is loaded and
+// the write-ahead log replayed over it, so the database resumes at
+// exactly the committed state that reached disk — a torn record left
+// by a crash mid-commit is detected by its checksum and discarded.
+// Every further commit is appended to the log (and fsynced, under the
+// default Durability) before it is observable. Close the database when
+// done; configure logging with WithDurability.
+func OpenDir(dir string, opts ...Option) (*DB, error) {
+	var o options
+	o.cfg.Dialect = core.DialectRevised
+	for _, opt := range opts {
+		opt(&o)
+	}
+	store, wal, err := graph.Recover(dir, o.cfg.Durability)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{
+		store:  store,
+		engine: core.NewEngine(o.cfg),
+		opts:   o,
+		wal:    wal,
+	}, nil
+}
+
+// Durable reports whether the database persists commits to a
+// write-ahead log (it was opened with OpenDir).
+func (db *DB) Durable() bool { return db.wal != nil }
+
+// Close flushes and closes the write-ahead log of a durable database;
+// it reports any sticky log failure, so a caller that checks no other
+// commit errors learns here whether everything reached disk. Closing
+// an in-memory database is a no-op. The database must not be used
+// afterwards.
+func (db *DB) Close() error {
+	if db.wal == nil {
+		return nil
+	}
+	return db.wal.Close()
+}
+
+// Checkpoint forces a durability checkpoint: the current committed
+// state is written as the snapshot file and the write-ahead log is
+// truncated, bounding the work of the next recovery. Checkpoints also
+// happen automatically as the log grows (Durability.CheckpointBytes).
+// Errors if the database is not durable.
+func (db *DB) Checkpoint() error { return db.store.Checkpoint() }
+
+// WALStatus reports the write-ahead log's current counters (size,
+// epochs, records appended and replayed, checkpoints, sticky failure).
+// ok is false for an in-memory database.
+func (db *DB) WALStatus() (status WALStatus, ok bool) {
+	if db.wal == nil {
+		return WALStatus{}, false
+	}
+	return db.wal.Status(), true
 }
 
 // Dialect reports the database's dialect.
@@ -656,6 +748,18 @@ func (db *DB) Save(w io.Writer) error {
 	snap := db.store.Acquire()
 	defer snap.Release()
 	return snap.Graph().WriteJSON(w)
+}
+
+// SaveFile writes the Save snapshot to path atomically: the snapshot
+// is written to a temporary file in path's directory, fsynced, and
+// renamed into place, so an interrupted or failing save can never
+// truncate or corrupt an existing file at path.
+func (db *DB) SaveFile(path string) error {
+	snap := db.store.Acquire()
+	defer snap.Release()
+	return graph.AtomicWriteFile(path, func(w io.Writer) error {
+		return snap.Graph().WriteJSON(w)
+	})
 }
 
 // Load opens a database from a JSON snapshot produced by Save.

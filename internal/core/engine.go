@@ -22,6 +22,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/ast"
 	"repro/internal/expr"
@@ -198,6 +199,12 @@ type Config struct {
 	// unlimited: no accounting, no spilling. Results are identical with
 	// and without a budget; only peak memory and speed change.
 	MemoryBudget int64
+	// Durability configures the write-ahead log when the database is
+	// opened against a data directory (cypher.OpenDir /
+	// cypher.WithDurability). The engine itself does not consult it —
+	// the store's commit path does — but it is carried here so one
+	// Config describes a session end to end.
+	Durability graph.Durability
 
 	// onPlan, when set, receives the root operator of every streaming
 	// statement after execution finishes (tests use it to assert
@@ -243,8 +250,19 @@ type Engine struct {
 	cfg Config
 }
 
-// NewEngine returns an engine with the given configuration.
-func NewEngine(cfg Config) *Engine { return &Engine{cfg: cfg} }
+// spillSweepOnce guards the once-per-process orphan sweep below.
+var spillSweepOnce sync.Once
+
+// NewEngine returns an engine with the given configuration. The first
+// engine of the process also sweeps spill temp files orphaned by an
+// earlier killed process out of the spill directory (live processes'
+// files are left alone; see plan.SweepSpillOrphans).
+func NewEngine(cfg Config) *Engine {
+	spillSweepOnce.Do(func() {
+		_, _ = plan.SweepSpillOrphans(plan.SpillDir())
+	})
+	return &Engine{cfg: cfg}
+}
 
 // Config returns the engine configuration.
 func (e *Engine) Config() Config { return e.cfg }

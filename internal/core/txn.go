@@ -114,8 +114,13 @@ func (s *Session) executeTxnControl(ctl ast.TxnControl) (*Result, error) {
 			return nil, fmt.Errorf("COMMIT: no open transaction")
 		}
 		empty.Stats = s.txn.stats
-		s.txn.w.Commit()
+		_, err := s.txn.w.Commit()
 		s.txn = nil
+		if err != nil {
+			// The transaction is published in memory but did not reach
+			// the write-ahead log; surface that as the COMMIT's error.
+			return nil, fmt.Errorf("COMMIT: %w", err)
+		}
 		return empty, nil
 	case ast.TxnRollback:
 		if s.txn == nil {
@@ -169,7 +174,10 @@ func (s *Session) executeAutoCommit(stmt *ast.Statement, params map[string]value
 		w.Rollback()
 		return nil, err
 	}
-	w.Commit()
+	if _, err := w.Commit(); err != nil {
+		// Executed and published in memory, but not durably logged.
+		return nil, err
+	}
 	return res, nil
 }
 

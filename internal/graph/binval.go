@@ -1,0 +1,333 @@
+package graph
+
+// A compact binary codec for runtime values, shared by the executor's
+// spill files (internal/plan) and the write-ahead log (wal.go). One
+// byte of type tag, then a type-specific payload: varint integers,
+// floats by bit pattern (NaN and the infinities round-trip exactly),
+// length-prefixed strings, recursively encoded lists and maps (map
+// keys in sorted order, so the encoding of a value is canonical), and
+// graph entities by id only — an entity value is a reference into some
+// graph, and each consumer resolves ids against its own.
+//
+// The format is internal and versioned by its container (the spill
+// file lives for one query; the WAL carries a file-level magic), so
+// there is no per-value version byte.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/value"
+)
+
+const (
+	binTagNull byte = iota
+	binTagFalse
+	binTagTrue
+	binTagInt
+	binTagFloat
+	binTagString
+	binTagList
+	binTagMap
+	binTagNode
+	binTagRel
+	binTagPath
+)
+
+// maxBinaryLen bounds any single length prefix (string bytes, list or
+// map elements) the decoder will honour. Real values are far smaller;
+// the bound exists so a corrupt or hostile stream cannot make the
+// decoder attempt a multi-gigabyte allocation before the short read
+// surfaces.
+const maxBinaryLen = 1 << 30
+
+// binAllocChunk caps the decoder's upfront allocation for one
+// length-prefixed item: claimed lengths beyond it are paid for
+// incrementally as bytes actually arrive, so a lying length prefix
+// costs one chunk, not the claim.
+const binAllocChunk = 1 << 20
+
+// WriteVarint appends x to w in signed varint encoding.
+func WriteVarint(w *bufio.Writer, x int64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], x)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+// WriteUvarint appends x to w in unsigned varint encoding.
+func WriteUvarint(w *bufio.Writer, x uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], x)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+// WriteBinaryString appends a length-prefixed string to w.
+func WriteBinaryString(w *bufio.Writer, s string) error {
+	if err := WriteUvarint(w, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+// ReadBinaryString reads a length-prefixed string written by
+// WriteBinaryString.
+func ReadBinaryString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > maxBinaryLen {
+		return "", fmt.Errorf("graph: string length %d exceeds codec limit", n)
+	}
+	if n <= binAllocChunk {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	// Large claim: grow as bytes actually arrive.
+	var b bytes.Buffer
+	for read := uint64(0); read < n; {
+		c := n - read
+		if c > binAllocChunk {
+			c = binAllocChunk
+		}
+		if _, err := io.CopyN(&b, r, int64(c)); err != nil {
+			return "", err
+		}
+		read += c
+	}
+	return b.String(), nil
+}
+
+// WriteBinaryValue encodes one runtime value to w in the shared binary
+// format. Every value kind the engine produces is covered: floats
+// round-trip by bit pattern, entities and paths encode by id,
+// lists/maps recurse (map keys sorted, so encoding is canonical).
+func WriteBinaryValue(w *bufio.Writer, v value.Value) error {
+	switch x := v.(type) {
+	case nil, value.Null:
+		return w.WriteByte(binTagNull)
+	case value.Bool:
+		if x {
+			return w.WriteByte(binTagTrue)
+		}
+		return w.WriteByte(binTagFalse)
+	case value.Int:
+		if err := w.WriteByte(binTagInt); err != nil {
+			return err
+		}
+		return WriteVarint(w, int64(x))
+	case value.Float:
+		if err := w.WriteByte(binTagFloat); err != nil {
+			return err
+		}
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(float64(x)))
+		_, err := w.Write(buf[:])
+		return err
+	case value.String:
+		if err := w.WriteByte(binTagString); err != nil {
+			return err
+		}
+		return WriteBinaryString(w, string(x))
+	case value.Node:
+		if err := w.WriteByte(binTagNode); err != nil {
+			return err
+		}
+		return WriteVarint(w, x.ID)
+	case value.Rel:
+		if err := w.WriteByte(binTagRel); err != nil {
+			return err
+		}
+		return WriteVarint(w, x.ID)
+	case value.Path:
+		if err := w.WriteByte(binTagPath); err != nil {
+			return err
+		}
+		if err := WriteUvarint(w, uint64(len(x.Nodes))); err != nil {
+			return err
+		}
+		for _, id := range x.Nodes {
+			if err := WriteVarint(w, id); err != nil {
+				return err
+			}
+		}
+		if err := WriteUvarint(w, uint64(len(x.Rels))); err != nil {
+			return err
+		}
+		for _, id := range x.Rels {
+			if err := WriteVarint(w, id); err != nil {
+				return err
+			}
+		}
+		return nil
+	case value.List:
+		if err := w.WriteByte(binTagList); err != nil {
+			return err
+		}
+		if err := WriteUvarint(w, uint64(len(x))); err != nil {
+			return err
+		}
+		for _, e := range x {
+			if err := WriteBinaryValue(w, e); err != nil {
+				return err
+			}
+		}
+		return nil
+	case value.Map:
+		if err := w.WriteByte(binTagMap); err != nil {
+			return err
+		}
+		if err := WriteUvarint(w, uint64(len(x))); err != nil {
+			return err
+		}
+		for _, k := range x.Keys() {
+			if err := WriteBinaryString(w, k); err != nil {
+				return err
+			}
+			if err := WriteBinaryValue(w, x[k]); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("graph: cannot binary-encode %T", v)
+	}
+}
+
+// binCount reads an element count, rejecting claims beyond the codec
+// limit; preallocation is separately capped so a lying count costs at
+// most one chunk of memory before the short read surfaces.
+func binCount(r *bufio.Reader) (uint64, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, err
+	}
+	if n > maxBinaryLen {
+		return 0, fmt.Errorf("graph: element count %d exceeds codec limit", n)
+	}
+	return n, nil
+}
+
+// binPrealloc bounds an upfront slice/map allocation for a claimed
+// element count (each element costs at least one encoded byte, so
+// honest large counts will simply grow as they arrive).
+func binPrealloc(n uint64) int {
+	if n > 4096 {
+		return 4096
+	}
+	return int(n)
+}
+
+// ReadBinaryValue decodes one value written by WriteBinaryValue.
+func ReadBinaryValue(r *bufio.Reader) (value.Value, error) {
+	tag, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case binTagNull:
+		return value.NullValue, nil
+	case binTagFalse:
+		return value.Bool(false), nil
+	case binTagTrue:
+		return value.Bool(true), nil
+	case binTagInt:
+		x, err := binary.ReadVarint(r)
+		if err != nil {
+			return nil, err
+		}
+		return value.Int(x), nil
+	case binTagFloat:
+		var buf [8]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return nil, err
+		}
+		return value.Float(math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))), nil
+	case binTagString:
+		s, err := ReadBinaryString(r)
+		if err != nil {
+			return nil, err
+		}
+		return value.String(s), nil
+	case binTagNode:
+		id, err := binary.ReadVarint(r)
+		if err != nil {
+			return nil, err
+		}
+		return value.Node{ID: id}, nil
+	case binTagRel:
+		id, err := binary.ReadVarint(r)
+		if err != nil {
+			return nil, err
+		}
+		return value.Rel{ID: id}, nil
+	case binTagPath:
+		nn, err := binCount(r)
+		if err != nil {
+			return nil, err
+		}
+		p := value.Path{Nodes: make([]int64, 0, binPrealloc(nn))}
+		for i := uint64(0); i < nn; i++ {
+			id, err := binary.ReadVarint(r)
+			if err != nil {
+				return nil, err
+			}
+			p.Nodes = append(p.Nodes, id)
+		}
+		nr, err := binCount(r)
+		if err != nil {
+			return nil, err
+		}
+		p.Rels = make([]int64, 0, binPrealloc(nr))
+		for i := uint64(0); i < nr; i++ {
+			id, err := binary.ReadVarint(r)
+			if err != nil {
+				return nil, err
+			}
+			p.Rels = append(p.Rels, id)
+		}
+		return p, nil
+	case binTagList:
+		n, err := binCount(r)
+		if err != nil {
+			return nil, err
+		}
+		l := make(value.List, 0, binPrealloc(n))
+		for i := uint64(0); i < n; i++ {
+			e, err := ReadBinaryValue(r)
+			if err != nil {
+				return nil, err
+			}
+			l = append(l, e)
+		}
+		return l, nil
+	case binTagMap:
+		n, err := binCount(r)
+		if err != nil {
+			return nil, err
+		}
+		m := make(value.Map, binPrealloc(n))
+		for i := uint64(0); i < n; i++ {
+			k, err := ReadBinaryString(r)
+			if err != nil {
+				return nil, err
+			}
+			if m[k], err = ReadBinaryValue(r); err != nil {
+				return nil, err
+			}
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("graph: unknown binary value tag %d", tag)
+	}
+}

@@ -156,11 +156,41 @@ type jsonGraph struct {
 	Nodes   []jsonNode  `json:"nodes"`
 	Rels    []jsonRel   `json:"rels"`
 	Indexes []jsonIndex `json:"indexes,omitempty"`
+	// NextNode/NextRel persist the id counters so recovery resumes
+	// allocation above every id ever handed out, including ids whose
+	// entities no longer exist (ids are never reused). Absent in
+	// snapshots from before durability; readers fall back to the
+	// maximum id seen.
+	NextNode int64 `json:"nextNode,omitempty"`
+	NextRel  int64 `json:"nextRel,omitempty"`
+	// Epoch is the store epoch a durability checkpoint covers; plain
+	// Save snapshots omit it.
+	Epoch int64 `json:"epoch,omitempty"`
 }
+
+// maxEntityID bounds the entity ids (and id counters) any decoder —
+// JSON snapshot or WAL record — will accept. The id maps of cow.go
+// grow their shard directory proportionally to the largest id, so a
+// corrupt or hostile file claiming id 2^60 would otherwise make the
+// reader attempt an enormous allocation. 2^28 entities is far beyond
+// what fits in memory anyway.
+const maxEntityID = 1 << 28
 
 // WriteJSON serializes the graph to w in the stable snapshot format.
 func (g *Graph) WriteJSON(w io.Writer) error {
-	out := jsonGraph{Nodes: []jsonNode{}, Rels: []jsonRel{}}
+	return writeJSONState(w, g, 0)
+}
+
+// writeJSONState is WriteJSON plus the store epoch, for durability
+// checkpoints.
+func writeJSONState(w io.Writer, g *Graph, epoch int64) error {
+	out := jsonGraph{
+		Nodes:    []jsonNode{},
+		Rels:     []jsonRel{},
+		NextNode: int64(g.nextNode),
+		NextRel:  int64(g.nextRel),
+		Epoch:    epoch,
+	}
 	for _, id := range g.NodeIDs() {
 		n := g.Node(id)
 		jn := jsonNode{ID: int64(id), Labels: n.SortedLabels(), Props: map[string]jsonValue{}}
@@ -194,19 +224,27 @@ func (g *Graph) WriteJSON(w io.Writer) error {
 }
 
 // ReadJSON deserializes a snapshot into a fresh graph. Entity ids are
-// preserved; the id counters resume above the maximum seen.
+// preserved; the id counters resume above the maximum seen (or the
+// persisted counters, whichever is larger).
 func ReadJSON(r io.Reader) (*Graph, error) {
+	g, _, err := readJSONState(r)
+	return g, err
+}
+
+// readJSONState is ReadJSON plus the persisted store epoch (0 for
+// plain Save snapshots), for durability recovery.
+func readJSONState(r io.Reader) (*Graph, int64, error) {
 	var in jsonGraph
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
-		return nil, fmt.Errorf("graph: decode snapshot: %w", err)
+		return nil, 0, fmt.Errorf("graph: decode snapshot: %w", err)
 	}
 	g := New()
 	for _, jn := range in.Nodes {
-		if jn.ID <= 0 {
-			return nil, fmt.Errorf("graph: invalid node id %d", jn.ID)
+		if jn.ID <= 0 || jn.ID > maxEntityID {
+			return nil, 0, fmt.Errorf("graph: invalid node id %d", jn.ID)
 		}
 		if g.HasNode(NodeID(jn.ID)) {
-			return nil, fmt.Errorf("graph: duplicate node id %d", jn.ID)
+			return nil, 0, fmt.Errorf("graph: duplicate node id %d", jn.ID)
 		}
 		n := &Node{
 			ID:     NodeID(jn.ID),
@@ -219,7 +257,7 @@ func ReadJSON(r io.Reader) (*Graph, error) {
 		for k, jv := range jn.Props {
 			v, err := decodeValue(jv)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			if !value.IsNull(v) {
 				n.Props[k] = v
@@ -231,17 +269,17 @@ func ReadJSON(r io.Reader) (*Graph, error) {
 		}
 	}
 	for _, jr := range in.Rels {
-		if jr.ID <= 0 {
-			return nil, fmt.Errorf("graph: invalid relationship id %d", jr.ID)
+		if jr.ID <= 0 || jr.ID > maxEntityID {
+			return nil, 0, fmt.Errorf("graph: invalid relationship id %d", jr.ID)
 		}
 		if g.HasRel(RelID(jr.ID)) {
-			return nil, fmt.Errorf("graph: duplicate relationship id %d", jr.ID)
+			return nil, 0, fmt.Errorf("graph: duplicate relationship id %d", jr.ID)
 		}
 		if jr.Type == "" {
-			return nil, fmt.Errorf("graph: relationship %d has no type", jr.ID)
+			return nil, 0, fmt.Errorf("graph: relationship %d has no type", jr.ID)
 		}
 		if !g.HasNode(NodeID(jr.Src)) || !g.HasNode(NodeID(jr.Tgt)) {
-			return nil, fmt.Errorf("graph: relationship %d has dangling endpoints", jr.ID)
+			return nil, 0, fmt.Errorf("graph: relationship %d has dangling endpoints", jr.ID)
 		}
 		rel := &Rel{
 			ID:    RelID(jr.ID),
@@ -253,7 +291,7 @@ func ReadJSON(r io.Reader) (*Graph, error) {
 		for k, jv := range jr.Props {
 			v, err := decodeValue(jv)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			if !value.IsNull(v) {
 				rel.Props[k] = v
@@ -268,11 +306,22 @@ func ReadJSON(r io.Reader) (*Graph, error) {
 	// CreateIndex (the snapshot carries only the schema, not buckets).
 	for _, ji := range in.Indexes {
 		if ji.Label == "" || ji.Prop == "" {
-			return nil, fmt.Errorf("graph: malformed index definition %q(%q)", ji.Label, ji.Prop)
+			return nil, 0, fmt.Errorf("graph: malformed index definition %q(%q)", ji.Label, ji.Prop)
 		}
 		g.CreateIndex(ji.Label, ji.Prop)
 	}
-	return g, nil
+	// Persisted id counters (if any) win over the maximum id seen: ids
+	// are never reused, even across deletion of their entities.
+	if in.NextNode < 0 || in.NextNode > maxEntityID || in.NextRel < 0 || in.NextRel > maxEntityID || in.Epoch < 0 {
+		return nil, 0, fmt.Errorf("graph: snapshot counters out of range")
+	}
+	if NodeID(in.NextNode) > g.nextNode {
+		g.nextNode = NodeID(in.NextNode)
+	}
+	if RelID(in.NextRel) > g.nextRel {
+		g.nextRel = RelID(in.NextRel)
+	}
+	return g, in.Epoch, nil
 }
 
 // WriteDOT renders the graph in Graphviz DOT format, suitable for

@@ -1,0 +1,193 @@
+package graph
+
+// Crash recovery: opening a durable store from its data directory.
+// See wal.go for the log format and the invariants recovery relies on.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Recover opens (creating if absent) the durable store rooted at dir:
+// the latest checkpoint snapshot is loaded, the write-ahead log is
+// replayed over it, and a torn tail — a record cut short by a crash —
+// is detected by its length/checksum and truncated away. The returned
+// store appends every further commit to the log; Close the WAL when
+// done with it.
+func Recover(dir string, opts Durability) (*Store, *WAL, error) {
+	return recoverFS(dir, opts, osFS{})
+}
+
+// recoverFS is Recover with the mutating filesystem operations behind
+// fs, so the fault-injection tests can kill recovery's own writes too.
+// Read paths use the real filesystem: the fault model is a dying
+// writer, and recovery reads what that writer left behind.
+func recoverFS(dir string, opts Durability, fs walFS) (*Store, *WAL, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, nil, fmt.Errorf("graph: open data dir: %w", err)
+	}
+	// Sweep checkpoint temp files a killed process left behind; the
+	// rename never happened, so they are garbage.
+	if stale, err := filepath.Glob(filepath.Join(dir, walTempPrefix+"*")); err == nil {
+		for _, p := range stale {
+			_ = fs.Remove(p)
+		}
+	}
+
+	g := New()
+	var ckptEpoch int64
+	snapPath := filepath.Join(dir, snapshotFileName)
+	if f, err := os.Open(snapPath); err == nil {
+		g, ckptEpoch, err = readJSONState(bufio.NewReaderSize(f, 64<<10))
+		f.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: recover %s: %w", snapshotFileName, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("graph: recover: %w", err)
+	}
+
+	size, lastEpoch, replayed, err := replayWAL(filepath.Join(dir, walFileName), g, ckptEpoch)
+	if err != nil {
+		return nil, nil, err
+	}
+	epoch := ckptEpoch
+	if lastEpoch > epoch {
+		epoch = lastEpoch
+	}
+
+	w, err := openWAL(dir, opts, fs, size, lastEpoch, ckptEpoch, replayed)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := NewStore(g)
+	st.epoch = epoch
+	st.cur.epoch = epoch
+	st.wal = w
+	return st, w, nil
+}
+
+// replayWAL scans the log at path, applying every intact record with
+// epoch > ckptEpoch onto g. It returns the byte length of the valid
+// prefix (having truncated any torn tail away), the epoch of the last
+// record seen, and how many records were applied. Framing damage at
+// the tail — a short or checksum-failing record — is the expected
+// trace of a crash and is healed by truncation; damage that passes the
+// checksum (a record that will not decode or apply) is real corruption
+// and fails recovery.
+func replayWAL(path string, g *Graph, ckptEpoch int64) (size, lastEpoch, replayed int64, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("graph: recover wal: %w", err)
+	}
+	defer f.Close()
+
+	truncateTo := func(n int64) (int64, int64, int64, error) {
+		if err := f.Close(); err != nil {
+			return 0, 0, 0, fmt.Errorf("graph: recover wal: %w", err)
+		}
+		if err := os.Truncate(path, n); err != nil {
+			return 0, 0, 0, fmt.Errorf("graph: recover wal: truncate torn tail: %w", err)
+		}
+		return n, lastEpoch, replayed, nil
+	}
+
+	r := bufio.NewReaderSize(f, 256<<10)
+	header := make([]byte, len(walMagic))
+	if _, err := io.ReadFull(r, header); err != nil {
+		// The process died while creating the log: even the header is
+		// incomplete. Nothing can be in it; start over.
+		return truncateTo(0)
+	}
+	if string(header) != walMagic {
+		return 0, 0, 0, fmt.Errorf("graph: %s is not a wal file", filepath.Base(path))
+	}
+	valid := int64(len(walMagic))
+	var frameHdr [8]byte
+	for {
+		if _, err := io.ReadFull(r, frameHdr[:]); err != nil {
+			if err == io.EOF {
+				break // clean end of log
+			}
+			return truncateTo(valid) // torn frame header
+		}
+		payloadLen := binary.LittleEndian.Uint32(frameHdr[0:4])
+		if payloadLen == 0 || payloadLen > maxWALRecordBytes {
+			return truncateTo(valid) // garbage length: torn tail
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return truncateTo(valid) // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(frameHdr[4:8]) {
+			return truncateTo(valid) // torn or bit-rotted record
+		}
+		// Past the checksum: any failure from here on is corruption the
+		// crash model cannot explain.
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("graph: wal corrupt at offset %d: %w", valid, err)
+		}
+		if rec.epoch <= lastEpoch {
+			return 0, 0, 0, fmt.Errorf("graph: wal corrupt at offset %d: epoch %d after %d", valid, rec.epoch, lastEpoch)
+		}
+		lastEpoch = rec.epoch
+		if rec.epoch > ckptEpoch {
+			// Records at or below the checkpoint epoch are the residue of
+			// a crash between checkpoint rename and log truncation: their
+			// content is already in the snapshot.
+			if err := rec.apply(g); err != nil {
+				return 0, 0, 0, fmt.Errorf("graph: wal corrupt at offset %d: %w", valid, err)
+			}
+			replayed++
+		}
+		valid += 8 + int64(payloadLen)
+	}
+	return valid, lastEpoch, replayed, nil
+}
+
+// AtomicWriteFile writes a file via a temp file in the destination's
+// directory plus a rename, so path is only ever absent or complete:
+// a crash or write error mid-save cannot leave a truncated file, and
+// an existing file at path survives any failed attempt untouched.
+func AtomicWriteFile(path string, write func(w io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	discard := func(e error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return e
+	}
+	bw := bufio.NewWriterSize(tmp, 64<<10)
+	if err := write(bw); err != nil {
+		return discard(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return discard(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return discard(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	osFS{}.SyncDir(dir)
+	return nil
+}

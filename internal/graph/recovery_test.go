@@ -1,0 +1,175 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestStickyFailure(t *testing.T) {
+	// Enough budget for the header and the first commit, not the
+	// second. After the first failure every later operation must return
+	// the same error: no valid record may ever follow a torn one.
+	dir := t.TempDir()
+	inj := &faultInjector{budget: 64}
+	st, wal, err := recoverFS(dir, Durability{Sync: SyncNever}, faultFS{in: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var firstErr error
+	for i := 0; ; i++ {
+		if i > 100 {
+			t.Fatal("budget never exhausted")
+		}
+		w := st.BeginWrite()
+		w.Graph().CreateNode([]string{"N"}, value.Map{"i": value.Int(int64(i))})
+		if _, err := w.Commit(); err != nil {
+			firstErr = err
+			break
+		}
+	}
+	w := st.BeginWrite()
+	w.Graph().CreateNode([]string{"After"}, nil)
+	if _, err := w.Commit(); err == nil || err.Error() != firstErr.Error() {
+		t.Fatalf("poisoned WAL accepted a commit: err = %v, want sticky %v", err, firstErr)
+	}
+	if err := st.Checkpoint(); err == nil {
+		t.Fatal("poisoned WAL accepted a checkpoint")
+	}
+	if status := wal.Status(); status.Err == nil {
+		t.Fatal("status does not report the failure")
+	}
+	if err := wal.Close(); err == nil {
+		t.Fatal("Close on a poisoned WAL reported success")
+	}
+}
+
+func TestAtomicWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := AtomicWriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "first")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A failing write must leave the existing file untouched and no
+	// temporary files behind.
+	err := AtomicWriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage")
+		return fmt.Errorf("disk full")
+	})
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("error not surfaced: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "first" {
+		t.Fatalf("original file clobbered: %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "out.json" {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+func TestOnCommitPanicContainment(t *testing.T) {
+	// A panicking subscriber must not corrupt the store: remaining
+	// hooks still run, the commit stays published, the writer baton is
+	// released, and the panic reaches the committing goroutine.
+	st := NewStore(New())
+	secondRan := false
+	st.OnCommit(func(*Delta) { panic("subscriber bug") })
+	st.OnCommit(func(*Delta) { secondRan = true })
+
+	w := st.BeginWrite()
+	w.Graph().CreateNode([]string{"A"}, nil)
+	func() {
+		defer func() {
+			if r := recover(); r != "subscriber bug" {
+				t.Fatalf("panic not propagated: %v", r)
+			}
+		}()
+		w.Commit()
+		t.Fatal("commit did not panic")
+	}()
+
+	if !secondRan {
+		t.Fatal("second hook skipped after first panicked")
+	}
+	snap := st.Acquire()
+	if snap.Graph().NumNodes() != 1 {
+		t.Fatal("panicking hook unpublished the commit")
+	}
+	snap.Release()
+
+	// The baton must be free: a plain follow-up commit (hooks will
+	// panic again, so recover) succeeds and publishes.
+	w = st.BeginWrite()
+	w.Graph().CreateNode([]string{"B"}, nil)
+	func() {
+		defer func() { recover() }()
+		w.Commit()
+	}()
+	snap = st.Acquire()
+	defer snap.Release()
+	if snap.Graph().NumNodes() != 2 {
+		t.Fatal("store wedged after hook panic")
+	}
+}
+
+func TestIdenticalDiscriminates(t *testing.T) {
+	base := func() *Graph {
+		g := New()
+		n := g.CreateNode([]string{"A"}, value.Map{"f": value.Float(1), "nan": value.Float(math.NaN())})
+		m := g.CreateNode(nil, nil)
+		g.CreateRel(n.ID, m.ID, "R", nil)
+		g.CreateIndex("A", "f")
+		return g
+	}
+	if err := Identical(base(), base()); err != nil {
+		t.Fatalf("identical graphs reported different: %v", err)
+	}
+	if err := Identical(base(), base().Clone()); err != nil {
+		t.Fatalf("clone reported different: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(g *Graph)
+	}{
+		{"int vs float", func(g *Graph) { g.SetNodeProp(1, "f", value.Int(1)) }},
+		{"nan vs number", func(g *Graph) { g.SetNodeProp(1, "nan", value.Float(0)) }},
+		{"extra label", func(g *Graph) { g.AddLabel(2, "B") }},
+		{"extra node", func(g *Graph) { g.CreateNode(nil, nil) }},
+		{"rel gone", func(g *Graph) { g.DeleteRel(1) }},
+		{"index gone", func(g *Graph) { g.DropIndex("A", "f") }},
+		{"counters", func(g *Graph) { id := g.CreateNode(nil, nil).ID; g.DeleteNode(id) }},
+	}
+	for _, tc := range cases {
+		g := base()
+		tc.mutate(g)
+		if err := Identical(base(), g); err == nil {
+			t.Errorf("%s: difference not detected", tc.name)
+		}
+	}
+	// NaN must equal NaN bit-for-bit.
+	if !valueBitIdentical(value.Float(math.NaN()), value.Float(math.NaN())) {
+		t.Error("NaN != NaN under bit identity")
+	}
+	if valueBitIdentical(value.Int(1), value.Float(1)) {
+		t.Error("1 == 1.0 under bit identity")
+	}
+}

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -75,6 +76,11 @@ type Store struct {
 
 	// onCommit holds the registered change-feed hooks (OnCommit).
 	onCommit []func(*Delta)
+
+	// wal is the write-ahead log of a durable store (nil otherwise).
+	// It is set by Recover before the store is shared, never after, so
+	// reads need no lock.
+	wal *WAL
 
 	epoch int64
 }
@@ -167,6 +173,28 @@ func (s *Store) Epoch() int64 {
 	return s.epoch
 }
 
+// WAL returns the store's write-ahead log, or nil for an in-memory
+// store.
+func (s *Store) WAL() *WAL { return s.wal }
+
+// Checkpoint forces a durability checkpoint: the current epoch is
+// written as the snapshot and the log truncated. It takes the writer
+// baton, so it serializes against write transactions. Errors if the
+// store is not durable.
+func (s *Store) Checkpoint() error {
+	if s.wal == nil {
+		return fmt.Errorf("graph: checkpoint of a non-durable store")
+	}
+	s.writerMu.Lock()
+	defer s.writerMu.Unlock()
+	// With the baton held no commit can replace cur, and a published
+	// graph is immutable, so the unlocked use of g below is safe.
+	s.mu.Lock()
+	g, epoch := s.cur.g, s.epoch
+	s.mu.Unlock()
+	return s.wal.checkpoint(g, epoch)
+}
+
 // OnCommit registers fn as a change-feed consumer: after every commit
 // that changed anything, fn is called with the new epoch's Delta.
 // Hooks run on the committing goroutine, in epoch order, while the
@@ -251,7 +279,14 @@ func (w *WriteTxn) Journal() *Journal { return w.j }
 // The epoch carries the transaction's net Delta (derived from the
 // journal), delivered to OnCommit hooks and readable via
 // Snapshot.Delta.
-func (w *WriteTxn) Commit() int64 {
+//
+// On a durable store the delta is appended to the write-ahead log
+// (and, under SyncAlways, fsynced) before the epoch is published; a
+// log failure is returned here. The in-memory commit still takes
+// effect — an in-place transaction has already mutated the shared
+// graph and cannot be unwound — but it may not survive a crash, and
+// the log is poisoned: every later commit returns the same error.
+func (w *WriteTxn) Commit() (int64, error) {
 	if w.done {
 		panic("graph: commit of a finished write transaction")
 	}
@@ -293,13 +328,39 @@ func (w *WriteTxn) Rollback() {
 	w.finish(nil)
 }
 
-func (w *WriteTxn) finish(entries []undoEntry) int64 {
+func (w *WriteTxn) finish(entries []undoEntry) (int64, error) {
 	w.done = true
 	s := w.s
+	// The epoch this transaction will publish. Only finish advances
+	// s.epoch, and finish runs under the writer baton, so the unlocked
+	// read is safe.
+	epoch := s.epoch + 1
+	// Write-ahead: on a durable store the delta must be on the log
+	// before anyone can observe the epoch. The netting normally
+	// deferred to Snapshot.Delta happens here instead, and the result
+	// is pre-seeded into the snapshot below so it is not re-derived.
+	var (
+		d      *Delta
+		netted bool
+		walErr error
+	)
+	if s.wal != nil && len(entries) > 0 {
+		d = netDelta(entries)
+		netted = true
+		if d != nil {
+			d.Epoch = epoch
+			walErr = s.wal.Append(d, w.g)
+		}
+	}
 	s.mu.Lock()
-	s.epoch++
-	epoch := s.epoch
+	s.epoch = epoch
 	sn := &Snapshot{store: s, g: w.g, epoch: epoch, deltaEntries: entries}
+	if netted {
+		sn.deltaOnce.Do(func() {
+			sn.delta = d
+			sn.deltaEntries = nil
+		})
+	}
 	var hooks []func(*Delta)
 	if len(entries) > 0 {
 		hooks = s.onCommit
@@ -308,17 +369,39 @@ func (w *WriteTxn) finish(entries []undoEntry) int64 {
 	s.inPlace = false
 	s.mu.Unlock()
 	s.readable.Broadcast()
+	// Compact the log once it outgrows the threshold. The record above
+	// is already durable, so a checkpoint failure does not undo this
+	// commit; if it poisoned the log the next append will say so.
+	if walErr == nil && s.wal != nil && s.wal.wantCheckpoint() {
+		_ = s.wal.checkpoint(w.g, epoch)
+	}
 	// Feed hooks run before the writer baton is released so deltas
 	// arrive in strict epoch order. Dispatching them forces the lazy
 	// netting; without hooks it stays deferred to the first
-	// Snapshot.Delta call (or never happens).
+	// Snapshot.Delta call (or never happens). A panicking hook must not
+	// wedge the writer baton or starve later hooks: the first panic is
+	// re-raised on this (committing) goroutine only after every hook
+	// ran and the baton is released — the commit itself stays published
+	// and durable.
+	var hookPanic any
+	panicked := false
 	if len(hooks) > 0 {
 		if d := sn.Delta(); d != nil {
 			for _, h := range hooks {
-				h(d)
+				func() {
+					defer func() {
+						if r := recover(); r != nil && !panicked {
+							hookPanic, panicked = r, true
+						}
+					}()
+					h(d)
+				}()
 			}
 		}
 	}
 	s.writerMu.Unlock()
-	return epoch
+	if panicked {
+		panic(hookPanic)
+	}
+	return epoch, walErr
 }

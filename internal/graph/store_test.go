@@ -30,7 +30,7 @@ func TestStoreCommitPublishesNewEpoch(t *testing.T) {
 	if got := before.Graph().NumNodes(); got != 3 {
 		t.Fatalf("pinned reader sees %d nodes mid-write, want 3", got)
 	}
-	epoch := w.Commit()
+	epoch, _ := w.Commit()
 	if epoch != 1 {
 		t.Fatalf("epoch = %d, want 1", epoch)
 	}

@@ -3,16 +3,21 @@ package plan
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
-	"math"
 	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync/atomic"
+	"syscall"
 
 	"repro/internal/ast"
 	"repro/internal/expr"
+	"repro/internal/graph"
 	"repro/internal/value"
 )
 
@@ -51,249 +56,92 @@ var spillLive atomic.Int64
 // any remainder even on error or early-LIMIT abandonment).
 func SpillFilesLive() int64 { return spillLive.Load() }
 
-// ---------------------------------------------------------------------
-// Value codec
-// ---------------------------------------------------------------------
+// spillDirCfg holds the configured spill directory ("" = os.TempDir()).
+var spillDirCfg atomic.Value
 
-const (
-	tagNull byte = iota
-	tagFalse
-	tagTrue
-	tagInt
-	tagFloat
-	tagString
-	tagList
-	tagMap
-	tagNode
-	tagRel
-	tagPath
-)
+// SetSpillDir directs subsequent spill temp files to dir for the whole
+// process (the empty string restores the default, os.TempDir()).
+func SetSpillDir(dir string) { spillDirCfg.Store(dir) }
 
-func writeVarint(w *bufio.Writer, x int64) error {
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutVarint(buf[:], x)
-	_, err := w.Write(buf[:n])
-	return err
-}
-
-func writeUvarint(w *bufio.Writer, x uint64) error {
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], x)
-	_, err := w.Write(buf[:n])
-	return err
-}
-
-func writeSpillString(w *bufio.Writer, s string) error {
-	if err := writeUvarint(w, uint64(len(s))); err != nil {
-		return err
+// SpillDir reports the directory spill temp files are created in.
+func SpillDir() string {
+	if d, ok := spillDirCfg.Load().(string); ok && d != "" {
+		return d
 	}
-	_, err := w.WriteString(s)
-	return err
+	return os.TempDir()
 }
 
-func readSpillString(r *bufio.Reader) (string, error) {
-	n, err := binary.ReadUvarint(r)
+// spillFilePrefix tags this process's spill files with its pid, so a
+// sweep after a crash can tell dead owners' orphans from files of
+// still-running engines.
+func spillFilePrefix() string { return fmt.Sprintf("repro-spill-p%d-", os.Getpid()) }
+
+// SweepSpillOrphans removes spill temp files in dir (the configured
+// spill directory when dir is empty) whose owning process is no longer
+// alive — the files a killed process had no chance to clean up. Files
+// of live processes, of this process, and files whose owner cannot be
+// determined are left alone. It returns the number of files removed.
+// Engine construction calls this once per process, so restarting after
+// a crash reclaims the disk the crash leaked.
+func SweepSpillOrphans(dir string) (int, error) {
+	if dir == "" {
+		dir = SpillDir()
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "repro-spill-p*"))
 	if err != nil {
-		return "", err
+		return 0, err
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return "", err
+	removed := 0
+	for _, path := range matches {
+		rest := strings.TrimPrefix(filepath.Base(path), "repro-spill-p")
+		dash := strings.IndexByte(rest, '-')
+		if dash <= 0 {
+			continue
+		}
+		pid, err := strconv.Atoi(rest[:dash])
+		if err != nil || pid <= 0 || pid == os.Getpid() {
+			continue
+		}
+		if pidAlive(pid) {
+			continue
+		}
+		if err := os.Remove(path); err == nil {
+			removed++
+		}
 	}
-	return string(buf), nil
+	return removed, nil
 }
 
-// writeVal encodes one value. Floats round-trip by bit pattern (NaN
-// included), entities by id, lists/maps/paths recursively — every
-// value kind is covered, so any row the executor produces can spill.
-func writeVal(w *bufio.Writer, v value.Value) error {
-	switch x := v.(type) {
-	case nil, value.Null:
-		return w.WriteByte(tagNull)
-	case value.Bool:
-		if x {
-			return w.WriteByte(tagTrue)
-		}
-		return w.WriteByte(tagFalse)
-	case value.Int:
-		if err := w.WriteByte(tagInt); err != nil {
-			return err
-		}
-		return writeVarint(w, int64(x))
-	case value.Float:
-		if err := w.WriteByte(tagFloat); err != nil {
-			return err
-		}
-		var buf [8]byte
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(float64(x)))
-		_, err := w.Write(buf[:])
-		return err
-	case value.String:
-		if err := w.WriteByte(tagString); err != nil {
-			return err
-		}
-		return writeSpillString(w, string(x))
-	case value.Node:
-		if err := w.WriteByte(tagNode); err != nil {
-			return err
-		}
-		return writeVarint(w, x.ID)
-	case value.Rel:
-		if err := w.WriteByte(tagRel); err != nil {
-			return err
-		}
-		return writeVarint(w, x.ID)
-	case value.Path:
-		if err := w.WriteByte(tagPath); err != nil {
-			return err
-		}
-		if err := writeUvarint(w, uint64(len(x.Nodes))); err != nil {
-			return err
-		}
-		for _, id := range x.Nodes {
-			if err := writeVarint(w, id); err != nil {
-				return err
-			}
-		}
-		if err := writeUvarint(w, uint64(len(x.Rels))); err != nil {
-			return err
-		}
-		for _, id := range x.Rels {
-			if err := writeVarint(w, id); err != nil {
-				return err
-			}
-		}
-		return nil
-	case value.List:
-		if err := w.WriteByte(tagList); err != nil {
-			return err
-		}
-		if err := writeUvarint(w, uint64(len(x))); err != nil {
-			return err
-		}
-		for _, e := range x {
-			if err := writeVal(w, e); err != nil {
-				return err
-			}
-		}
-		return nil
-	case value.Map:
-		if err := w.WriteByte(tagMap); err != nil {
-			return err
-		}
-		if err := writeUvarint(w, uint64(len(x))); err != nil {
-			return err
-		}
-		for _, k := range x.Keys() {
-			if err := writeSpillString(w, k); err != nil {
-				return err
-			}
-			if err := writeVal(w, x[k]); err != nil {
-				return err
-			}
-		}
-		return nil
-	default:
-		return internalErrorf("spill: cannot encode %T", v)
-	}
-}
-
-func readVal(r *bufio.Reader) (value.Value, error) {
-	tag, err := r.ReadByte()
+// pidAlive reports whether a process with the given pid exists (signal
+// 0 probes existence without delivering anything; EPERM still means
+// the process is there).
+func pidAlive(pid int) bool {
+	proc, err := os.FindProcess(pid)
 	if err != nil {
-		return nil, err
+		return false
 	}
-	switch tag {
-	case tagNull:
-		return value.NullValue, nil
-	case tagFalse:
-		return value.Bool(false), nil
-	case tagTrue:
-		return value.Bool(true), nil
-	case tagInt:
-		x, err := binary.ReadVarint(r)
-		if err != nil {
-			return nil, err
-		}
-		return value.Int(x), nil
-	case tagFloat:
-		var buf [8]byte
-		if _, err := io.ReadFull(r, buf[:]); err != nil {
-			return nil, err
-		}
-		return value.Float(math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))), nil
-	case tagString:
-		s, err := readSpillString(r)
-		if err != nil {
-			return nil, err
-		}
-		return value.String(s), nil
-	case tagNode:
-		id, err := binary.ReadVarint(r)
-		if err != nil {
-			return nil, err
-		}
-		return value.Node{ID: id}, nil
-	case tagRel:
-		id, err := binary.ReadVarint(r)
-		if err != nil {
-			return nil, err
-		}
-		return value.Rel{ID: id}, nil
-	case tagPath:
-		nn, err := binary.ReadUvarint(r)
-		if err != nil {
-			return nil, err
-		}
-		p := value.Path{Nodes: make([]int64, nn)}
-		for i := range p.Nodes {
-			if p.Nodes[i], err = binary.ReadVarint(r); err != nil {
-				return nil, err
-			}
-		}
-		nr, err := binary.ReadUvarint(r)
-		if err != nil {
-			return nil, err
-		}
-		p.Rels = make([]int64, nr)
-		for i := range p.Rels {
-			if p.Rels[i], err = binary.ReadVarint(r); err != nil {
-				return nil, err
-			}
-		}
-		return p, nil
-	case tagList:
-		n, err := binary.ReadUvarint(r)
-		if err != nil {
-			return nil, err
-		}
-		l := make(value.List, n)
-		for i := range l {
-			if l[i], err = readVal(r); err != nil {
-				return nil, err
-			}
-		}
-		return l, nil
-	case tagMap:
-		n, err := binary.ReadUvarint(r)
-		if err != nil {
-			return nil, err
-		}
-		m := make(value.Map, n)
-		for i := uint64(0); i < n; i++ {
-			k, err := readSpillString(r)
-			if err != nil {
-				return nil, err
-			}
-			if m[k], err = readVal(r); err != nil {
-				return nil, err
-			}
-		}
-		return m, nil
-	default:
-		return nil, internalErrorf("spill: unknown value tag %d", tag)
-	}
+	err = proc.Signal(syscall.Signal(0))
+	return err == nil || errors.Is(err, syscall.EPERM)
 }
+
+// ---------------------------------------------------------------------
+// Value codec — delegated to the shared binary codec in internal/graph
+// (binval.go), which the write-ahead log uses too. Floats round-trip
+// by bit pattern (NaN included), entities by id, lists/maps/paths
+// recursively — every value kind is covered, so any row the executor
+// produces can spill.
+// ---------------------------------------------------------------------
+
+func writeVarint(w *bufio.Writer, x int64) error   { return graph.WriteVarint(w, x) }
+func writeUvarint(w *bufio.Writer, x uint64) error { return graph.WriteUvarint(w, x) }
+
+func writeSpillString(w *bufio.Writer, s string) error { return graph.WriteBinaryString(w, s) }
+
+func readSpillString(r *bufio.Reader) (string, error) { return graph.ReadBinaryString(r) }
+
+func writeVal(w *bufio.Writer, v value.Value) error { return graph.WriteBinaryValue(w, v) }
+
+func readVal(r *bufio.Reader) (value.Value, error) { return graph.ReadBinaryValue(r) }
 
 func writeSpillRow(w *bufio.Writer, row spillRow) error {
 	if err := writeVarint(w, row.seq); err != nil {
@@ -371,7 +219,7 @@ type spillFile struct {
 }
 
 func newSpillFile() (*spillFile, error) {
-	f, err := os.CreateTemp("", "repro-spill-*")
+	f, err := os.CreateTemp(SpillDir(), spillFilePrefix()+"*")
 	if err != nil {
 		return nil, fmt.Errorf("spill: %w", err)
 	}

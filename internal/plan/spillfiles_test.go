@@ -1,0 +1,61 @@
+package plan
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSpillDirConfigurable(t *testing.T) {
+	defer SetSpillDir("")
+	if SpillDir() != os.TempDir() {
+		t.Fatalf("default spill dir = %q, want os.TempDir()", SpillDir())
+	}
+	dir := t.TempDir()
+	SetSpillDir(dir)
+	if SpillDir() != dir {
+		t.Fatalf("spill dir = %q after SetSpillDir(%q)", SpillDir(), dir)
+	}
+	f, err := newSpillFile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := f.f.Name()
+	f.discard()
+	if filepath.Dir(name) != dir {
+		t.Fatalf("spill file %q not in configured dir %q", name, dir)
+	}
+	if !strings.HasPrefix(filepath.Base(name), spillFilePrefix()) {
+		t.Fatalf("spill file %q lacks the recognizable prefix %q", name, spillFilePrefix())
+	}
+}
+
+func TestSweepSpillOrphans(t *testing.T) {
+	dir := t.TempDir()
+	// An orphan from a process that no longer exists, a live file from
+	// this process, and an unrelated file.
+	orphan := filepath.Join(dir, "repro-spill-p999999999-x")
+	ours := filepath.Join(dir, spillFilePrefix()+"y")
+	other := filepath.Join(dir, "unrelated.tmp")
+	for _, p := range []string{orphan, ours, other} {
+		if err := os.WriteFile(p, []byte("x"), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := SweepSpillOrphans(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("swept %d files, want 1", n)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatal("dead process's spill file survived the sweep")
+	}
+	for _, p := range []string{ours, other} {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("sweep removed %s, which it must not touch", p)
+		}
+	}
+}
