@@ -1,13 +1,13 @@
 # Build, test and benchmark entry points. CI runs `make test`, the
 # race detector (`make race`), the spill suite (`make spill`), the
-# crash-recovery suite (`make crash`), the short bench smoke, the fuzz
-# smoke and the docs smoke; `make bench` records the perf
-# trajectory into BENCH_pr7.json (one file per PR so regressions are
-# diffable).
+# parallel-executor suite (`make par`), the crash-recovery suite
+# (`make crash`), the short bench smoke, the fuzz smoke and the docs
+# smoke; `make bench` records the perf trajectory into BENCH_pr8.json
+# (one file per PR so regressions are diffable).
 
-BENCH_OUT ?= BENCH_pr7.json
+BENCH_OUT ?= BENCH_pr8.json
 
-.PHONY: all test vet race stress spill crash fuzz bench bench-smoke docs-smoke
+.PHONY: all test vet race stress spill crash fuzz par bench bench-smoke docs-smoke
 
 all: test
 
@@ -41,6 +41,18 @@ spill:
 	go test -race -run 'TestTinyBudgetSpillEquivalence|TestBudgetBoundsBarrierPeak|TestExecutorTriEquivalence' ./internal/core
 	go test -race -run 'TestCorpusExecutorSweep' ./internal/script
 	go test -race -run 'TestWithMemoryBudget|TestProfile' ./cypher
+
+# The morsel-parallel executor gate, under the race detector: the
+# parallelism sweep (degrees 1/2/8, with and without a spill-forcing
+# budget, bit-identical output required), error/cancellation draining
+# with zero live spill files, the concurrent spill-registry and budget
+# bookkeeping hammer, and the script-corpus sweep whose configs include
+# the parallel executor. Degrees are set explicitly in the tests, so
+# this gate is meaningful even on single-core CI runners.
+par:
+	go test -race -run 'TestParallel' ./internal/core
+	go test -race -run 'TestSpillBookkeepingConcurrent|TestBudgetShrinkClampConcurrent' ./internal/plan
+	go test -race -run 'TestCorpusExecutorSweep' ./internal/script
 
 # The durability gate: the kill-at-random-point property test, 250
 # randomized iterations under the race detector. Each iteration runs a

@@ -23,6 +23,7 @@
 //	B16 vectorized batch execution vs row-at-a-time streaming
 //	B17 spilling barriers under a memory budget vs unlimited in-memory
 //	B18 durable commit latency: WAL off / no-sync / grouped fsync / fsync-per-commit
+//	B19 morsel-parallel read scaling: worker degrees 1/2/4/8 on scan- and match-heavy pipelines
 package repro_test
 
 import (
@@ -736,6 +737,60 @@ func BenchmarkB18DurableCommit(b *testing.B) {
 				b.Fatal(err)
 			}
 		})
+	}
+}
+
+// B19: morsel-parallel read scaling. Two read pipelines over a 100k-
+// node graph — a scan-filter-aggregate and a relationship-expanding
+// match-filter — at explicit worker degrees 1, 2, 4 and 8, so one run
+// records the whole scaling curve (the degree is the engine's worker-
+// pool size, not GOMAXPROCS; pass -cpu to scale the hardware too).
+// Before timing, every parallel degree's output is asserted
+// bit-identical to the serial run. par=1 measures the exchange-free
+// serial plan, i.e. the overhead baseline.
+func BenchmarkB19ParallelScaling(b *testing.B) {
+	const n = 100000
+	g := graph.New()
+	ids := make([]graph.NodeID, n)
+	for i := 0; i < n; i++ {
+		nd := g.CreateNode([]string{"U"}, value.Map{
+			"i": value.Int(int64(i)),
+			"g": value.Int(int64(i % 64)),
+		})
+		ids[i] = nd.ID
+	}
+	for i := 0; i < n; i++ {
+		if _, err := g.CreateRel(ids[i], ids[(i+1)%n], "F", nil); err != nil {
+			b.Fatal(err)
+		}
+		if i%5 == 0 {
+			if _, err := g.CreateRel(ids[i], ids[(i*7919+13)%n], "F", nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	queries := []struct{ name, q string }{
+		{"scan-filter-aggregate", `MATCH (u:U) WHERE u.i % 3 = 0 RETURN u.g AS g, count(*) AS c, min(u.i) AS lo`},
+		{"match-heavy", `MATCH (u:U)-[:F]->(v:U) WHERE v.i % 17 = 0 AND u.i < v.i RETURN u.g AS a, count(*) AS c`},
+	}
+	for _, q := range queries {
+		want := execBench(b, core.Config{Dialect: core.DialectRevised, Parallelism: 1}, g, q.q, nil).Table.String()
+		for _, par := range []int{2, 4, 8} {
+			cfg := core.Config{Dialect: core.DialectRevised, Parallelism: par}
+			if got := execBench(b, cfg, g, q.q, nil).Table.String(); got != want {
+				b.Fatalf("%s par=%d output diverges from serial", q.name, par)
+			}
+		}
+		for _, par := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/par=%d/nodes=%d", q.name, par, n), func(b *testing.B) {
+				cfg := core.Config{Dialect: core.DialectRevised, Parallelism: par}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					execBench(b, cfg, g, q.q, nil)
+				}
+			})
+		}
 	}
 }
 

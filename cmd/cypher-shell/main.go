@@ -10,6 +10,8 @@
 //	                      strong-collapse, from-form)
 //	:set budget <bytes>   cap per-statement barrier memory (0 = unlimited);
 //	                      barriers beyond the cap spill to temp files
+//	:set parallelism <n>  worker-pool degree for read statements
+//	                      (0 = GOMAXPROCS, 1 = serial)
 //	:stats                print graph statistics
 //	:indexes              list property indexes
 //	:epoch                print the committed transaction epoch
@@ -54,7 +56,8 @@
 // memory budget is set, the plan header states the effective budget. A
 // statement prefixed with PROFILE executes it and prints the plan
 // annotated with observed per-operator rows/batches and, for barriers,
-// peak accounted memory and spill-run counts.
+// peak accounted memory and spill-run counts. Parallel plans show
+// their exchange boundaries with workers= and morsels= counters.
 //
 // Switching dialects or setting a budget preserves the graph contents;
 // both are refused while a transaction is open.
@@ -234,9 +237,10 @@ func meta(db *cypher.DB, dialect, cmd string) (*cypher.DB, string, bool) {
 		fmt.Println("COMMIT; publishes it atomically, ROLLBACK; discards it. Without BEGIN, statements auto-commit.")
 		fmt.Println("indexes: CREATE INDEX ON :Label(prop); / DROP INDEX ON :Label(prop); — :indexes lists them.")
 		fmt.Println("memory: :set budget <bytes> caps per-statement barrier memory (spill to disk beyond it; 0 = unlimited).")
+		fmt.Println("parallelism: :set parallelism <n> sets the worker-pool degree for read statements (0 = GOMAXPROCS, 1 = serial).")
 		fmt.Println("durability: run with -data <dir> to persist commits to a write-ahead log; :wal shows its status,")
 		fmt.Println(":wal checkpoint compacts it, and :save <path> writes an atomic JSON snapshot anywhere.")
-		fmt.Println("Meta: :dialect cypher9|revised, :merge <strategy>, :set budget <bytes>, :stats, :indexes, :epoch, :wal, :save <path>, :clear, :quit")
+		fmt.Println("Meta: :dialect cypher9|revised, :merge <strategy>, :set budget <bytes>, :set parallelism <n>, :stats, :indexes, :epoch, :wal, :save <path>, :clear, :quit")
 	case ":clear":
 		opt := cypher.WithDialect(cypher.Revised)
 		if dialect == "cypher9" {
@@ -274,14 +278,24 @@ func meta(db *cypher.DB, dialect, cmd string) (*cypher.DB, string, bool) {
 		}
 		return db.Snapshot(cypher.WithMergeStrategy(s)), dialect, false
 	case ":set":
-		if len(fields) != 3 || fields[1] != "budget" {
-			fmt.Println("usage: :set budget <bytes>   (0 = unlimited)")
+		if len(fields) != 3 || (fields[1] != "budget" && fields[1] != "parallelism") {
+			fmt.Println("usage: :set budget <bytes> | :set parallelism <n>   (0 = unlimited / GOMAXPROCS)")
 			break
 		}
 		n, err := strconv.ParseInt(fields[2], 10, 64)
 		if err != nil || n < 0 {
-			fmt.Println("budget must be a non-negative byte count:", fields[2])
+			fmt.Printf("%s must be a non-negative integer: %s\n", fields[1], fields[2])
 			break
+		}
+		if fields[1] == "parallelism" {
+			if n == 0 {
+				fmt.Println("parallelism: GOMAXPROCS (read statements use all cores)")
+			} else if n == 1 {
+				fmt.Println("parallelism: 1 (serial execution)")
+			} else {
+				fmt.Printf("parallelism: %d workers for read statements\n", n)
+			}
+			return db.Snapshot(cypher.WithParallelism(int(n))), dialect, false
 		}
 		if n == 0 {
 			fmt.Println("memory budget: unlimited")

@@ -172,6 +172,17 @@ func WithMemoryBudget(bytes int64) Option {
 	return func(o *options) { o.cfg.MemoryBudget = bytes }
 }
 
+// WithParallelism sets the worker-pool degree for morsel-driven
+// parallel execution of read-only statements: large scans and pattern
+// matches are split into morsels executed by up to n workers, with
+// results gathered in order so output is identical to a serial run.
+// Zero (the default) means GOMAXPROCS; 1 disables parallelism.
+// Updating statements and statements inside explicit transactions
+// always run serially regardless of this setting.
+func WithParallelism(n int) Option {
+	return func(o *options) { o.cfg.Parallelism = n }
+}
+
 // WithDurability sets the write-ahead log configuration used when the
 // database is opened against a data directory (OpenDir). It has no
 // effect on a purely in-memory database.

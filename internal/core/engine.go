@@ -22,6 +22,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/ast"
@@ -199,6 +200,15 @@ type Config struct {
 	// unlimited: no accounting, no spilling. Results are identical with
 	// and without a budget; only peak memory and speed change.
 	MemoryBudget int64
+	// Parallelism is the worker-pool degree for morsel-driven parallel
+	// execution of read-only statements on the batched streaming
+	// executor. Zero (the default) means GOMAXPROCS; 1 disables
+	// parallelism. Update statements, explicit-transaction pipelines and
+	// the row-at-a-time/materializing executors always run serially.
+	// Results are identical at any degree: morsel outputs are gathered
+	// in morsel order, so parallel plans emit the exact row sequence of
+	// a serial run.
+	Parallelism int
 	// Durability configures the write-ahead log when the database is
 	// opened against a data directory (cypher.OpenDir /
 	// cypher.WithDurability). The engine itself does not consult it —
@@ -345,11 +355,35 @@ func statementInvariant(g *graph.Graph) error {
 // executor expresses the same composition as a sequential Union
 // operator; the materializing executor loops over the members.
 func (e *Engine) executeUnion(g *graph.Graph, stmt *ast.Statement, params map[string]value.Value, t0 *table.Table) (*Result, error) {
+	return e.executeUnionPar(g, stmt, params, t0, e.parallelism(stmt))
+}
+
+// parallelism resolves the exchange degree a statement may use: the
+// configured Parallelism (0 = GOMAXPROCS), forced to 1 — fully serial —
+// for update statements and for any executor other than the batched
+// streaming one. Explicit-transaction pipelines pass 1 explicitly (see
+// Session.executeInTxn): the single-writer baton stays untouched.
+func (e *Engine) parallelism(stmt *ast.Statement) int {
+	if e.cfg.Executor != ExecStreaming || stmt.Updating() {
+		return 1
+	}
+	p := e.cfg.Parallelism
+	if p == 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// executeUnionPar is executeUnion with an explicit exchange degree.
+func (e *Engine) executeUnionPar(g *graph.Graph, stmt *ast.Statement, params map[string]value.Value, t0 *table.Table, par int) (*Result, error) {
 	if stmt.Index != nil {
 		return executeIndexStmt(g, stmt.Index)
 	}
 	if e.cfg.Executor != ExecMaterializing {
-		return e.executeStreaming(g, stmt, params, t0)
+		return e.executeStreaming(g, stmt, params, t0, par)
 	}
 	var out *table.Table
 	stats := UpdateStats{}
@@ -414,14 +448,14 @@ func unionCompatible(a, b *table.Table) error {
 // and drains it. Update clauses run behind materialization barriers via
 // the same per-clause functions as the materializing executor, so both
 // dialects' update semantics are identical across executors.
-func (e *Engine) executeStreaming(g *graph.Graph, stmt *ast.Statement, params map[string]value.Value, t0 *table.Table) (*Result, error) {
+func (e *Engine) executeStreaming(g *graph.Graph, stmt *ast.Statement, params map[string]value.Value, t0 *table.Table, par int) (*Result, error) {
 	x := &executor{
 		cfg:    e.cfg,
 		graph:  g,
 		params: params,
 		ev:     &expr.Evaluator{Graph: g, Params: params},
 	}
-	root, err := x.buildPlan(stmt, t0)
+	root, err := x.buildPlan(stmt, t0, par)
 	if err != nil {
 		return nil, err
 	}
@@ -442,14 +476,15 @@ func (e *Engine) executeStreaming(g *graph.Graph, stmt *ast.Statement, params ma
 // buildPlan constructs the statement's operator tree. The builder's
 // Write hook closes over this executor, so update barriers apply the
 // dialect-selected clause functions and accumulate stats here.
-func (x *executor) buildPlan(stmt *ast.Statement, t0 *table.Table) (plan.Operator, error) {
+func (x *executor) buildPlan(stmt *ast.Statement, t0 *table.Table, par int) (plan.Operator, error) {
 	b := &plan.Builder{
 		Ev:         x.ev,
-		NewMatcher: x.matcher,
+		NewMatcher: x.matcherFor,
 		Write: func(c ast.Clause, in *table.Table) (*table.Table, error) {
 			return x.clause(c, in)
 		},
 		MemoryBudget: x.cfg.MemoryBudget,
+		Parallelism:  par,
 	}
 	return b.BuildStatement(stmt, t0)
 }
@@ -495,7 +530,11 @@ func (e *Engine) explainStatement(g *graph.Graph, stmt *ast.Statement, params ma
 		params: params,
 		ev:     &expr.Evaluator{Graph: g, Params: params},
 	}
-	root, err := x.buildPlan(stmt, nil)
+	par := e.parallelism(stmt)
+	if inTxn {
+		par = 1
+	}
+	root, err := x.buildPlan(stmt, nil, par)
 	if err != nil {
 		return "", err
 	}
@@ -524,10 +563,15 @@ type executor struct {
 	stats  UpdateStats
 }
 
-func (x *executor) matcher() *match.Matcher {
+func (x *executor) matcher() *match.Matcher { return x.matcherFor(x.ev) }
+
+// matcherFor builds a matcher bound to the given evaluator — the
+// executor's own for serial pipelines, a worker's private clone inside
+// a parallel exchange.
+func (x *executor) matcherFor(ev *expr.Evaluator) *match.Matcher {
 	return &match.Matcher{
 		Graph:       x.graph,
-		Ev:          x.ev,
+		Ev:          ev,
 		Mode:        x.cfg.MatchMode,
 		DisablePlan: x.cfg.Planner == PlannerLeftToRight,
 		ForceAnchor: x.cfg.forceAnchor,

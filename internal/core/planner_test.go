@@ -249,7 +249,9 @@ func TestPlannerAnchorsRareLabel(t *testing.T) {
 
 	run := func(planner PlannerMode) (int64, int64) {
 		var root plan.Operator
-		cfg := Config{Dialect: DialectRevised, Planner: planner}
+		// Parallelism pinned to 1: the test reads the serial Match
+		// operator's visit counters.
+		cfg := Config{Dialect: DialectRevised, Planner: planner, Parallelism: 1}
 		cfg.onPlan = func(op plan.Operator) { root = op }
 		res, err := NewEngine(cfg).ExecuteStatement(g.Clone(), stmt, nil)
 		if err != nil {

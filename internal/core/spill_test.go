@@ -145,7 +145,9 @@ func TestTinyBudgetSpillEquivalence(t *testing.T) {
 			t.Fatalf("q%d unlimited: %v", qi, err)
 		}
 		var root plan.Operator
-		cfg := Config{Dialect: DialectRevised, MemoryBudget: 1}
+		// Parallelism pinned to 1: the test asserts serial barrier spill
+		// counters (the parallel sweep covers the parallel intake).
+		cfg := Config{Dialect: DialectRevised, MemoryBudget: 1, Parallelism: 1}
 		cfg.onPlan = func(op plan.Operator) { root = op }
 		got, err := NewEngine(cfg).ExecuteStatement(g.Clone(), stmt, nil)
 		if err != nil {
@@ -191,7 +193,7 @@ func TestBudgetBoundsBarrierPeak(t *testing.T) {
 
 	// Unlimited run: the sort holds everything; record its peak.
 	var rootU plan.Operator
-	cfgU := Config{Dialect: DialectRevised, MemoryBudget: 1 << 40}
+	cfgU := Config{Dialect: DialectRevised, MemoryBudget: 1 << 40, Parallelism: 1}
 	cfgU.onPlan = func(op plan.Operator) { rootU = op }
 	pstmt, err := parser.Parse(query)
 	if err != nil {
@@ -211,7 +213,7 @@ func TestBudgetBoundsBarrierPeak(t *testing.T) {
 	}
 
 	var root plan.Operator
-	cfg := Config{Dialect: DialectRevised, MemoryBudget: budget}
+	cfg := Config{Dialect: DialectRevised, MemoryBudget: budget, Parallelism: 1}
 	cfg.onPlan = func(op plan.Operator) { root = op }
 	if _, err := NewEngine(cfg).ExecuteStatement(g.Clone(), pstmt, nil); err != nil {
 		t.Fatal(err)

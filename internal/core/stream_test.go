@@ -168,7 +168,10 @@ func TestLimitEarlyExitStopsEnumeration(t *testing.T) {
 	}
 
 	var root plan.Operator
-	cfg := Config{Dialect: DialectRevised}
+	// Parallelism pinned to 1: the test asserts per-operator visit
+	// counters on the serial Match, which an Exchange would replace
+	// with a never-opened prototype.
+	cfg := Config{Dialect: DialectRevised, Parallelism: 1}
 	cfg.onPlan = func(op plan.Operator) { root = op }
 	eng := NewEngine(cfg)
 	stmt, err := parser.Parse(`MATCH (m:N) RETURN m.i AS i LIMIT 3`)
@@ -219,7 +222,8 @@ func TestLimitEarlyExitExpand(t *testing.T) {
 		}
 	}
 	var root plan.Operator
-	cfg := Config{Dialect: DialectRevised}
+	// Parallelism: 1 — same visit-counter pinning as above.
+	cfg := Config{Dialect: DialectRevised, Parallelism: 1}
 	cfg.onPlan = func(op plan.Operator) { root = op }
 	stmt, err := parser.Parse(`MATCH (h:Hub)-[:T]->(s:Spoke) RETURN h.h AS h LIMIT 2`)
 	if err != nil {

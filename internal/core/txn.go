@@ -140,7 +140,10 @@ func (s *Session) executeTxnControl(ctl ast.TxnControl) (*Result, error) {
 func (s *Session) executeInTxn(stmt *ast.Statement, params map[string]value.Value, t0 *table.Table) (*Result, error) {
 	g, j := s.txn.w.Graph(), s.txn.w.Journal()
 	mark := j.Mark()
-	res, err := s.e.executeUnion(g, stmt, params, t0)
+	// Explicit-transaction pipelines run serially (degree 1): the
+	// transaction's working graph is private to this session but the
+	// single-writer baton and journal discipline stay untouched.
+	res, err := s.e.executeUnionPar(g, stmt, params, t0, 1)
 	if err == nil {
 		err = statementInvariant(g)
 	}

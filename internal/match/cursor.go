@@ -29,13 +29,21 @@ type Cursor struct {
 // environments it reports true for are yielded (and count toward batch
 // boundaries); an error from the filter aborts the enumeration.
 func (m *Matcher) NewCursor(parts []*ast.PatternPart, env expr.Env, max int, filter func(expr.Env) (bool, error)) *Cursor {
+	return newCursor(func(yield func(expr.Env) error) error {
+		return m.Stream(parts, env, yield)
+	}, max, filter)
+}
+
+// newCursor adapts any push-style enumeration to the Cursor pull
+// discipline (NewCursor and NewAnchorCursor share it).
+func newCursor(stream func(yield func(expr.Env) error) error, max int, filter func(expr.Env) (bool, error)) *Cursor {
 	if max < 1 {
 		max = 1
 	}
 	errp := new(error)
 	seq := func(yield func([]expr.Env) bool) {
 		buf := make([]expr.Env, 0, max)
-		*errp = m.Stream(parts, env, func(me expr.Env) error {
+		*errp = stream(func(me expr.Env) error {
 			if filter != nil {
 				keep, err := filter(me)
 				if err != nil {

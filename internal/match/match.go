@@ -273,6 +273,14 @@ func (m *Matcher) matchParts(plans []partPlan, i int, env expr.Env, used map[gra
 // and relationship position so path values come out in written
 // left-to-right order regardless of the walk.
 func (m *Matcher) matchPart(pp partPlan, env expr.Env, used map[graph.RelID]bool, yield func(expr.Env) error) error {
+	return m.matchPartFrom(pp, nil, env, used, yield)
+}
+
+// matchPartFrom is matchPart with an optional explicit anchor candidate
+// list: non-nil anchors restrict the anchor slot to that subset (the
+// morsel-parallel entry point, see StreamAnchors); nil enumerates the
+// planned candidates as usual.
+func (m *Matcher) matchPartFrom(pp partPlan, anchors []graph.NodeID, env expr.Env, used map[graph.RelID]bool, yield func(expr.Env) error) error {
 	part := pp.part
 	nodeIDs := make([]graph.NodeID, len(part.Nodes))
 	relIDs := make([][]graph.RelID, len(part.Rels))
@@ -319,10 +327,14 @@ func (m *Matcher) matchPart(pp partPlan, env expr.Env, used map[graph.RelID]bool
 		})
 	}
 
-	return m.matchNode(part.Nodes[pp.anchor], pp.seek, env, func(n graph.NodeID, env2 expr.Env) error {
+	anchorFn := func(n graph.NodeID, env2 expr.Env) error {
 		nodeIDs[pp.anchor] = n
 		return walk(0, env2)
-	})
+	}
+	if anchors != nil {
+		return m.matchNodeFrom(part.Nodes[pp.anchor], anchors, env, anchorFn)
+	}
+	return m.matchNode(part.Nodes[pp.anchor], pp.seek, env, anchorFn)
 }
 
 // matchNode enumerates candidate nodes for a node pattern, extending
@@ -356,6 +368,12 @@ func (m *Matcher) matchNode(np *ast.NodePattern, seek *seekPlan, env expr.Env, y
 	if !seeked {
 		candidates = m.nodeCandidates(np)
 	}
+	return m.matchNodeFrom(np, candidates, env, yield)
+}
+
+// matchNodeFrom runs matchNode's per-candidate checks over an explicit
+// candidate list.
+func (m *Matcher) matchNodeFrom(np *ast.NodePattern, candidates []graph.NodeID, env expr.Env, yield func(graph.NodeID, expr.Env) error) error {
 	for _, id := range candidates {
 		if m.Stats != nil {
 			m.Stats.NodeVisits++

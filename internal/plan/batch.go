@@ -2,6 +2,7 @@ package plan
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/expr"
 	"repro/internal/value"
@@ -135,39 +136,6 @@ func clampMax(max int) int {
 	return max
 }
 
-// nextBatchFromRows packs up to max rows pulled from op.Next into one
-// batch: the shared adapter that lets row-at-a-time operators serve
-// batch-pulling consumers unchanged. It pulls exactly as many rows as
-// the batch holds — never a probe row beyond max — so early-exit pull
-// counts are identical to the row-at-a-time discipline.
-func nextBatchFromRows(op Operator, max int) (*Batch, bool, error) {
-	max = clampMax(max)
-	var b *Batch
-	for i := 0; i < max; i++ {
-		row, ok, err := op.Next()
-		if err != nil {
-			return nil, false, err
-		}
-		if !ok {
-			break
-		}
-		if b == nil {
-			b = newBatch(op.Columns(), max)
-		}
-		b.appendEnv(row.Env)
-		if row.Src != nil || b.src != nil {
-			for len(b.src) < b.n-1 {
-				b.src = append(b.src, nil)
-			}
-			b.src = append(b.src, row.Src)
-		}
-	}
-	if b == nil {
-		return nil, false, nil
-	}
-	return b, true, nil
-}
-
 // ---------------------------------------------------------------------
 // Single-use state guard
 // ---------------------------------------------------------------------
@@ -207,35 +175,41 @@ func (s *opState) close() bool {
 // budget tracks a statement's accounted barrier memory against a
 // limit. One budget is shared by every barrier of a statement (union
 // members included), so concurrent barriers cannot each claim the full
-// allowance. A nil budget or a non-positive limit means unlimited: no
-// accounting and no spilling, the default. Statements execute
-// single-threaded, so no synchronization is needed.
+// allowance — including the workers of a parallel Sort intake, which is
+// why the counter is atomic. A nil budget or a non-positive limit means
+// unlimited: no accounting and no spilling, the default.
 type budget struct {
 	limit int64
-	used  int64
+	used  atomic.Int64
 }
 
 func newBudget(limit int64) *budget { return &budget{limit: limit} }
 
 // limited reports whether accounting (and spilling) is enabled at all.
+// The limit is immutable after newBudget, so this needs no atomics.
 func (b *budget) limited() bool { return b != nil && b.limit > 0 }
 
 func (b *budget) grow(n int64) {
 	if b != nil {
-		b.used += n
+		b.used.Add(n)
 	}
 }
 
 func (b *budget) shrink(n int64) {
-	if b != nil {
-		b.used -= n
-		if b.used < 0 {
-			b.used = 0
+	if b != nil && b.used.Add(-n) < 0 {
+		// Clamp at zero; a transient negative from a concurrent shrink
+		// race only under-counts for the instant before the racing grow
+		// lands, which is safe (spilling is best-effort bounding).
+		for {
+			cur := b.used.Load()
+			if cur >= 0 || b.used.CompareAndSwap(cur, 0) {
+				return
+			}
 		}
 	}
 }
 
-func (b *budget) over() bool { return b.limited() && b.used > b.limit }
+func (b *budget) over() bool { return b.limited() && b.used.Load() > b.limit }
 
 // ---------------------------------------------------------------------
 // EXPLAIN statistics
@@ -278,13 +252,18 @@ func humanBytes(n int64) string {
 // NextBatch: sources
 // ---------------------------------------------------------------------
 
-// NextBatch implements Operator via the row adapter.
+// NextBatch implements Operator: the unit table's single empty row as
+// a zero-column batch.
 func (o *Unit) NextBatch(max int) (*Batch, bool, error) {
-	b, ok, err := nextBatchFromRows(o, max)
-	if ok {
-		o.batches++
+	if o.done {
+		return nil, false, nil
 	}
-	return b, ok, err
+	o.done = true
+	b := newBatch(nil, 1)
+	b.n = 1
+	o.rows++
+	o.batches++
+	return b, true, nil
 }
 
 // NextBatch implements Operator: rows are copied straight out of the
@@ -394,25 +373,151 @@ func (o *Match) whereFilter() func(expr.Env) (bool, error) {
 }
 
 // ---------------------------------------------------------------------
-// NextBatch: Unwind / LoadCSV (row adapter)
+// NextBatch: Unwind / LoadCSV
 // ---------------------------------------------------------------------
 
-// NextBatch implements Operator via the row adapter.
+// NextBatch implements Operator natively: output rows are written
+// straight into the output columns — the input row's values are copied
+// columnar, with no per-row environment map — and the list expression
+// is evaluated once per input row over a reused scratch environment.
+// Like the row path, a null list contributes nothing and a non-list
+// value unwinds as a single element.
 func (o *Unwind) NextBatch(max int) (*Batch, bool, error) {
-	b, ok, err := nextBatchFromRows(o, max)
-	if ok {
-		o.batches++
+	max = clampMax(max)
+	out := newBatch(o.cols, max)
+	nchild := len(o.cols) - 1
+	for out.n < max {
+		if o.idx < len(o.elems) {
+			take := len(o.elems) - o.idx
+			if take > max-out.n {
+				take = max - out.n
+			}
+			for k := 0; k < take; k++ {
+				for j := 0; j < nchild; j++ {
+					out.vals[j] = append(out.vals[j], o.bin.vals[j][o.bcur])
+				}
+				v := o.elems[o.idx+k]
+				if v == nil {
+					v = nullValue
+				}
+				out.vals[nchild] = append(out.vals[nchild], v)
+				out.n++
+			}
+			o.idx += take
+			continue
+		}
+		if o.bin == nil || o.binIdx >= o.bin.n {
+			if o.bdone {
+				break
+			}
+			in, ok, err := o.child.NextBatch(max)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				o.bdone = true
+				break
+			}
+			o.bin, o.binIdx = in, 0
+			continue
+		}
+		if o.bscratch == nil {
+			o.bscratch = make(expr.Env, len(o.cols)+4)
+		}
+		o.bin.loadEnv(o.bscratch, o.binIdx)
+		v, err := o.ev.Eval(o.cl.Expr, o.bscratch)
+		if err != nil {
+			return nil, false, err
+		}
+		o.bcur = o.binIdx
+		o.binIdx++
+		switch lv := v.(type) {
+		case value.Null:
+			// contributes no rows
+		case value.List:
+			o.elems, o.idx = lv, 0
+		default:
+			o.elems, o.idx = value.List{v}, 0
+		}
 	}
-	return b, ok, err
+	if out.n == 0 {
+		return nil, false, nil
+	}
+	o.rows += int64(out.n)
+	o.batches++
+	return out, true, nil
 }
 
-// NextBatch implements Operator via the row adapter.
+// NextBatch implements Operator natively: each CSV data row is written
+// straight into the output columns next to a columnar copy of the
+// input row that opened the file. Rows are still read from the file
+// one at a time as the consumer pulls, so early exit stops reading
+// mid-file exactly as in the row path.
 func (o *LoadCSV) NextBatch(max int) (*Batch, bool, error) {
-	b, ok, err := nextBatchFromRows(o, max)
-	if ok {
-		o.batches++
+	max = clampMax(max)
+	out := newBatch(o.cols, max)
+	nchild := len(o.cols) - 1
+	for out.n < max {
+		if o.reader != nil {
+			v, ok, err := o.reader.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				for j := 0; j < nchild; j++ {
+					out.vals[j] = append(out.vals[j], o.bin.vals[j][o.bcur])
+				}
+				if v == nil {
+					v = nullValue
+				}
+				out.vals[nchild] = append(out.vals[nchild], v)
+				out.n++
+				continue
+			}
+			o.reader.Close()
+			o.reader = nil
+		}
+		if o.bin == nil || o.binIdx >= o.bin.n {
+			if o.bdone {
+				break
+			}
+			in, ok, err := o.child.NextBatch(max)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				o.bdone = true
+				break
+			}
+			o.bin, o.binIdx = in, 0
+			continue
+		}
+		if o.bscratch == nil {
+			o.bscratch = make(expr.Env, len(o.cols)+4)
+		}
+		o.bin.loadEnv(o.bscratch, o.binIdx)
+		urlVal, err := o.ev.Eval(o.cl.URL, o.bscratch)
+		if err != nil {
+			return nil, false, err
+		}
+		url, oks := value.AsString(urlVal)
+		if !oks {
+			return nil, false, fmt.Errorf("LOAD CSV FROM expects a string, got %s", urlVal.Kind())
+		}
+		r, err := OpenCSV(string(url), o.cl.FieldTerm, o.cl.WithHeaders)
+		if err != nil {
+			return nil, false, err
+		}
+		o.bcur = o.binIdx
+		o.binIdx++
+		o.reader = r
 	}
-	return b, ok, err
+	if out.n == 0 {
+		return nil, false, nil
+	}
+	o.rows += int64(out.n)
+	o.batches++
+	return out, true, nil
 }
 
 // ---------------------------------------------------------------------

@@ -19,8 +19,10 @@ type Builder struct {
 	// result plumbing and parameters behave identically in both
 	// executors.
 	Ev *expr.Evaluator
-	// NewMatcher returns a fresh matcher for one MATCH operator.
-	NewMatcher func() *match.Matcher
+	// NewMatcher returns a fresh matcher for one MATCH operator, bound
+	// to the given evaluator (parallel workers pass their private
+	// evaluator; the serial pipeline passes Ev).
+	NewMatcher func(ev *expr.Evaluator) *match.Matcher
 	// Write applies an update clause to a materialized driving table
 	// and returns the clause's output table (the [[C]](G, T) of the
 	// paper, with the graph mutated in place).
@@ -30,8 +32,73 @@ type Builder struct {
 	// temp files. Zero or negative means unlimited (no accounting).
 	// One budget is shared across all barriers of the statement.
 	MemoryBudget int64
+	// Parallelism is the exchange degree for morsel-driven parallel
+	// read segments. Values <= 1 build fully serial plans. The engine
+	// passes 1 for update statements and explicit-transaction pipelines
+	// (the single-writer baton stays untouched) and for the row-at-a-time
+	// and materializing executors.
+	Parallelism int
 
 	bud *budget
+}
+
+// segBuild tracks a parallelizable pipeline segment while BuildQuery
+// walks the clause list: the partitioned source (once found) and the
+// stage constructors absorbed so far. The serial chain is built
+// alongside as the exchange's prototype; endSeg either wraps it in an
+// Exchange or — when no partitionable source materialized — leaves it
+// as the actual pipeline.
+type segBuild struct {
+	source morselSource
+	stages []stageFn
+	dead   bool
+}
+
+func (s *segBuild) alive() bool { return s != nil && !s.dead }
+
+// newSegment opens a segment at a pipeline source. A driving table
+// partitions by row ranges immediately; the unit table defers to the
+// first MATCH clause, whose anchor candidates may partition instead.
+func (b *Builder) newSegment(src Operator) *segBuild {
+	if b.Parallelism <= 1 {
+		return nil
+	}
+	switch op := src.(type) {
+	case *TableScan:
+		if op.t.Len() < 2*scanMorselRows {
+			return nil // too small for the fan-out to pay for itself
+		}
+		return &segBuild{source: newScanSource(op.t)}
+	case *Unit:
+		return &segBuild{}
+	}
+	return nil
+}
+
+// newWorkerCtx builds one worker's private execution context: an
+// evaluator sharing the graph snapshot and parameters but nothing
+// mutable, plus the per-stage matcher cache.
+func (b *Builder) newWorkerCtx() *workerCtx {
+	ev := &expr.Evaluator{Graph: b.Ev.Graph, Params: b.Ev.Params}
+	return &workerCtx{ev: ev, mf: b.NewMatcher, matchers: map[int]*match.Matcher{}}
+}
+
+// endSeg terminates a segment: if it found a partitionable source and
+// absorbed at least one stage worth running in parallel, the serial
+// chain built so far becomes the prototype of an Exchange, which
+// replaces it as the pipeline; otherwise the serial chain stands.
+func (b *Builder) endSeg(seg *segBuild, cur Operator) Operator {
+	if !seg.alive() {
+		return cur
+	}
+	seg.dead = true
+	if seg.source == nil {
+		return cur
+	}
+	if _, bare := seg.source.(*scanSource); bare && len(seg.stages) == 0 {
+		return cur // a bare scan gains nothing from fan-out
+	}
+	return NewExchange(seg.source, seg.stages, cur, b.Parallelism, b.newWorkerCtx)
 }
 
 // BuildStatement lowers a whole statement: one pipeline per UNION
@@ -104,39 +171,106 @@ func unionCompatible(a, b []string) error {
 // outputs no table, only effects).
 func (b *Builder) BuildQuery(clauses []ast.Clause, src Operator) (Operator, error) {
 	cur := src
+	seg := b.newSegment(src)
 	returned := false
 	for _, c := range clauses {
 		var err error
 		switch cl := c.(type) {
 		case *ast.MatchClause:
 			newVars := freshVars(match.PatternVariables(cl.Pattern), cur.Columns())
-			cur = NewMatch(cur, cl, b.NewMatcher(), b.Ev, newVars)
+			if seg.alive() && seg.source == nil {
+				// A segment waiting on the unit source: this first MATCH
+				// either supplies anchor morsels or the segment dies (a
+				// later clause cannot become the partitioned source).
+				if asrc := b.anchorSegSource(cl, cur.Columns()); asrc != nil {
+					seg.source = asrc
+				} else {
+					seg.dead = true
+				}
+				cur = NewMatch(cur, cl, b.NewMatcher(b.Ev), b.Ev, newVars)
+			} else if seg.alive() {
+				cur = NewMatch(cur, cl, b.NewMatcher(b.Ev), b.Ev, newVars)
+				idx := len(seg.stages)
+				seg.stages = append(seg.stages, func(child Operator, w *workerCtx) Operator {
+					return NewMatch(child, cl, w.matcherFor(idx), w.ev, newVars)
+				})
+			} else {
+				cur = NewMatch(cur, cl, b.NewMatcher(b.Ev), b.Ev, newVars)
+			}
 		case *ast.UnwindClause:
 			if hasColumn(cur.Columns(), cl.Var) {
 				return nil, fmt.Errorf("variable `%s` already declared", cl.Var)
 			}
 			cur = NewUnwind(cur, cl, b.Ev)
+			if seg.alive() && seg.source != nil {
+				seg.stages = append(seg.stages, func(child Operator, w *workerCtx) Operator {
+					return NewUnwind(child, cl, w.ev)
+				})
+			} else {
+				seg.kill()
+			}
 		case *ast.LoadCSVClause:
 			if hasColumn(cur.Columns(), cl.Var) {
 				return nil, fmt.Errorf("variable `%s` already declared", cl.Var)
 			}
+			// CSV reading is a serial file cursor: it terminates the
+			// segment rather than becoming a stage.
+			cur = b.endSeg(seg, cur)
 			cur = NewLoadCSV(cur, cl, b.Ev)
 		case *ast.WithClause:
-			cur, err = b.buildProjection(cur, &cl.Projection, cl.Where)
+			cur, err = b.buildProjection(cur, &cl.Projection, cl.Where, seg)
 		case *ast.ReturnClause:
-			cur, err = b.buildProjection(cur, &cl.Projection, nil)
+			cur, err = b.buildProjection(cur, &cl.Projection, nil, seg)
 			returned = true
 		default:
+			cur = b.endSeg(seg, cur)
 			cur, err = b.buildWrite(cur, c)
 		}
 		if err != nil {
 			return nil, err
 		}
 	}
+	cur = b.endSeg(seg, cur)
 	if !returned {
 		cur = NewDiscard(cur)
 	}
 	return cur, nil
+}
+
+// kill marks a segment unusable without flushing it (used when a
+// clause can be neither source nor stage before a source was found).
+func (s *segBuild) kill() {
+	if s != nil {
+		s.dead = true
+	}
+}
+
+// anchorSegSource plans anchor-candidate morsels for a leading
+// non-optional MATCH over the unit table. It returns nil — and the
+// pipeline stays serial — when the clause is OPTIONAL (each empty
+// partition would emit a spurious null row), when the planner cannot
+// guarantee a partitionable enumeration (see match.PlanAnchors), or
+// when there are too few candidates to be worth fanning out.
+func (b *Builder) anchorSegSource(cl *ast.MatchClause, outer []string) *anchorSource {
+	if cl.Optional {
+		return nil
+	}
+	m := b.NewMatcher(b.Ev)
+	pushed := match.NewPushdown(cl.Where, cl.Pattern, outer)
+	m.SetPushdown(pushed)
+	ap, ok := m.PlanAnchors(cl.Pattern, expr.Env{})
+	if !ok || len(ap.Anchors()) < 2*minAnchorChunk {
+		return nil
+	}
+	newVars := freshVars(match.PatternVariables(cl.Pattern), outer)
+	cols := append(append([]string(nil), outer...), newVars...)
+	return &anchorSource{
+		ap:     ap,
+		cl:     cl,
+		pushed: pushed,
+		cols:   cols,
+		chunk:  anchorChunk(len(ap.Anchors()), b.Parallelism),
+	}
 }
 
 // buildWrite wraps an update clause in an Apply barrier, predicting its
@@ -171,7 +305,7 @@ func (b *Builder) buildWrite(child Operator, c ast.Clause) (Operator, error) {
 	return NewApply(child, label, cols, fn), nil
 }
 
-func (b *Builder) buildProjection(child Operator, proj *ast.Projection, where ast.Expr) (Operator, error) {
+func (b *Builder) buildProjection(child Operator, proj *ast.Projection, where ast.Expr, seg *segBuild) (Operator, error) {
 	items, err := expandItems(proj, child.Columns())
 	if err != nil {
 		return nil, err
@@ -196,6 +330,10 @@ func (b *Builder) buildProjection(child Operator, proj *ast.Projection, where as
 
 	var cur Operator
 	if hasAgg {
+		// Aggregation is a barrier: the segment ends here and the
+		// Aggregate consumes the exchange's ordered gather (parallel
+		// below the barrier, serial intake above it).
+		child = b.endSeg(seg, child)
 		agg := NewAggregate(child, items, cols, b.Ev)
 		agg.budget = b.bud
 		cur = agg
@@ -206,24 +344,43 @@ func (b *Builder) buildProjection(child Operator, proj *ast.Projection, where as
 		// DISTINCT breaks the correspondence first.
 		keepSrc := len(proj.OrderBy) > 0 && !proj.Distinct
 		cur = NewProject(child, items, cols, b.Ev, keepSrc)
+		if seg.alive() && seg.source != nil {
+			seg.stages = append(seg.stages, func(c Operator, w *workerCtx) Operator {
+				return NewProject(c, items, cols, w.ev, keepSrc)
+			})
+		} else {
+			seg.kill()
+		}
 	}
 	if proj.Distinct {
+		cur = b.endSeg(seg, cur)
 		d := NewDistinct(cur)
 		d.budget = b.bud
 		cur = d
 	}
 	if len(proj.OrderBy) > 0 {
+		// Sort is parallel-aware: when its child ends up being an
+		// Exchange it drains it in callback mode, building per-worker
+		// sorted runs merged by the ordinary k-way merger.
+		cur = b.endSeg(seg, cur)
 		s := NewSort(cur, proj.OrderBy, b.Ev)
 		s.budget = b.bud
 		cur = s
 	}
 	if proj.Skip != nil {
+		cur = b.endSeg(seg, cur)
 		cur = NewSkip(cur, proj.Skip, b.Ev)
 	}
 	if proj.Limit != nil {
+		cur = b.endSeg(seg, cur)
 		cur = NewLimit(cur, proj.Limit, b.Ev)
 	}
 	if where != nil {
+		if seg.alive() && seg.source != nil {
+			seg.stages = append(seg.stages, func(c Operator, w *workerCtx) Operator {
+				return NewFilter(c, where, w.ev)
+			})
+		}
 		cur = NewFilter(cur, where, b.Ev)
 	}
 	return cur, nil

@@ -328,6 +328,15 @@ type Unwind struct {
 	st      opState
 	rows    int64
 	batches int64
+
+	// Batch-path state (see NextBatch in batch.go): the current input
+	// batch, the next row to expand, the row the live element list came
+	// from, and a scratch environment for evaluating the list expression.
+	bin      *Batch
+	binIdx   int
+	bcur     int
+	bdone    bool
+	bscratch expr.Env
 }
 
 // NewUnwind builds an Unwind operator over child.
@@ -413,6 +422,13 @@ type LoadCSV struct {
 	st      opState
 	rows    int64
 	batches int64
+
+	// Batch-path state (see NextBatch in batch.go).
+	bin      *Batch
+	binIdx   int
+	bcur     int
+	bdone    bool
+	bscratch expr.Env
 }
 
 // NewLoadCSV builds a LoadCSV operator over child.

@@ -34,12 +34,45 @@ func (o *countingScan) Next() (Row, bool, error) {
 	return Row{Env: env}, true, nil
 }
 func (o *countingScan) NextBatch(max int) (*Batch, bool, error) {
-	return nextBatchFromRows(o, max)
+	return testBatchFromRows(o, max)
 }
 func (o *countingScan) Close()               {}
 func (o *countingScan) Name() string         { return "CountingScan" }
 func (o *countingScan) Children() []Operator { return nil }
 func (o *countingScan) RowsEmitted() int64   { return o.rows }
+
+// testBatchFromRows adapts a test source's Next to the batch
+// discipline, pulling exactly as many rows as the batch holds (never a
+// probe row past max) so early-exit pull counts stay observable. The
+// production operators all batch natively; this adapter exists only
+// for the synthetic test sources above.
+func testBatchFromRows(op Operator, max int) (*Batch, bool, error) {
+	max = clampMax(max)
+	var b *Batch
+	for i := 0; i < max; i++ {
+		row, ok, err := op.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			break
+		}
+		if b == nil {
+			b = newBatch(op.Columns(), max)
+		}
+		b.appendEnv(row.Env)
+		if row.Src != nil || b.src != nil {
+			for len(b.src) < b.n-1 {
+				b.src = append(b.src, nil)
+			}
+			b.src = append(b.src, row.Src)
+		}
+	}
+	if b == nil {
+		return nil, false, nil
+	}
+	return b, true, nil
+}
 
 func intLit(n int64) ast.Expr { return &ast.Literal{Value: n} }
 

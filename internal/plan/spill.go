@@ -526,6 +526,9 @@ func (o *Sort) fill() (err error) {
 			o.runs = nil
 		}
 	}()
+	if ex, ok := o.child.(*Exchange); ok {
+		return o.fillParallel(ex)
+	}
 	less := sortRowLess(o.sorts)
 	cols := o.child.Columns()
 	o.ocols = cols
@@ -610,6 +613,156 @@ func (o *Sort) fill() (err error) {
 	srcs = append(srcs, &memStream{rows: pend})
 	o.merged, err = newRunMerger(srcs, less)
 	return err
+}
+
+// fillParallel is the parallel-aware intake: instead of gathering the
+// exchange's morsels serially, it drains them in callback mode —
+// each worker sorts and (over budget) spills its own runs, with the
+// statement's memory budget shared atomically across workers — and
+// merges everything with the ordinary k-way run merger.
+//
+// Output is bit-identical to the serial sort: every row gets the
+// composite sequence morsel<<morselSeqBits | rowInMorsel, whose
+// lexicographic (morsel, row) order is exactly the serial intake
+// order, so the comparator's seq tie-break reproduces
+// sort.SliceStable's stability at any parallelism. Sort keys are
+// evaluated on the workers (shared evaluator, pure reads), so ORDER BY
+// key computation parallelizes too.
+//
+// Called from fill, whose defer discards o.runs on error.
+func (o *Sort) fillParallel(ex *Exchange) error {
+	less := sortRowLess(o.sorts)
+	cols := ex.Columns()
+	o.ocols = cols
+	type wstate struct {
+		scratch   expr.Env
+		pend      []spillRow
+		pendBytes int64
+		morsel    int
+		inMorsel  int64
+		runs      []*spillFile
+	}
+	states := make([]*wstate, ex.poolSize())
+	var held, peak, spills atomic.Int64
+	err := ex.drainParallel(func(wid, morsel int, b *Batch) error {
+		ws := states[wid]
+		if ws == nil {
+			ws = &wstate{scratch: make(expr.Env, len(cols)+4), morsel: -1}
+			states[wid] = ws
+		}
+		if morsel != ws.morsel {
+			ws.morsel, ws.inMorsel = morsel, 0
+		}
+		for i := 0; i < b.n; i++ {
+			if b.src != nil && b.src[i] != nil {
+				for k, v := range b.src[i] {
+					ws.scratch[k] = v
+				}
+			}
+			b.loadEnv(ws.scratch, i)
+			r := spillRow{
+				seq:  int64(morsel)<<morselSeqBits | ws.inMorsel,
+				keys: make([]value.Value, len(o.sorts)),
+				vals: b.rowVals(i),
+			}
+			ws.inMorsel++
+			for s, item := range o.sorts {
+				v, err := o.ev.Eval(item.Expr, ws.scratch)
+				if err != nil {
+					return err
+				}
+				r.keys[s] = v
+			}
+			ws.pend = append(ws.pend, r)
+			if o.budget.limited() {
+				nb := spillRowBytes(r)
+				ws.pendBytes += nb
+				o.budget.grow(nb)
+				if h := held.Add(nb); h > peak.Load() {
+					// Racy max is fine: peak is a reporting counter.
+					peak.Store(h)
+				}
+				if o.budget.over() && len(ws.pend) >= minSpillRows {
+					sortSpillRows(ws.pend, less)
+					f, err := writeRun(ws.pend)
+					if err != nil {
+						return err
+					}
+					ws.runs = append(ws.runs, f)
+					spills.Add(1)
+					o.budget.shrink(ws.pendBytes)
+					held.Add(-ws.pendBytes)
+					ws.pend, ws.pendBytes = ws.pend[:0], 0
+					if len(ws.runs) >= maxMergeWidth {
+						merged, err := compactRuns(ws.runs, less)
+						ws.runs = nil // compactRuns closed them
+						if err != nil {
+							return err
+						}
+						ws.runs = []*spillFile{merged}
+					}
+				}
+			}
+		}
+		return nil
+	})
+	// Workers have exited: collect their runs and in-memory tails (no
+	// concurrency from here on). Runs go to o.runs first so fill's
+	// defer discards them on any error below.
+	var tails [][]spillRow
+	for _, ws := range states {
+		if ws == nil {
+			continue
+		}
+		o.runs = append(o.runs, ws.runs...)
+		if len(ws.pend) > 0 {
+			sortSpillRows(ws.pend, less)
+			tails = append(tails, ws.pend)
+		}
+	}
+	o.held, o.peak, o.spills = held.Load(), peak.Load(), spills.Load()
+	if err != nil {
+		return err
+	}
+	if len(o.runs) == 0 {
+		switch len(tails) {
+		case 0:
+			o.mem = nil
+			return nil
+		case 1:
+			o.mem = tails[0]
+			return nil
+		}
+	}
+	// Bound the final merge width over the combined file runs (each
+	// worker already bounded its own, but their union may exceed it).
+	for len(o.runs) > maxMergeWidth {
+		merged, err := compactRuns(o.runs[:maxMergeWidth], less)
+		if err != nil {
+			o.runs = o.runs[maxMergeWidth:] // compacted ones are closed
+			return err
+		}
+		o.runs = append(o.runs[maxMergeWidth:], merged)
+	}
+	srcs := make([]mergeSource, 0, len(o.runs)+len(tails))
+	for i, f := range o.runs {
+		st, err := f.stream()
+		if err != nil {
+			for _, s := range srcs {
+				s.close()
+			}
+			o.runs = o.runs[i+1:] // f discarded itself; defer discards the rest
+			return err
+		}
+		srcs = append(srcs, st)
+	}
+	o.runs = nil // ownership moved to the merge streams
+	for _, t := range tails {
+		srcs = append(srcs, &memStream{rows: t})
+	}
+	var err2 error
+	o.merged, err2 = newRunMerger(srcs, less)
+	return err2
 }
 
 // next1 replays one row of the sorted output.

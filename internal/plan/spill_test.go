@@ -74,7 +74,7 @@ func (o *errAfter) Next() (Row, bool, error) {
 	return Row{Env: expr.Env{"x": value.Int(int64(o.i))}}, true, nil
 }
 func (o *errAfter) NextBatch(max int) (*Batch, bool, error) {
-	return nextBatchFromRows(o, max)
+	return testBatchFromRows(o, max)
 }
 func (o *errAfter) Close()               { o.st.close() }
 func (o *errAfter) Name() string         { return "ErrAfter" }
@@ -364,38 +364,68 @@ func TestSpillFilesFreedOnEarlyLimitClose(t *testing.T) {
 }
 
 // ---------------------------------------------------------------------
-// Batch adapter
+// Native batch sources
 // ---------------------------------------------------------------------
 
-func TestNextBatchFromRowsRespectsMax(t *testing.T) {
+// TestUnwindNextBatchRespectsMax drives Unwind's native batch path: a
+// 3-element list per input row over 10 input rows is 30 output rows,
+// which must arrive in batches of at most max with input pulled only
+// as needed (an early-exiting consumer must not force extra expansion).
+func TestUnwindNextBatchRespectsMax(t *testing.T) {
 	src := &countingScan{n: 10, col: "x"}
-	if err := src.Open(); err != nil {
+	list := &ast.ListLit{Elems: []ast.Expr{intLit(1), intLit(2), intLit(3)}}
+	u := NewUnwind(src, &ast.UnwindClause{Expr: list, Var: "k"}, &expr.Evaluator{})
+	if err := u.Open(); err != nil {
 		t.Fatal(err)
 	}
-	defer src.Close()
-	b, ok, err := nextBatchFromRows(src, 4)
+	defer u.Close()
+	b, ok, err := u.NextBatch(4)
 	if err != nil || !ok || b.Len() != 4 {
 		t.Fatalf("batch = (%v, %v, %v), want 4 rows", b, ok, err)
 	}
-	if src.pulls != 4 {
-		t.Fatalf("adapter pulled %d rows for max=4 (must not probe past max)", src.pulls)
+	if got := b.Value(0, 1); got != value.Int(1) {
+		t.Fatalf("first unwound element = %v, want 1", got)
 	}
-	var last *Batch
-	for { // drain the rest: 4, then the 2-row tail
-		b, ok, err = nextBatchFromRows(src, 4)
+	total := b.Len()
+	for {
+		b, ok, err = u.NextBatch(7)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !ok {
 			break
 		}
-		last = b
+		if b.Len() > 7 {
+			t.Fatalf("batch of %d rows exceeds max=7", b.Len())
+		}
+		total += b.Len()
 	}
-	if last == nil || last.Len() != 2 {
-		t.Fatalf("tail batch = %v, want 2 rows", last)
+	if total != 30 {
+		t.Fatalf("total rows = %d, want 30", total)
 	}
-	if _, ok, _ := nextBatchFromRows(src, 4); ok {
-		t.Fatal("adapter yielded a batch past end of input")
+	if _, ok, _ := u.NextBatch(4); ok {
+		t.Fatal("Unwind yielded a batch past end of input")
+	}
+}
+
+// TestUnwindNextBatchEarlyExit confirms the native path pulls no more
+// input rows than the consumer's demand requires.
+func TestUnwindNextBatchEarlyExit(t *testing.T) {
+	src := &countingScan{n: 1000, col: "x"}
+	list := &ast.ListLit{Elems: []ast.Expr{intLit(1), intLit(2)}}
+	u := NewUnwind(src, &ast.UnwindClause{Expr: list, Var: "k"}, &expr.Evaluator{})
+	lim := NewLimit(u, intLit(6), &expr.Evaluator{})
+	out, err := Collect(lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 6 {
+		t.Fatalf("rows = %d, want 6", out.Len())
+	}
+	// 6 output rows need only 3 input rows; the batched pull may fetch
+	// up to one batch of the consumer's max, never the whole input.
+	if src.pulls > 8 {
+		t.Errorf("source pulled %d rows for LIMIT 6 over a 2-element unwind", src.pulls)
 	}
 }
 

@@ -12,10 +12,14 @@ import (
 
 // TestCorpusExecutorSweep replays every script in scripts/ under the
 // batched streaming executor (the default), the row-at-a-time streaming
-// baseline, the materializing interpreter, and a budget=1 spill-forced
-// batched run. All four must produce identical per-statement result
-// tables and identical final graphs — the end-to-end equivalence sweep
-// for the vectorized path and the spilling barriers.
+// baseline, the materializing interpreter, a budget=1 spill-forced
+// batched run, and the morsel-parallel executor at degrees 2 and 8
+// (plus a spill-forced parallel run). All must produce identical
+// per-statement result tables and identical final graphs — the
+// end-to-end equivalence sweep for the vectorized path, the spilling
+// barriers, and the exchange operators. Parallelism is set explicitly
+// because CI machines may report GOMAXPROCS=1, which would silently
+// skip the parallel paths.
 func TestCorpusExecutorSweep(t *testing.T) {
 	manifest := map[string]core.Dialect{
 		"paper_walkthrough.cypher": core.DialectCypher9,
@@ -37,6 +41,15 @@ func TestCorpusExecutorSweep(t *testing.T) {
 		}},
 		{"batched-budget1", func(d core.Dialect) core.Config {
 			return core.Config{Dialect: d, Executor: core.ExecStreaming, MemoryBudget: 1}
+		}},
+		{"par2", func(d core.Dialect) core.Config {
+			return core.Config{Dialect: d, Executor: core.ExecStreaming, Parallelism: 2}
+		}},
+		{"par8", func(d core.Dialect) core.Config {
+			return core.Config{Dialect: d, Executor: core.ExecStreaming, Parallelism: 8}
+		}},
+		{"par8-budget1", func(d core.Dialect) core.Config {
+			return core.Config{Dialect: d, Executor: core.ExecStreaming, Parallelism: 8, MemoryBudget: 1}
 		}},
 	}
 	dir := filepath.Join("..", "..", "scripts")
