@@ -1,13 +1,14 @@
 # Build, test and benchmark entry points. CI runs `make test`, the
 # race detector (`make race`), the spill suite (`make spill`), the
 # parallel-executor suite (`make par`), the crash-recovery suite
-# (`make crash`), the short bench smoke, the fuzz smoke and the docs
-# smoke; `make bench` records the perf trajectory into BENCH_pr8.json
-# (one file per PR so regressions are diffable).
+# (`make crash`), the server suite (`make serve-race`), the short bench
+# smoke, the fuzz smoke and the docs smoke; `make bench` records the
+# perf trajectory into BENCH_pr9.json (one file per PR so regressions
+# are diffable).
 
-BENCH_OUT ?= BENCH_pr8.json
+BENCH_OUT ?= BENCH_pr9.json
 
-.PHONY: all test vet race stress spill crash fuzz par bench bench-smoke docs-smoke
+.PHONY: all test vet race stress spill crash fuzz par serve-race bench bench-smoke docs-smoke
 
 all: test
 
@@ -54,6 +55,17 @@ par:
 	go test -race -run 'TestSpillBookkeepingConcurrent|TestBudgetShrinkClampConcurrent' ./internal/plan
 	go test -race -run 'TestCorpusExecutorSweep' ./internal/script
 
+# The server gate, under the race detector: the wire-protocol
+# conformance scripts, the concurrent-client soak (mixed auto-commit /
+# explicit-transaction / rollback workloads with exact isolation
+# accounting), drain-under-load, and the loopback wire-equivalence
+# sweep that requires served results to be bit-identical to the
+# embedded session over the whole script corpus.
+serve-race:
+	go test -race -count=1 ./internal/server
+	go test -race -run 'TestCorpusWireEquivalence|TestWireValueExtremes' ./internal/script
+	go test -race -run 'TestPlanCache' ./cypher
+
 # The durability gate: the kill-at-random-point property test, 250
 # randomized iterations under the race detector. Each iteration runs a
 # random workload against a store whose filesystem dies at a random
@@ -63,13 +75,16 @@ par:
 crash:
 	CRASH_ITERS=250 go test -race -count=1 -run TestKillAtRandomPointRecovery ./internal/graph
 
-# Short fuzz runs over the three codecs that parse untrusted bytes:
-# WAL records, binary spill/WAL values, and the graph JSON snapshot.
-# Each must reject or round-trip canonically, never panic.
+# Short fuzz runs over the codecs that parse untrusted bytes: WAL
+# records, binary spill/WAL values, the graph JSON snapshot, and the
+# server's wire frames and value tags (the only codec fed by remote
+# peers). Each must reject or round-trip canonically, never panic.
 fuzz:
 	go test -run '^$$' -fuzz FuzzWALRecordRoundTrip -fuzztime 15s ./internal/graph
 	go test -run '^$$' -fuzz FuzzBinaryValueRoundTrip -fuzztime 15s ./internal/graph
 	go test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime 15s ./cypher
+	go test -run '^$$' -fuzz FuzzWireFrameDecode -fuzztime 15s ./internal/server
+	go test -run '^$$' -fuzz FuzzWireValueRoundTrip -fuzztime 15s ./internal/server
 
 # Full benchmark run, serialized to JSON. -benchtime is modest because
 # the B-suite covers 12 benchmark families; raise it for stable numbers.

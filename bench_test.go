@@ -24,20 +24,26 @@
 //	B17 spilling barriers under a memory budget vs unlimited in-memory
 //	B18 durable commit latency: WAL off / no-sync / grouped fsync / fsync-per-commit
 //	B19 morsel-parallel read scaling: worker degrees 1/2/4/8 on scan- and match-heavy pipelines
+//	B20 served QPS: N concurrent wire clients vs one, shared plan cache across sessions
 package repro_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/cypher"
+	"repro/cypherclient"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/match"
 	"repro/internal/parser"
+	"repro/internal/server"
 	"repro/internal/table"
 	"repro/internal/value"
 	"repro/internal/workload"
@@ -791,6 +797,87 @@ func BenchmarkB19ParallelScaling(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+func BenchmarkB20ServerConcurrentClients(b *testing.B) {
+	const n = 20000
+	db := cypher.Open()
+	if _, err := db.Exec(`UNWIND range(0, `+fmt.Sprint(n-1)+`) AS i CREATE (:User{id:i, name:'u'})`, nil); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE INDEX ON :User(id)`, nil); err != nil {
+		b.Fatal(err)
+	}
+	srv := server.New(db, server.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			b.Fatal(err)
+		}
+		<-done
+	}()
+	addr := ln.Addr().String()
+
+	const q = `MATCH (u:User{id:$i}) RETURN u.name AS name`
+	for _, clients := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("clients=%d/nodes=%d", clients, n), func(b *testing.B) {
+			conns := make([]*cypherclient.Conn, clients)
+			for i := range conns {
+				c, err := cypherclient.Dial(addr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				conns[i] = c
+			}
+			before := db.CacheStats()
+			var next atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			for _, c := range conns {
+				wg.Add(1)
+				go func(c *cypherclient.Conn) {
+					defer wg.Done()
+					for {
+						op := next.Add(1) - 1
+						if op >= int64(b.N) {
+							return
+						}
+						res, err := c.Exec(q, map[string]any{"i": op * 7919 % n})
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if len(res.Rows) != 1 {
+							b.Errorf("op %d: %d rows", op, len(res.Rows))
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "qps")
+			b.StopTimer()
+			// The whole point of the engine-level cache: concurrent
+			// sessions running the same text plan once and hit after.
+			after := db.CacheStats()
+			if b.N > 1 && after.Plan.Hits <= before.Plan.Hits {
+				b.Fatalf("no cross-session plan-cache hits: %+v -> %+v", before.Plan, after.Plan)
+			}
+			if b.N > 1 && after.StmtHits <= before.StmtHits {
+				b.Fatalf("no cross-session statement-cache hits: %+v -> %+v", before, after)
+			}
+		})
 	}
 }
 

@@ -61,6 +61,13 @@
 //
 // Switching dialects or setting a budget preserves the graph contents;
 // both are refused while a transaction is open.
+//
+// With -connect <addr> the shell is a network client instead: it
+// dials a cypherd server (see cmd/cypherd) and runs every statement —
+// EXPLAIN/PROFILE prefixes and BEGIN/COMMIT/ROLLBACK included — over
+// the wire through one server session. Database-mutating metas and
+// local inspection metas are unavailable remotely; only :help and
+// :quit work.
 package main
 
 import (
@@ -72,12 +79,23 @@ import (
 	"strings"
 
 	"repro/cypher"
+	"repro/cypherclient"
 )
 
 func main() {
 	dataDir := flag.String("data", "", "data directory for durable operation (empty = in-memory)")
 	syncMode := flag.String("sync", "always", "wal fsync policy with -data: always|interval|never")
+	connect := flag.String("connect", "", "connect to a cypherd server at host:port instead of embedding a database")
 	flag.Parse()
+
+	if *connect != "" {
+		if *dataDir != "" {
+			fmt.Fprintln(os.Stderr, "-connect and -data are mutually exclusive")
+			os.Exit(1)
+		}
+		remoteREPL(*connect)
+		return
+	}
 
 	fmt.Println("cypher-shell — graph updates per Green et al., PVLDB 2019")
 	fmt.Println("dialect: revised (use :dialect cypher9 for the legacy semantics); :help for help")
@@ -191,6 +209,125 @@ func main() {
 		prompt()
 	}
 	sess.Close()
+}
+
+// remoteREPL runs the shell against a cypherd server: one wire-level
+// session, statements executed remotely, results printed exactly like
+// the embedded path.
+func remoteREPL(addr string) {
+	c, err := cypherclient.Dial(addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "connect:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	srvName, dialect := c.ServerInfo()
+	fmt.Printf("connected to %s at %s (dialect: %s)\n", srvName, addr, dialect)
+	fmt.Println("statements end with ';'; :help for help, :quit to exit")
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	inTxn := false
+
+	prompt := func() {
+		switch {
+		case buf.Len() > 0:
+			fmt.Print("   ... ")
+		case inTxn:
+			fmt.Printf("%s txn> ", dialect)
+		default:
+			fmt.Printf("%s> ", dialect)
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, ":") {
+			switch strings.Fields(trimmed)[0] {
+			case ":quit", ":exit", ":q":
+				return
+			case ":help":
+				fmt.Println("remote shell: every statement runs on the server over the wire.")
+				fmt.Println("EXPLAIN <query>; and PROFILE <query>; work; BEGIN/COMMIT/ROLLBACK manage a server-side transaction.")
+				fmt.Println("local metas (:dialect, :set, :stats, ...) are unavailable over -connect.")
+			default:
+				fmt.Println("meta commands are unavailable over -connect (only :help, :quit)")
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if strings.HasSuffix(trimmed, ";") {
+			inTxn = executeRemote(c, buf.String(), inTxn)
+			buf.Reset()
+		}
+		prompt()
+	}
+}
+
+// executeRemote runs one statement over the wire and returns the new
+// transaction-open state for the prompt.
+func executeRemote(c *cypherclient.Conn, query string, inTxn bool) bool {
+	query = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(query), ";"))
+	if query == "" {
+		return inTxn
+	}
+	if rest, ok := cutPrefixFold(query, "EXPLAIN"); ok {
+		tree, err := c.Explain(strings.TrimSpace(rest))
+		if err != nil {
+			fmt.Println("error:", err)
+			return inTxn
+		}
+		fmt.Println(tree)
+		return inTxn
+	}
+	if rest, ok := cutPrefixFold(query, "PROFILE"); ok {
+		res, tree, err := c.Profile(strings.TrimSpace(rest), nil)
+		if err != nil {
+			fmt.Println("error:", err)
+			return inTxn
+		}
+		fmt.Println(tree)
+		printRemoteResult(res)
+		return inTxn
+	}
+	res, err := c.Exec(query, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return inTxn
+	}
+	printRemoteResult(res)
+	// Track the prompt's transaction marker from the statement text (the
+	// server holds the authoritative state).
+	switch strings.ToUpper(query) {
+	case "BEGIN":
+		return true
+	case "COMMIT", "ROLLBACK":
+		return false
+	}
+	return inTxn
+}
+
+func printRemoteResult(res *cypherclient.Result) {
+	if len(res.Columns) > 0 {
+		fmt.Println(strings.Join(res.Columns, " | "))
+		for _, row := range res.Rows {
+			var parts []string
+			for _, v := range row {
+				parts = append(parts, v.String())
+			}
+			fmt.Println(strings.Join(parts, " | "))
+		}
+	}
+	st := res.Stats
+	if st != (cypherclient.UpdateStats{}) {
+		fmt.Printf("(nodes +%d -%d, rels +%d -%d, props %d, labels +%d -%d)\n",
+			st.NodesCreated, st.NodesDeleted, st.RelsCreated, st.RelsDeleted,
+			st.PropsSet, st.LabelsAdded, st.LabelsRemoved)
+	}
 }
 
 // switchesDatabase reports whether a meta command replaces the DB (and

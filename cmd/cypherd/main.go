@@ -1,0 +1,128 @@
+// Command cypherd serves the graph database over TCP, speaking the
+// length-prefixed JSON wire protocol of internal/server. Each accepted
+// connection gets its own session: statements auto-commit until BEGIN
+// opens an explicit transaction, exactly as in the embedded API.
+//
+//	cypherd -addr :7687                      # in-memory, revised dialect
+//	cypherd -addr :7687 -data ./graphdb      # durable (write-ahead log)
+//	cypherd -dialect cypher9                 # legacy Cypher 9 semantics
+//
+// Connect with cypher-shell -connect <addr>, or programmatically with
+// the repro/cypherclient package.
+//
+// Operational flags:
+//
+//	-statement-timeout   cap one statement's execution (0 = none)
+//	-idle-timeout        close connections idle this long (0 = none)
+//	-max-write-queue     bound on queued/running writers before new
+//	                     writes are refused with ServerBusy
+//	-max-frame           largest accepted request frame, in bytes
+//
+// On SIGTERM or SIGINT the server drains gracefully: it stops
+// accepting, lets in-flight statements finish (new RUNs are refused
+// with ServerDraining), rolls back transactions left open, and exits;
+// a second signal — or the -drain-timeout deadline — forces it.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/cypher"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7687", "listen address (host:port)")
+	dataDir := flag.String("data", "", "data directory for durable operation (empty = in-memory)")
+	syncMode := flag.String("sync", "always", "wal fsync policy with -data: always|interval|never")
+	dialect := flag.String("dialect", "revised", "update dialect: revised|cypher9")
+	stmtTimeout := flag.Duration("statement-timeout", 0, "per-statement execution timeout (0 = none)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "close connections idle this long (0 = none)")
+	maxWriteQueue := flag.Int("max-write-queue", server.DefaultMaxWriteQueue, "max queued/running writers before ServerBusy (<0 = unbounded)")
+	maxFrame := flag.Int("max-frame", server.DefaultMaxFrame, "largest accepted request frame in bytes")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown may take before connections are closed forcibly")
+	flag.Parse()
+
+	var opts []cypher.Option
+	switch *dialect {
+	case "revised":
+		opts = append(opts, cypher.WithDialect(cypher.Revised))
+	case "cypher9":
+		opts = append(opts, cypher.WithDialect(cypher.Cypher9))
+	default:
+		fmt.Fprintln(os.Stderr, "unknown -dialect:", *dialect)
+		os.Exit(1)
+	}
+
+	var db *cypher.DB
+	if *dataDir != "" {
+		var d cypher.Durability
+		switch *syncMode {
+		case "always":
+			d.Sync = cypher.SyncAlways
+		case "interval":
+			d.Sync = cypher.SyncInterval
+		case "never":
+			d.Sync = cypher.SyncNever
+		default:
+			fmt.Fprintln(os.Stderr, "unknown -sync mode:", *syncMode)
+			os.Exit(1)
+		}
+		opts = append(opts, cypher.WithDurability(d))
+		var err error
+		db, err = cypher.OpenDir(*dataDir, opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "open:", err)
+			os.Exit(1)
+		}
+	} else {
+		db = cypher.Open(opts...)
+	}
+
+	srv := server.New(db, server.Options{
+		MaxFrame:         *maxFrame,
+		IdleTimeout:      *idleTimeout,
+		StatementTimeout: *stmtTimeout,
+		MaxWriteQueue:    *maxWriteQueue,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "listen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("cypherd listening on %s (dialect=%s, durable=%v)\n", ln.Addr(), db.Dialect(), db.Durable())
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	select {
+	case sig := <-sigc:
+		fmt.Printf("received %s; draining (%v timeout, signal again to force)\n", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		go func() {
+			<-sigc
+			cancel()
+		}()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "forced shutdown:", err)
+		}
+		cancel()
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "close:", err)
+		os.Exit(1)
+	}
+}

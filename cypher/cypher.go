@@ -341,7 +341,7 @@ func (db *DB) ExecTable(query string, t *Table, params map[string]any) (*Result,
 }
 
 func (db *DB) exec(query string, t0 *table.Table, params map[string]any) (*Result, error) {
-	stmt, err := parser.Parse(query)
+	stmt, err := db.engine.Parse(query)
 	if err != nil {
 		return nil, err
 	}
@@ -366,7 +366,7 @@ func (db *DB) exec(query string, t0 *table.Table, params map[string]any) (*Resul
 // materialization points (ORDER BY, aggregation) and
 // `[barrier:writer-lock]` marking every update clause.
 func (db *DB) Explain(query string) (string, error) {
-	stmt, err := parser.Parse(query)
+	stmt, err := db.engine.Parse(query)
 	if err != nil {
 		return "", err
 	}
@@ -380,7 +380,7 @@ func (db *DB) Explain(query string) (string, error) {
 // in force. Unlike Explain, Profile EXECUTES the statement — updates
 // apply exactly as with Exec.
 func (db *DB) Profile(query string, params map[string]any) (*Result, string, error) {
-	stmt, err := parser.Parse(query)
+	stmt, err := db.engine.Parse(query)
 	if err != nil {
 		return nil, "", err
 	}
@@ -398,7 +398,7 @@ func (db *DB) Profile(query string, params map[string]any) (*Result, string, err
 // Parse checks a statement for syntactic and dialect validity without
 // executing it.
 func (db *DB) Parse(query string) error {
-	stmt, err := parser.Parse(query)
+	stmt, err := db.engine.Parse(query)
 	if err != nil {
 		return err
 	}
@@ -562,6 +562,50 @@ func indexViews(keys []graph.IndexKey) []IndexView {
 // consumers.
 func (db *DB) Epoch() int64 { return db.store.Epoch() }
 
+// CacheStats is a point-in-time snapshot of the engine's statement and
+// plan cache counters (see DB.CacheStats).
+type CacheStats = core.CacheStats
+
+// CacheStats reports the engine's cache counters: statement-cache
+// hits/misses (parsed ASTs shared across all sessions of this
+// database) and the shared plan cache's hits, misses, invalidations
+// and live entries. Useful for asserting that repeated parameterized
+// queries — from one session or many — plan once.
+func (db *DB) CacheStats() CacheStats { return db.engine.CacheStats() }
+
+// StatementInfo classifies a parsed statement for schedulers (the
+// server uses it to route statements through writer-admission
+// backpressure without executing them first).
+type StatementInfo struct {
+	// Updating reports whether the statement contains update clauses
+	// (CREATE, MERGE, SET, REMOVE, DELETE, index DDL).
+	Updating bool
+	// TxnControl is "BEGIN", "COMMIT" or "ROLLBACK" for transaction
+	// control statements, and "" for ordinary queries.
+	TxnControl string
+}
+
+// ClassifyStatement parses query (through the shared statement cache)
+// and reports whether it updates the graph and whether it is
+// transaction control, without executing it.
+func (db *DB) ClassifyStatement(query string) (StatementInfo, error) {
+	stmt, err := db.engine.Parse(query)
+	if err != nil {
+		return StatementInfo{}, err
+	}
+	info := StatementInfo{Updating: stmt.Updating()}
+	if stmt.TxnControl != ast.TxnNone {
+		info.TxnControl = stmt.TxnControl.String()
+	}
+	return info, nil
+}
+
+// PinnedSnapshots reports how many reader snapshots of the current
+// committed epoch are pinned right now (acquired and not yet
+// released). It is a diagnostic for leak checks: a quiescent database
+// has zero pinned snapshots.
+func (db *DB) PinnedSnapshots() int { return int(db.store.PinnedReaders()) }
+
 // Delta is the net structural change one committed transaction applied:
 // which nodes/relationships were created or deleted, which properties
 // and labels changed on surviving entities, and which indexes were
@@ -635,7 +679,7 @@ func (db *DB) Session() *Session {
 // Exec parses and runs one statement in the session, including the
 // transaction-control statements BEGIN, COMMIT and ROLLBACK.
 func (s *Session) Exec(query string, params map[string]any) (*Result, error) {
-	stmt, err := parser.Parse(query)
+	stmt, err := s.cs.Parse(query)
 	if err != nil {
 		return nil, err
 	}
@@ -685,7 +729,7 @@ func (s *Session) InTransaction() bool {
 // against the graph state the statement would actually run on (the open
 // transaction's working graph, or the latest committed snapshot).
 func (s *Session) Explain(query string) (string, error) {
-	stmt, err := parser.Parse(query)
+	stmt, err := s.cs.Parse(query)
 	if err != nil {
 		return "", err
 	}
@@ -698,7 +742,7 @@ func (s *Session) Explain(query string) (string, error) {
 // if any) and returns its result together with the operator plan
 // annotated with observed execution counters. See DB.Profile.
 func (s *Session) Profile(query string, params map[string]any) (*Result, string, error) {
-	stmt, err := parser.Parse(query)
+	stmt, err := s.cs.Parse(query)
 	if err != nil {
 		return nil, "", err
 	}

@@ -1,0 +1,158 @@
+package cypher
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestPlanCacheCrossSessionHits checks that the engine-wide caches are
+// genuinely shared: a query planned in one session is answered from the
+// statement and plan caches when a different session runs the same
+// text. This is the property the server relies on — a thousand
+// connections running the same parameterized lookup plan once.
+func TestPlanCacheCrossSessionHits(t *testing.T) {
+	db := Open()
+	for i := 0; i < 64; i++ {
+		if _, err := db.Exec(`CREATE (:User{id:$i})`, map[string]any{"i": int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const q = `MATCH (u:User{id:$i}) RETURN u.id AS id`
+
+	s1 := db.Session()
+	defer s1.Close()
+	if _, err := s1.Exec(q, map[string]any{"i": int64(3)}); err != nil {
+		t.Fatal(err)
+	}
+	after1 := db.CacheStats()
+	if after1.Plan.Entries == 0 {
+		t.Fatal("first execution cached no plan")
+	}
+
+	// A different session, same text, different parameter: both caches
+	// must hit — the statement cache on the text, the plan cache on the
+	// shared AST identity.
+	s2 := db.Session()
+	defer s2.Close()
+	res, err := s2.Exec(q, map[string]any{"i": int64(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 1 || res.Row(0)["id"].String() != "7" {
+		t.Fatalf("wrong result through cached plan: %v", res.Rows())
+	}
+	after2 := db.CacheStats()
+	if after2.StmtHits <= after1.StmtHits {
+		t.Errorf("statement cache did not hit cross-session: %+v -> %+v", after1, after2)
+	}
+	if after2.Plan.Hits <= after1.Plan.Hits {
+		t.Errorf("plan cache did not hit cross-session: %+v -> %+v", after1.Plan, after2.Plan)
+	}
+	if after2.Plan.Entries != after1.Plan.Entries {
+		t.Errorf("cross-session re-run grew the plan cache: %+v -> %+v", after1.Plan, after2.Plan)
+	}
+}
+
+// TestPlanCacheDriftInvalidation checks statistics-based validity: a
+// cached plan survives small graph changes but is invalidated and
+// re-planned once the anchor estimates drift beyond tolerance (a
+// factor of driftFactor past the driftFloor).
+func TestPlanCacheDriftInvalidation(t *testing.T) {
+	db := Open()
+	// Seed enough :A nodes to clear the drift floor, so growth is
+	// measured by ratio rather than absorbed by the absolute slack.
+	for i := 0; i < 24; i++ {
+		if _, err := db.Exec(`CREATE (:A{id:$i})`, map[string]any{"i": int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const q = `MATCH (a:A) RETURN count(a) AS c`
+	if _, err := db.Exec(q, nil); err != nil {
+		t.Fatal(err)
+	}
+	before := db.CacheStats().Plan
+
+	// A single extra node moves the graph version but not the estimates
+	// materially: the entry must revalidate, not invalidate.
+	if _, err := db.Exec(`CREATE (:A{id:1000})`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(q, nil); err != nil {
+		t.Fatal(err)
+	}
+	mid := db.CacheStats().Plan
+	if mid.Invalidations != before.Invalidations {
+		t.Errorf("tolerable drift invalidated the plan: %+v -> %+v", before, mid)
+	}
+	if mid.Hits <= before.Hits {
+		t.Errorf("version-stale entry was not revalidated as a hit: %+v -> %+v", before, mid)
+	}
+
+	// Grow the label cardinality well past driftFactor: the cached plan
+	// is stale and must be discarded and re-planned.
+	for i := 0; i < 200; i++ {
+		if _, err := db.Exec(fmt.Sprintf(`CREATE (:A{id:%d})`, 2000+i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Exec(q, nil); err != nil {
+		t.Fatal(err)
+	}
+	after := db.CacheStats().Plan
+	if after.Invalidations <= mid.Invalidations {
+		t.Errorf("material drift did not invalidate the plan: %+v -> %+v", mid, after)
+	}
+}
+
+// TestPlanCacheIndexEpochInvalidation checks that CREATE INDEX and DROP
+// INDEX each invalidate cached plans outright: a new index can enable a
+// seek anchor (and a drop must disable one) with zero cardinality
+// drift, so epoch changes cannot be absorbed by revalidation.
+func TestPlanCacheIndexEpochInvalidation(t *testing.T) {
+	db := Open()
+	for i := 0; i < 32; i++ {
+		if _, err := db.Exec(`CREATE (:User{id:$i})`, map[string]any{"i": int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const q = `MATCH (u:User{id:$i}) RETURN u.id AS id`
+	run := func() {
+		t.Helper()
+		res, err := db.Exec(q, map[string]any{"i": int64(5)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NumRows() != 1 {
+			t.Fatalf("want 1 row, got %d", res.NumRows())
+		}
+	}
+	run()
+	before := db.CacheStats().Plan
+
+	if _, err := db.Exec(`CREATE INDEX ON :User(id)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	run()
+	mid := db.CacheStats().Plan
+	if mid.Invalidations <= before.Invalidations {
+		t.Errorf("CREATE INDEX did not invalidate the cached plan: %+v -> %+v", before, mid)
+	}
+	// The re-planned query now seeks the index.
+	plan, err := db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "index-seek(:User.id)") {
+		t.Errorf("plan after CREATE INDEX does not seek:\n%s", plan)
+	}
+
+	if _, err := db.Exec(`DROP INDEX ON :User(id)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	run()
+	after := db.CacheStats().Plan
+	if after.Invalidations <= mid.Invalidations {
+		t.Errorf("DROP INDEX did not invalidate the cached plan: %+v -> %+v", mid, after)
+	}
+}

@@ -255,9 +255,15 @@ func (s UpdateStats) String() string {
 		s.PropsSet, s.LabelsAdded, s.LabelsRemoved)
 }
 
-// Engine executes statements.
+// Engine executes statements. Beyond the configuration it carries the
+// engine-wide caches shared by every session: the statement cache
+// (query text -> parsed AST) and the cross-statement plan cache —
+// together they make repeated parameterized queries, from any number
+// of sessions, parse and plan exactly once.
 type Engine struct {
-	cfg Config
+	cfg   Config
+	stmts *stmtCache
+	plans *match.PlanCache
 }
 
 // spillSweepOnce guards the once-per-process orphan sweep below.
@@ -271,11 +277,38 @@ func NewEngine(cfg Config) *Engine {
 	spillSweepOnce.Do(func() {
 		_, _ = plan.SweepSpillOrphans(plan.SpillDir())
 	})
-	return &Engine{cfg: cfg}
+	return &Engine{cfg: cfg, stmts: newStmtCache(), plans: match.NewPlanCache()}
 }
 
 // Config returns the engine configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// Parse returns the parsed form of query, served from the engine's
+// statement cache. All sessions of the engine receive the same AST for
+// the same query text — the identity the shared plan cache keys on.
+// The AST must be treated as read-only (every execution path does).
+func (e *Engine) Parse(query string) (*ast.Statement, error) {
+	return e.stmts.parse(query)
+}
+
+// PlanCache returns the engine's shared cross-statement plan cache
+// (counters for tests, benchmarks and server statistics).
+func (e *Engine) PlanCache() *match.PlanCache { return e.plans }
+
+// CacheStats summarizes the engine-wide caches: the statement (parse)
+// cache and the shared match-plan cache.
+type CacheStats struct {
+	// StmtHits / StmtMisses count statement-cache lookups by outcome.
+	StmtHits, StmtMisses int64
+	// Plan carries the shared plan cache's counters.
+	Plan match.PlanCacheStats
+}
+
+// CacheStats returns the engine's current cache counters.
+func (e *Engine) CacheStats() CacheStats {
+	h, m := e.stmts.stats()
+	return CacheStats{StmtHits: h, StmtMisses: m, Plan: e.plans.Stats()}
+}
 
 // Result is the output of a statement: the table produced by RETURN (or
 // an empty zero-column table) and the update statistics.
@@ -394,6 +427,7 @@ func (e *Engine) executeUnionPar(g *graph.Graph, stmt *ast.Statement, params map
 		}
 		x := &executor{
 			cfg:    e.cfg,
+			plans:  e.plans,
 			graph:  g,
 			params: params,
 			ev:     &expr.Evaluator{Graph: g, Params: params},
@@ -451,6 +485,7 @@ func unionCompatible(a, b *table.Table) error {
 func (e *Engine) executeStreaming(g *graph.Graph, stmt *ast.Statement, params map[string]value.Value, t0 *table.Table, par int) (*Result, error) {
 	x := &executor{
 		cfg:    e.cfg,
+		plans:  e.plans,
 		graph:  g,
 		params: params,
 		ev:     &expr.Evaluator{Graph: g, Params: params},
@@ -526,6 +561,7 @@ func (e *Engine) explainStatement(g *graph.Graph, stmt *ast.Statement, params ma
 	}
 	x := &executor{
 		cfg:    e.cfg,
+		plans:  e.plans,
 		graph:  g,
 		params: params,
 		ev:     &expr.Evaluator{Graph: g, Params: params},
@@ -557,6 +593,7 @@ func (e *Engine) explainStatement(g *graph.Graph, stmt *ast.Statement, params ma
 // executor runs one single query's clause list.
 type executor struct {
 	cfg    Config
+	plans  *match.PlanCache // engine's shared plan cache (nil in bare-engine tests)
 	graph  *graph.Graph
 	params map[string]value.Value
 	ev     *expr.Evaluator
@@ -573,6 +610,7 @@ func (x *executor) matcherFor(ev *expr.Evaluator) *match.Matcher {
 		Graph:       x.graph,
 		Ev:          ev,
 		Mode:        x.cfg.MatchMode,
+		Cache:       x.plans,
 		DisablePlan: x.cfg.Planner == PlannerLeftToRight,
 		ForceAnchor: x.cfg.forceAnchor,
 	}

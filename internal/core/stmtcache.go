@@ -1,0 +1,89 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+// stmtCache caches parsed statements by query text. It exists for two
+// reasons: it skips re-parsing hot queries, and — more importantly —
+// it makes the shared plan cache work across sessions: all sessions of
+// one engine receive the SAME parsed AST for the same query text, so
+// plan-cache keys based on AST identity (match.PlanCache) hit across
+// sessions and connections.
+//
+// Sharing one AST is sound because execution never mutates a parsed
+// statement: the engine, the plan builder and the matcher treat it as
+// read-only (pushdown classification and plans are per-execution side
+// tables keyed BY the AST, never stored IN it).
+//
+// The cache key is the query text alone; the engine's dialect is fixed
+// per engine, so (text, dialect) is implicit. Parse errors are not
+// cached (failing statements are not a hot path worth memory).
+type stmtCache struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	hits    int64
+	misses  int64
+}
+
+// stmtCacheMaxEntries bounds the cache; beyond it the least recently
+// used statement is evicted (its plan-cache entries age out of the
+// bounded plan cache on their own).
+const stmtCacheMaxEntries = 1024
+
+type stmtCacheEntry struct {
+	text string
+	stmt *ast.Statement
+}
+
+func newStmtCache() *stmtCache {
+	return &stmtCache{entries: make(map[string]*list.Element), order: list.New()}
+}
+
+// parse returns the cached parse of query, parsing and caching on miss.
+func (c *stmtCache) parse(query string) (*ast.Statement, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[query]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		stmt := el.Value.(*stmtCacheEntry).stmt
+		c.mu.Unlock()
+		return stmt, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Parse outside the lock; concurrent first parsers of the same text
+	// race benignly (last one in wins the cache slot).
+	stmt, err := parser.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[query]; ok {
+		// Another goroutine cached it meanwhile; return THEIR statement
+		// so every caller shares one AST identity.
+		c.order.MoveToFront(el)
+		return el.Value.(*stmtCacheEntry).stmt, nil
+	}
+	if c.order.Len() >= stmtCacheMaxEntries {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*stmtCacheEntry).text)
+	}
+	c.entries[query] = c.order.PushFront(&stmtCacheEntry{text: query, stmt: stmt})
+	return stmt, nil
+}
+
+// stats returns the cache's hit/miss counters.
+func (c *stmtCache) stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -50,6 +50,10 @@ func NewSession(e *Engine, store *graph.Store) *Session {
 // Engine returns the engine the session executes with.
 func (s *Session) Engine() *Engine { return s.e }
 
+// Parse parses query through the engine's shared statement cache, so
+// every session of one engine receives the same AST for the same text.
+func (s *Session) Parse(query string) (*ast.Statement, error) { return s.e.Parse(query) }
+
 // Txn is an open explicit transaction: the store's write transaction
 // (working graph + spanning journal) plus the session-level bookkeeping.
 type Txn struct {

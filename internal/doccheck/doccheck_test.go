@@ -1,6 +1,7 @@
 // Package doccheck enforces the repository's documentation contract:
-// every exported symbol of the public API surface (package cypher) and
-// of the core internal layers (graph, match) carries a doc comment.
+// every exported symbol of the public API surface (packages cypher and
+// cypherclient) and of the core internal layers (graph, match, server)
+// carries a doc comment.
 // It runs as an ordinary test, so `go test ./...` — and therefore CI —
 // fails the moment an undocumented exported symbol lands.
 package doccheck
@@ -20,8 +21,10 @@ import (
 // documented, relative to this package.
 var checkedPackages = []string{
 	filepath.Join("..", "..", "cypher"),
+	filepath.Join("..", "..", "cypherclient"),
 	filepath.Join("..", "graph"),
 	filepath.Join("..", "match"),
+	filepath.Join("..", "server"),
 }
 
 // TestExportedSymbolsAreDocumented parses each checked package and

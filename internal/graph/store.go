@@ -166,6 +166,15 @@ func (s *Store) Acquire() *Snapshot {
 	return sn
 }
 
+// PinnedReaders reports how many readers currently pin the latest
+// committed snapshot (Acquire minus Release). Diagnostic: a quiescent
+// store reports zero.
+func (s *Store) PinnedReaders() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur.pins.Load()
+}
+
 // Epoch reports the latest committed epoch number.
 func (s *Store) Epoch() int64 {
 	s.mu.Lock()

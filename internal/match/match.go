@@ -83,6 +83,14 @@ type Matcher struct {
 	RelPreds  map[*ast.RelPattern][]ast.Expr
 	PrePreds  []ast.Expr
 
+	// Cache, when non-nil, is the engine's shared cross-statement plan
+	// cache: plans built by this matcher are published there, and a
+	// per-matcher (L1) miss consults it before planning from scratch,
+	// so sessions running the same query text share one plan. Sound
+	// because the engine's statement cache shares one parsed AST per
+	// query text (see PlanCache).
+	Cache *PlanCache
+
 	// Plan cache: Stream is called once per driving-table record, but
 	// the plan depends only on the pattern, the set of bound column
 	// names and the graph's statistics. A cached plan survives
@@ -249,12 +257,39 @@ func (m *Matcher) plansFor(parts []*ast.PatternPart, env expr.Env) []partPlan {
 	for k := range env {
 		names = append(names, k)
 	}
-	bound := newBound()
-	fp := m.estimateFingerprint(parts, bound)
-	plans := m.planParts(parts, bound) // mutates bound; fingerprint first
+	// L1 miss: consult the engine's shared cross-statement cache, then
+	// plan from scratch. Either way the result is installed in the L1
+	// fields, so per-record lookups for the rest of this operator's
+	// life never touch the shared mutex. DisablePlan matchers skip the
+	// shared cache: their trivial written-order plans are cheaper to
+	// rebuild than to share, and keying them would double every entry.
+	var (
+		shared   *PlanCache
+		cacheKey planCacheKey
+	)
+	if m.Cache != nil && !m.DisablePlan {
+		shared = m.Cache
+		cacheKey = planCacheKey{part0: key, n: len(parts), bound: boundKey(names), mode: m.Mode}
+	}
+	ver, idxEpoch := m.Graph.Version(), m.Graph.IndexEpoch()
+	var plans []partPlan
+	var fp []float64
+	if shared != nil {
+		plans = shared.lookup(m, cacheKey, parts, newBound())
+	}
+	if plans == nil {
+		bound := newBound()
+		fp = m.estimateFingerprint(parts, bound)
+		plans = m.planParts(parts, bound) // mutates bound; fingerprint first
+		if shared != nil {
+			shared.store(cacheKey, plans, fp, ver, idxEpoch)
+		}
+	} else {
+		fp = m.estimateFingerprint(parts, newBound())
+	}
 	m.cachedPlans, m.cacheParts, m.cacheN = plans, key, len(parts)
-	m.cacheBound, m.cacheVer, m.cacheEst = names, m.Graph.Version(), fp
-	m.cacheIdxEpoch = m.Graph.IndexEpoch()
+	m.cacheBound, m.cacheVer, m.cacheEst = names, ver, fp
+	m.cacheIdxEpoch = idxEpoch
 	return plans
 }
 

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"repro/cypher"
+)
+
+// ServerName identifies this implementation in hello replies.
+const ServerName = "cypherd/1"
+
+// Options configures a Server. The zero value is usable: default
+// frame limit, no idle timeout, no statement timeout, a writer
+// admission queue of DefaultMaxWriteQueue.
+type Options struct {
+	// MaxFrame bounds the accepted frame body size in bytes
+	// (default DefaultMaxFrame).
+	MaxFrame int
+	// IdleTimeout closes a connection that sends no frame for this
+	// long. Zero means no idle timeout.
+	IdleTimeout time.Duration
+	// StatementTimeout bounds one statement's execution. A statement
+	// exceeding it gets a StatementTimeout failure and the connection is
+	// torn down once the statement completes server-side (the engine
+	// cannot abandon a running statement). Zero means no timeout.
+	StatementTimeout time.Duration
+	// MaxWriteQueue bounds how many connections may simultaneously hold
+	// or wait for the single-writer baton (backpressure): an updating
+	// statement or BEGIN arriving beyond the bound is refused with
+	// ServerBusy instead of queueing without limit. Zero means
+	// DefaultMaxWriteQueue; negative means unbounded.
+	MaxWriteQueue int
+}
+
+// DefaultMaxWriteQueue is the default writer admission bound.
+const DefaultMaxWriteQueue = 64
+
+// Server serves the wire protocol over a listener, one cypher.Session
+// per accepted connection.
+type Server struct {
+	db   *cypher.DB
+	opts Options
+
+	writeSem chan struct{} // nil = unbounded
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*conn]struct{}
+	draining bool
+	nextID   int64
+
+	wg sync.WaitGroup // accept loop + one per connection
+}
+
+// Stats is a point-in-time summary of a server's state.
+type Stats struct {
+	// Connections is the number of live connections.
+	Connections int
+	// Draining reports whether a graceful shutdown is in progress.
+	Draining bool
+}
+
+// New creates a server for db. Call Serve to start it.
+func New(db *cypher.DB, opts Options) *Server {
+	if opts.MaxFrame <= 0 {
+		opts.MaxFrame = DefaultMaxFrame
+	}
+	if opts.MaxWriteQueue == 0 {
+		opts.MaxWriteQueue = DefaultMaxWriteQueue
+	}
+	s := &Server{db: db, opts: opts, conns: make(map[*conn]struct{})}
+	if opts.MaxWriteQueue > 0 {
+		s.writeSem = make(chan struct{}, opts.MaxWriteQueue)
+	}
+	return s
+}
+
+// Serve accepts connections on ln until Shutdown (or a fatal listener
+// error) and blocks while doing so. The listener is closed on return.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	defer ln.Close()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.nextID++
+		c := &conn{srv: s, id: s.nextID, nc: nc, sess: s.db.Session()}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			c.serve()
+		}()
+	}
+}
+
+// Addr returns the listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Stats returns the server's current counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{Connections: len(s.conns), Draining: s.draining}
+}
+
+// Shutdown drains the server gracefully: it stops accepting, lets
+// in-flight statements finish (new RUNs are refused with
+// ServerDraining), rolls back transactions left open, and closes every
+// connection. It blocks until all connection goroutines exit or ctx
+// expires; on expiry remaining connections are closed forcibly and
+// ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	// Kick connections parked in a blocking read: an immediate read
+	// deadline unblocks them; connections mid-statement hit the expired
+	// deadline only after finishing (and replying to) the statement.
+	for c := range s.conns {
+		c.nc.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// draining reports whether a graceful shutdown is in progress.
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// acquireWriteSlot claims a writer-admission slot, reporting false
+// when the bounded queue is full (ServerBusy).
+func (s *Server) acquireWriteSlot() bool {
+	if s.writeSem == nil {
+		return true
+	}
+	select {
+	case s.writeSem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// releaseWriteSlot returns a writer-admission slot.
+func (s *Server) releaseWriteSlot() {
+	if s.writeSem == nil {
+		return
+	}
+	<-s.writeSem
+}
+
+// remove unregisters a finished connection.
+func (s *Server) remove(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}

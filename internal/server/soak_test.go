@@ -1,0 +1,281 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/cypher"
+	"repro/cypherclient"
+)
+
+// TestSoakConcurrentClients runs N clients with mixed read/write/txn
+// workloads against one server and asserts:
+//
+//   - no torn reads: every snapshot a reader sees is internally
+//     consistent (two aggregates over the same data always agree);
+//   - per-session isolation: each client's committed node count is
+//     exactly what it committed (rolled-back work never surfaces);
+//   - clean drain: shutdown leaves no connections, no pinned
+//     snapshots, no leaked goroutines, and a free writer baton.
+//
+// Run it under -race (make serve-race / CI) to turn any cross-session
+// memory misuse into a hard failure.
+func TestSoakConcurrentClients(t *testing.T) {
+	const (
+		clients = 8
+		iters   = 30
+	)
+	baseline := runtime.NumGoroutine()
+	db := cypher.Open()
+	srv := New(db, Options{})
+	ln, addr := listenLocal(t)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	var wg sync.WaitGroup
+	committed := make([]int, clients) // nodes each client successfully committed
+	errs := make(chan error, clients)
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			errs <- soakClient(addr, ci, iters, &committed[ci])
+		}(ci)
+	}
+	wg.Wait()
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Every client's committed work — and nothing else — is visible.
+	total := 0
+	for ci, n := range committed {
+		res, err := db.Exec(`MATCH (n:Soak{owner:$o}) RETURN count(n) AS c`, map[string]any{"o": int64(ci)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := res.Row(0)["c"]
+		if c.String() != fmt.Sprint(n) {
+			t.Errorf("client %d: committed %d nodes, server sees %s", ci, n, c.String())
+		}
+		total += n
+	}
+	res, err := db.Exec(`MATCH (n:Soak) RETURN count(n) AS c`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Row(0)["c"].String() != fmt.Sprint(total) {
+		t.Errorf("total = %s, want %d", res.Row(0)["c"].String(), total)
+	}
+
+	// Clean drain.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if st := srv.Stats(); st.Connections != 0 {
+		t.Errorf("%d connections alive after drain", st.Connections)
+	}
+	if pins := db.PinnedSnapshots(); pins != 0 {
+		t.Errorf("%d snapshots still pinned after drain", pins)
+	}
+	// The writer baton is free: an auto-commit write proceeds instantly.
+	if _, err := db.Exec(`CREATE (:PostDrain)`, nil); err != nil {
+		t.Fatalf("write after drain: %v", err)
+	}
+	waitForGoroutines(t, baseline)
+}
+
+// soakClient runs one client's mixed workload; *commits tracks nodes
+// it successfully committed.
+func soakClient(addr string, ci, iters int, commits *int) error {
+	c, err := cypherclient.Dial(addr)
+	if err != nil {
+		return fmt.Errorf("client %d: dial: %w", ci, err)
+	}
+	defer c.Close()
+	owner := map[string]any{"o": int64(ci)}
+	for j := 0; j < iters; j++ {
+		switch j % 4 {
+		case 0: // auto-commit write
+			res, err := c.Exec(`CREATE (:Soak{owner:$o})`, owner)
+			if err != nil {
+				return fmt.Errorf("client %d: create: %w", ci, err)
+			}
+			if res.Stats.NodesCreated != 1 {
+				return fmt.Errorf("client %d: create stats %+v", ci, res.Stats)
+			}
+			*commits++
+		case 1: // explicit transaction, committed
+			if err := c.Begin(); err != nil {
+				return fmt.Errorf("client %d: begin: %w", ci, err)
+			}
+			for k := 0; k < 2; k++ {
+				if _, err := c.Exec(`CREATE (:Soak{owner:$o})`, owner); err != nil {
+					return fmt.Errorf("client %d: txn create: %w", ci, err)
+				}
+			}
+			// Reads inside the transaction see its own uncommitted writes.
+			res, err := c.Exec(`MATCH (n:Soak{owner:$o}) RETURN count(n) AS c`, owner)
+			if err != nil {
+				return fmt.Errorf("client %d: txn read: %w", ci, err)
+			}
+			if got := res.Rows[0][0].String(); got != fmt.Sprint(*commits+2) {
+				return fmt.Errorf("client %d: txn sees %s own nodes, want %d", ci, got, *commits+2)
+			}
+			if _, err := c.Commit(); err != nil {
+				return fmt.Errorf("client %d: commit: %w", ci, err)
+			}
+			*commits += 2
+		case 2: // explicit transaction, rolled back: leaves no trace
+			if err := c.Begin(); err != nil {
+				return fmt.Errorf("client %d: begin: %w", ci, err)
+			}
+			if _, err := c.Exec(`CREATE (:Soak{owner:$o})`, owner); err != nil {
+				return fmt.Errorf("client %d: txn create: %w", ci, err)
+			}
+			if err := c.Rollback(); err != nil {
+				return fmt.Errorf("client %d: rollback: %w", ci, err)
+			}
+		case 3: // reads: no torn snapshots, exact own count
+			res, err := c.Exec(`MATCH (n:Soak) RETURN count(n) AS all, count(n.owner) AS tagged`, nil)
+			if err != nil {
+				return fmt.Errorf("client %d: read: %w", ci, err)
+			}
+			all, tagged := res.Rows[0][0].String(), res.Rows[0][1].String()
+			if all != tagged {
+				return fmt.Errorf("client %d: torn read: %s nodes but %s owner properties", ci, all, tagged)
+			}
+			own, err := c.Exec(`MATCH (n:Soak{owner:$o}) RETURN count(n) AS c`, owner)
+			if err != nil {
+				return fmt.Errorf("client %d: own read: %w", ci, err)
+			}
+			// Own commits are immediately visible to the same session
+			// (and rolled-back work never is): the count is exact.
+			if got := own.Rows[0][0].String(); got != fmt.Sprint(*commits) {
+				return fmt.Errorf("client %d: isolation violation: sees %s own nodes, committed %d", ci, got, *commits)
+			}
+		}
+	}
+	return nil
+}
+
+// TestSoakDrainUnderLoad shuts the server down while clients hammer
+// it, then verifies the database is quiescent and consistent: no
+// half-applied statements, no pinned snapshots, writer baton free.
+func TestSoakDrainUnderLoad(t *testing.T) {
+	const clients = 6
+	db := cypher.Open()
+	srv := New(db, Options{})
+	ln, addr := listenLocal(t)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c, err := cypherclient.Dial(addr)
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var err error
+				if j%3 == 0 {
+					// Leave a transaction open on purpose sometimes; drain
+					// must roll it back.
+					if err = c.Begin(); err == nil {
+						_, err = c.Exec(`CREATE (:Load{owner:$o})`, map[string]any{"o": int64(ci)})
+					}
+					if err == nil && j%6 == 0 {
+						_, err = c.Commit()
+					}
+				} else {
+					_, err = c.Exec(`CREATE (:Load{owner:$o})`, map[string]any{"o": int64(ci)})
+				}
+				if err != nil {
+					// Draining: server refused or closed — expected.
+					var se *cypherclient.ServerError
+					if errors.As(err, &se) && se.Code != CodeServerDraining && se.Code != CodeServerBusy && se.Code != CodeTransactionState {
+						t.Errorf("client %d: unexpected server error %v", ci, se)
+					}
+					return
+				}
+			}
+		}(ci)
+	}
+	// Let load build, then drain mid-flight.
+	time.Sleep(50 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	if err := <-done; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if pins := db.PinnedSnapshots(); pins != 0 {
+		t.Errorf("%d snapshots pinned after drain", pins)
+	}
+	// All open transactions rolled back: the single-writer baton is
+	// free, so a write completes instead of deadlocking.
+	writeDone := make(chan error, 1)
+	go func() {
+		_, err := db.Exec(`CREATE (:PostDrain)`, nil)
+		writeDone <- err
+	}()
+	select {
+	case err := <-writeDone:
+		if err != nil {
+			t.Fatalf("write after drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("write after drain blocked: a transaction survived the drain holding the writer baton")
+	}
+}
+
+// listenLocal opens a loopback listener for a soak server.
+func listenLocal(t *testing.T) (net.Listener, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln, ln.Addr().String()
+}
+
+// waitForGoroutines polls until the goroutine count returns to (near)
+// baseline, failing after a deadline.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d now vs %d at start", runtime.NumGoroutine(), baseline)
+}
