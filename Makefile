@@ -6,7 +6,7 @@
 # perf trajectory into BENCH_pr9.json (one file per PR so regressions
 # are diffable).
 
-BENCH_OUT ?= BENCH_pr9.json
+BENCH_OUT ?= BENCH_pr10.json
 
 .PHONY: all test vet race stress spill crash fuzz par serve-race bench bench-smoke docs-smoke
 
@@ -79,12 +79,15 @@ crash:
 # records, binary spill/WAL values, the graph JSON snapshot, and the
 # server's wire frames and value tags (the only codec fed by remote
 # peers). Each must reject or round-trip canonically, never panic.
+# The expression fuzzer additionally proves folding is invisible:
+# whatever parses evaluates to the same value/error folded or not.
 fuzz:
 	go test -run '^$$' -fuzz FuzzWALRecordRoundTrip -fuzztime 15s ./internal/graph
 	go test -run '^$$' -fuzz FuzzBinaryValueRoundTrip -fuzztime 15s ./internal/graph
 	go test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime 15s ./cypher
 	go test -run '^$$' -fuzz FuzzWireFrameDecode -fuzztime 15s ./internal/server
 	go test -run '^$$' -fuzz FuzzWireValueRoundTrip -fuzztime 15s ./internal/server
+	go test -run '^$$' -fuzz FuzzExprEval -fuzztime 15s ./internal/expr
 
 # Full benchmark run, serialized to JSON. -benchtime is modest because
 # the B-suite covers 12 benchmark families; raise it for stable numbers.

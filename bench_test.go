@@ -25,6 +25,7 @@
 //	B18 durable commit latency: WAL off / no-sync / grouped fsync / fsync-per-commit
 //	B19 morsel-parallel read scaling: worker degrees 1/2/4/8 on scan- and match-heavy pipelines
 //	B20 served QPS: N concurrent wire clients vs one, shared plan cache across sessions
+//	B21 expression-heavy pipelines: plan-time constant folding and purity-aware pushdown
 package repro_test
 
 import (
@@ -876,6 +877,67 @@ func BenchmarkB20ServerConcurrentClients(b *testing.B) {
 			}
 			if b.N > 1 && after.StmtHits <= before.StmtHits {
 				b.Fatalf("no cross-session statement-cache hits: %+v -> %+v", before, after)
+			}
+		})
+	}
+}
+
+// B21: expression-heavy read pipelines over 100k rows — string and
+// list functions (split, reduce, size, toUpper) in the projection, a
+// registry-gated conjunct pair in the WHERE. Two axes:
+//
+//   - folded vs unfolded: the filter threshold is a parameter-free
+//     pure subtree (size of a literal string) in the folded variants,
+//     so the planner collapses it to a constant at plan time; the
+//     unfolded variants route the same value through a parameter,
+//     which folding never touches, so the subtree re-evaluates on
+//     every row.
+//   - pushdown vs deferred: the cost-based planner pushes the
+//     pure+total conjuncts (exists above all) into the scan; the
+//     left-to-right planner defers the whole WHERE to a post-match
+//     filter.
+func BenchmarkB21ExpressionPipeline(b *testing.B) {
+	const n = 100000
+	g := graph.New()
+	tags := []string{"alpha,beta", "gamma", "delta,epsilon,zeta", "eta,theta"}
+	for i := 0; i < n; i++ {
+		g.CreateNode([]string{"R"}, value.Map{
+			"v":   value.Int(int64(i)),
+			"tag": value.String(tags[i%len(tags)]),
+		})
+	}
+	const body = ` RETURN sum(reduce(s = 0, w IN split(r.tag, ',') | s + size(w))) AS letters,
+	       count(*) AS n`
+	const foldedQ = `MATCH (r:R) WHERE exists(r.tag) AND r.v % size('abcdefghij') = 0` + body
+	const unfoldedQ = `MATCH (r:R) WHERE exists(r.tag) AND r.v % size($s) = 0` + body
+	params := map[string]value.Value{"s": value.String("abcdefghij")}
+
+	for _, c := range []struct {
+		name    string
+		query   string
+		params  map[string]value.Value
+		planner core.PlannerMode
+	}{
+		{"folded/pushdown", foldedQ, nil, core.PlannerCostBased},
+		{"unfolded/pushdown", unfoldedQ, params, core.PlannerCostBased},
+		{"folded/deferred", foldedQ, nil, core.PlannerLeftToRight},
+		{"unfolded/deferred", unfoldedQ, params, core.PlannerLeftToRight},
+	} {
+		cfg := core.Config{Dialect: core.DialectRevised, Planner: c.planner}
+		stmt, err := parser.Parse(c.query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.name+fmt.Sprintf("/rows=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := core.NewEngine(cfg).ExecuteStatement(g, stmt, c.params)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if cnt, _ := value.AsInt(res.Table.Get(0, "n")); cnt != n/10 {
+					b.Fatalf("count = %v, want %d", res.Table.Get(0, "n"), n/10)
+				}
 			}
 		})
 	}

@@ -248,12 +248,16 @@ func remoteREPL(addr string) {
 			switch strings.Fields(trimmed)[0] {
 			case ":quit", ":exit", ":q":
 				return
+			case ":functions":
+				// The function registry is compiled into the client and
+				// identical on the server, so this prints locally.
+				printFunctions()
 			case ":help":
 				fmt.Println("remote shell: every statement runs on the server over the wire.")
 				fmt.Println("EXPLAIN <query>; and PROFILE <query>; work; BEGIN/COMMIT/ROLLBACK manage a server-side transaction.")
-				fmt.Println("local metas (:dialect, :set, :stats, ...) are unavailable over -connect.")
+				fmt.Println(":functions lists the built-in functions; other local metas (:dialect, :set, :stats, ...) are unavailable over -connect.")
 			default:
-				fmt.Println("meta commands are unavailable over -connect (only :help, :quit)")
+				fmt.Println("meta commands are unavailable over -connect (only :functions, :help, :quit)")
 			}
 			prompt()
 			continue
@@ -367,6 +371,8 @@ func meta(db *cypher.DB, dialect, cmd string) (*cypher.DB, string, bool) {
 			break
 		}
 		fmt.Println("saved", path)
+	case ":functions":
+		printFunctions()
 	case ":help":
 		fmt.Println("statements end with ';'. EXPLAIN <query>; prints the operator plan with its transaction boundaries.")
 		fmt.Println("PROFILE <query>; executes it and prints the plan with observed rows/batches/peak-mem/spill counters.")
@@ -377,7 +383,7 @@ func meta(db *cypher.DB, dialect, cmd string) (*cypher.DB, string, bool) {
 		fmt.Println("parallelism: :set parallelism <n> sets the worker-pool degree for read statements (0 = GOMAXPROCS, 1 = serial).")
 		fmt.Println("durability: run with -data <dir> to persist commits to a write-ahead log; :wal shows its status,")
 		fmt.Println(":wal checkpoint compacts it, and :save <path> writes an atomic JSON snapshot anywhere.")
-		fmt.Println("Meta: :dialect cypher9|revised, :merge <strategy>, :set budget <bytes>, :set parallelism <n>, :stats, :indexes, :epoch, :wal, :save <path>, :clear, :quit")
+		fmt.Println("Meta: :dialect cypher9|revised, :merge <strategy>, :set budget <bytes>, :set parallelism <n>, :functions, :stats, :indexes, :epoch, :wal, :save <path>, :clear, :quit")
 	case ":clear":
 		opt := cypher.WithDialect(cypher.Revised)
 		if dialect == "cypher9" {
@@ -467,6 +473,34 @@ func closeDB(db *cypher.DB) {
 	if err := db.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "close:", err)
 	}
+}
+
+// printFunctions lists the built-in scalar functions with the planner
+// flags that govern them: pure+deterministic functions participate in
+// constant folding, and pure+total ones in speculative predicate
+// pushdown.
+func printFunctions() {
+	fns := cypher.Functions()
+	width := 0
+	for _, f := range fns {
+		if len(f.Sig) > width {
+			width = len(f.Sig)
+		}
+	}
+	for _, f := range fns {
+		flags := make([]byte, 0, 3)
+		if f.Pure {
+			flags = append(flags, 'p')
+		}
+		if f.Total {
+			flags = append(flags, 't')
+		}
+		if f.Deterministic {
+			flags = append(flags, 'd')
+		}
+		fmt.Printf("  %-*s  [%-3s]  %s\n", width, f.Sig, flags, f.Doc)
+	}
+	fmt.Printf("%d functions. Flags: p=pure t=total (never errors) d=deterministic.\n", len(fns))
 }
 
 func printIndexes(ixs []cypher.IndexView) {

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/core"
+	"repro/internal/expr"
 	"repro/internal/graph"
 	"repro/internal/match"
 	"repro/internal/parser"
@@ -833,4 +834,44 @@ func (db *DB) ExportDOT(w io.Writer, title string) error {
 	snap := db.store.Acquire()
 	defer snap.Release()
 	return snap.Graph().WriteDOT(w, title)
+}
+
+// FuncInfo describes one built-in scalar function: its signature, its
+// documentation line, and the semantic properties the planner consults
+// (purity for constant folding, totality for predicate pushdown,
+// determinism for both).
+type FuncInfo struct {
+	// Name is the canonical (lowercase) function name. Lookup in
+	// queries is case-insensitive.
+	Name string
+	// Sig is the human-readable signature, e.g. "substring(s, start[, len])".
+	Sig string
+	// Doc is a one-line description.
+	Doc string
+	// MinArgs and MaxArgs bound the accepted argument count; MaxArgs
+	// is -1 for variadic functions.
+	MinArgs, MaxArgs int
+	// Pure: the result depends only on the arguments (no graph reads,
+	// no clock, no randomness).
+	Pure bool
+	// Total: never returns an evaluation error for any argument values.
+	Total bool
+	// Deterministic: same arguments always yield the same result.
+	Deterministic bool
+}
+
+// Functions lists every built-in scalar function in the expression
+// registry, sorted by name. Aggregates (count, sum, min, max, avg,
+// collect) live in the projection machinery and are not listed here.
+func Functions() []FuncInfo {
+	defs := expr.Defs()
+	out := make([]FuncInfo, len(defs))
+	for i, d := range defs {
+		out[i] = FuncInfo{
+			Name: d.Name, Sig: d.Sig, Doc: d.Doc,
+			MinArgs: d.MinArgs, MaxArgs: d.MaxArgs,
+			Pure: d.Pure, Total: d.Total, Deterministic: d.Deterministic,
+		}
+	}
+	return out
 }

@@ -8,6 +8,8 @@ package ast
 
 import (
 	"strings"
+
+	"repro/internal/value"
 )
 
 // TxnControl distinguishes transaction-control statements from queries.
@@ -358,6 +360,16 @@ type Literal struct {
 	Value any
 }
 
+// Const is a plan-time constant: the result of evaluating a closed,
+// pure, deterministic subtree during the constant-folding pass
+// (internal/expr.Fold). The parser never produces one. Unlike Literal
+// it carries an already-computed runtime value, so lists, maps and
+// folded function results are representable and evaluation is a direct
+// return.
+type Const struct {
+	Val value.Value
+}
+
 // Variable references a binding in the driving table.
 type Variable struct {
 	Name string
@@ -526,6 +538,7 @@ type Reduce struct {
 }
 
 func (*Literal) expr()           {}
+func (*Const) expr()             {}
 func (*Variable) expr()          {}
 func (*Parameter) expr()         {}
 func (*PropAccess) expr()        {}

@@ -285,6 +285,11 @@ func (e *Literal) String() string {
 	}
 }
 
+// String renders the folded value; value.Value rendering matches
+// Literal rendering for scalars, so folded predicates read naturally in
+// EXPLAIN output.
+func (e *Const) String() string { return e.Val.String() }
+
 func (e *Variable) String() string  { return e.Name }
 func (e *Parameter) String() string { return "$" + e.Name }
 

@@ -1,0 +1,84 @@
+package doccheck
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+// funcEntry matches a documented function reference like `round(x [, n])`
+// inside the marker-delimited functions section of docs/language.md.
+var funcEntry = regexp.MustCompile("`([A-Za-z][A-Za-z0-9]*)\\(")
+
+// functionsSection extracts the text between the functions:begin and
+// functions:end markers of the language reference.
+func functionsSection(t *testing.T) string {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("..", "..", "docs", "language.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(raw)
+	const begin, end = "<!-- functions:begin -->", "<!-- functions:end -->"
+	i := strings.Index(doc, begin)
+	j := strings.Index(doc, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("docs/language.md: missing or misordered %s / %s markers", begin, end)
+	}
+	return doc[i+len(begin) : j]
+}
+
+// TestEveryFunctionIsDocumented cross-checks the expression registry
+// against the "Functions" section of docs/language.md in both
+// directions: a registered function without a doc entry, or a doc
+// entry naming no registered function, fails. This is the contract
+// that keeps the language reference in lockstep with the engine.
+func TestEveryFunctionIsDocumented(t *testing.T) {
+	section := functionsSection(t)
+	documented := map[string]bool{}
+	for _, m := range funcEntry.FindAllStringSubmatch(section, -1) {
+		documented[strings.ToLower(m[1])] = true
+	}
+	for _, d := range expr.Defs() {
+		if !documented[strings.ToLower(d.Name)] {
+			t.Errorf("function %s() is registered but has no entry in docs/language.md", d.Name)
+		}
+	}
+	for name := range documented {
+		if expr.LookupFunc(name) == nil {
+			t.Errorf("docs/language.md documents %s() but the registry has no such function", name)
+		}
+	}
+}
+
+// TestRegistryMetadataComplete enforces that every registry entry
+// carries the metadata the surfaces rely on: a signature, a one-line
+// doc, and coherent arity bounds.
+func TestRegistryMetadataComplete(t *testing.T) {
+	for _, d := range expr.Defs() {
+		if d.Sig == "" {
+			t.Errorf("%s: empty Sig", d.Name)
+		}
+		if d.Doc == "" {
+			t.Errorf("%s: empty Doc", d.Name)
+		}
+		if d.MinArgs < 0 {
+			t.Errorf("%s: negative MinArgs %d", d.Name, d.MinArgs)
+		}
+		if d.MaxArgs != -1 && d.MaxArgs < d.MinArgs {
+			t.Errorf("%s: MaxArgs %d < MinArgs %d", d.Name, d.MaxArgs, d.MinArgs)
+		}
+		if !strings.HasPrefix(strings.ToLower(d.Sig), strings.ToLower(d.Name)+"(") {
+			t.Errorf("%s: Sig %q does not start with the function name", d.Name, d.Sig)
+		}
+		if d.Total && !d.Pure && d.Name != "rand" && d.Name != "timestamp" {
+			// Total-but-impure is a suspicious combination: only the
+			// nondeterministic environment readers qualify.
+			t.Errorf("%s: Total but not Pure", d.Name)
+		}
+	}
+}

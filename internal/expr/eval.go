@@ -18,7 +18,8 @@ import (
 )
 
 // Env is an assignment of values to variable names (a driving-table
-// record plus any locally bound comprehension variables).
+// record). Binder-introduced variables (comprehensions, quantifiers,
+// reduce) live in scope frames during evaluation and never appear here.
 type Env map[string]value.Value
 
 // With returns a copy of the environment with one extra binding.
@@ -40,15 +41,34 @@ type Evaluator struct {
 	// precomputed per-group results; the projection machinery in the
 	// engine fills it before evaluating a grouped return item.
 	AggResults map[ast.Expr]value.Value
+
+	// Budget, when non-nil, caps the number of expression nodes this
+	// evaluator may visit over its lifetime; once exhausted, every
+	// evaluation errors. The engine leaves it nil (unlimited) — it
+	// exists so adversarial harnesses (fuzzers) can bound runaway
+	// expressions like nested comprehensions over huge ranges.
+	Budget *int64
 }
 
 // Eval evaluates e under env.
 func (ev *Evaluator) Eval(e ast.Expr, env Env) (value.Value, error) {
+	return ev.eval(e, scope{env: env})
+}
+
+func (ev *Evaluator) eval(e ast.Expr, sc scope) (value.Value, error) {
+	if ev.Budget != nil {
+		if *ev.Budget <= 0 {
+			return nil, fmt.Errorf("expression evaluation budget exhausted")
+		}
+		*ev.Budget--
+	}
 	switch x := e.(type) {
 	case *ast.Literal:
 		return literalValue(x)
+	case *ast.Const:
+		return x.Val, nil
 	case *ast.Variable:
-		v, ok := env[x.Name]
+		v, ok := sc.lookup(x.Name)
 		if !ok {
 			return nil, fmt.Errorf("variable `%s` not defined", x.Name)
 		}
@@ -60,21 +80,21 @@ func (ev *Evaluator) Eval(e ast.Expr, env Env) (value.Value, error) {
 		}
 		return v, nil
 	case *ast.PropAccess:
-		base, err := ev.Eval(x.Expr, env)
+		base, err := ev.eval(x.Expr, sc)
 		if err != nil {
 			return nil, err
 		}
 		return ev.propValue(base, x.Key)
 	case *ast.Index:
-		return ev.evalIndex(x, env)
+		return ev.evalIndex(x, sc)
 	case *ast.Slice:
-		return ev.evalSlice(x, env)
+		return ev.evalSlice(x, sc)
 	case *ast.UnaryOp:
-		return ev.evalUnary(x, env)
+		return ev.evalUnary(x, sc)
 	case *ast.BinaryOp:
-		return ev.evalBinary(x, env)
+		return ev.evalBinary(x, sc)
 	case *ast.IsNull:
-		v, err := ev.Eval(x.Expr, env)
+		v, err := ev.eval(x.Expr, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -86,7 +106,7 @@ func (ev *Evaluator) Eval(e ast.Expr, env Env) (value.Value, error) {
 	case *ast.ListLit:
 		out := make(value.List, len(x.Elems))
 		for i, el := range x.Elems {
-			v, err := ev.Eval(el, env)
+			v, err := ev.eval(el, sc)
 			if err != nil {
 				return nil, err
 			}
@@ -96,7 +116,7 @@ func (ev *Evaluator) Eval(e ast.Expr, env Env) (value.Value, error) {
 	case *ast.MapLit:
 		out := make(value.Map, len(x.Keys))
 		for i, k := range x.Keys {
-			v, err := ev.Eval(x.Vals[i], env)
+			v, err := ev.eval(x.Vals[i], sc)
 			if err != nil {
 				return nil, err
 			}
@@ -110,15 +130,15 @@ func (ev *Evaluator) Eval(e ast.Expr, env Env) (value.Value, error) {
 			}
 			return nil, fmt.Errorf("aggregate %s() used outside an aggregating projection", x.Name)
 		}
-		return ev.evalFunc(x, env)
+		return ev.evalFunc(x, sc)
 	case *ast.CaseExpr:
-		return ev.evalCase(x, env)
+		return ev.evalCase(x, sc)
 	case *ast.ListComprehension:
-		return ev.evalListComp(x, env)
+		return ev.evalListComp(x, sc)
 	case *ast.Quantifier:
-		return ev.evalQuantifier(x, env)
+		return ev.evalQuantifier(x, sc)
 	case *ast.Reduce:
-		return ev.evalReduce(x, env)
+		return ev.evalReduce(x, sc)
 	default:
 		return nil, fmt.Errorf("unsupported expression %T", e)
 	}
@@ -127,7 +147,11 @@ func (ev *Evaluator) Eval(e ast.Expr, env Env) (value.Value, error) {
 // EvalBool evaluates a predicate expression to a truth value. Non-boolean
 // non-null results are an error.
 func (ev *Evaluator) EvalBool(e ast.Expr, env Env) (value.Tri, error) {
-	v, err := ev.Eval(e, env)
+	return ev.evalBool(e, scope{env: env})
+}
+
+func (ev *Evaluator) evalBool(e ast.Expr, sc scope) (value.Tri, error) {
+	v, err := ev.eval(e, sc)
 	if err != nil {
 		return value.Unknown, err
 	}
@@ -209,12 +233,12 @@ func (ev *Evaluator) propValue(base value.Value, key string) (value.Value, error
 	}
 }
 
-func (ev *Evaluator) evalIndex(x *ast.Index, env Env) (value.Value, error) {
-	base, err := ev.Eval(x.Expr, env)
+func (ev *Evaluator) evalIndex(x *ast.Index, sc scope) (value.Value, error) {
+	base, err := ev.eval(x.Expr, sc)
 	if err != nil {
 		return nil, err
 	}
-	idx, err := ev.Eval(x.Index, env)
+	idx, err := ev.eval(x.Index, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -254,8 +278,8 @@ func (ev *Evaluator) evalIndex(x *ast.Index, env Env) (value.Value, error) {
 	}
 }
 
-func (ev *Evaluator) evalSlice(x *ast.Slice, env Env) (value.Value, error) {
-	base, err := ev.Eval(x.Expr, env)
+func (ev *Evaluator) evalSlice(x *ast.Slice, sc scope) (value.Value, error) {
+	base, err := ev.eval(x.Expr, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -268,7 +292,7 @@ func (ev *Evaluator) evalSlice(x *ast.Slice, env Env) (value.Value, error) {
 	}
 	from, to := int64(0), int64(len(lst))
 	if x.From != nil {
-		v, err := ev.Eval(x.From, env)
+		v, err := ev.eval(x.From, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -280,7 +304,7 @@ func (ev *Evaluator) evalSlice(x *ast.Slice, env Env) (value.Value, error) {
 		}
 	}
 	if x.To != nil {
-		v, err := ev.Eval(x.To, env)
+		v, err := ev.eval(x.To, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -312,22 +336,22 @@ func (ev *Evaluator) evalSlice(x *ast.Slice, env Env) (value.Value, error) {
 	return out, nil
 }
 
-func (ev *Evaluator) evalUnary(x *ast.UnaryOp, env Env) (value.Value, error) {
+func (ev *Evaluator) evalUnary(x *ast.UnaryOp, sc scope) (value.Value, error) {
 	switch x.Op {
 	case ast.OpNot:
-		t, err := ev.EvalBool(x.Expr, env)
+		t, err := ev.evalBool(x.Expr, sc)
 		if err != nil {
 			return nil, err
 		}
 		return t.Not().Value(), nil
 	case ast.OpNeg:
-		v, err := ev.Eval(x.Expr, env)
+		v, err := ev.eval(x.Expr, sc)
 		if err != nil {
 			return nil, err
 		}
 		return value.Neg(v)
 	default: // OpPos
-		v, err := ev.Eval(x.Expr, env)
+		v, err := ev.eval(x.Expr, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -338,16 +362,16 @@ func (ev *Evaluator) evalUnary(x *ast.UnaryOp, env Env) (value.Value, error) {
 	}
 }
 
-func (ev *Evaluator) evalBinary(x *ast.BinaryOp, env Env) (value.Value, error) {
+func (ev *Evaluator) evalBinary(x *ast.BinaryOp, sc scope) (value.Value, error) {
 	switch x.Op {
 	case ast.OpAnd, ast.OpOr, ast.OpXor:
-		return ev.evalLogic(x, env)
+		return ev.evalLogic(x, sc)
 	}
-	l, err := ev.Eval(x.Left, env)
+	l, err := ev.eval(x.Left, sc)
 	if err != nil {
 		return nil, err
 	}
-	r, err := ev.Eval(x.Right, env)
+	r, err := ev.eval(x.Right, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -387,8 +411,8 @@ func (ev *Evaluator) evalBinary(x *ast.BinaryOp, env Env) (value.Value, error) {
 
 // evalLogic evaluates AND/OR/XOR with Kleene semantics, short-circuiting
 // when the left operand already determines the result.
-func (ev *Evaluator) evalLogic(x *ast.BinaryOp, env Env) (value.Value, error) {
-	lt, err := ev.EvalBool(x.Left, env)
+func (ev *Evaluator) evalLogic(x *ast.BinaryOp, sc scope) (value.Value, error) {
+	lt, err := ev.evalBool(x.Left, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -402,7 +426,7 @@ func (ev *Evaluator) evalLogic(x *ast.BinaryOp, env Env) (value.Value, error) {
 			return value.Bool(true), nil
 		}
 	}
-	rt, err := ev.EvalBool(x.Right, env)
+	rt, err := ev.evalBool(x.Right, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -461,40 +485,40 @@ func evalStringPredicate(op ast.BinaryOpKind, l, r value.Value) (value.Value, er
 	}
 }
 
-func (ev *Evaluator) evalCase(x *ast.CaseExpr, env Env) (value.Value, error) {
+func (ev *Evaluator) evalCase(x *ast.CaseExpr, sc scope) (value.Value, error) {
 	if x.Test != nil {
-		test, err := ev.Eval(x.Test, env)
+		test, err := ev.eval(x.Test, sc)
 		if err != nil {
 			return nil, err
 		}
 		for i, w := range x.Whens {
-			wv, err := ev.Eval(w, env)
+			wv, err := ev.eval(w, sc)
 			if err != nil {
 				return nil, err
 			}
 			if value.Equal(test, wv) == value.True {
-				return ev.Eval(x.Thens[i], env)
+				return ev.eval(x.Thens[i], sc)
 			}
 		}
 	} else {
 		for i, w := range x.Whens {
-			t, err := ev.EvalBool(w, env)
+			t, err := ev.evalBool(w, sc)
 			if err != nil {
 				return nil, err
 			}
 			if t == value.True {
-				return ev.Eval(x.Thens[i], env)
+				return ev.eval(x.Thens[i], sc)
 			}
 		}
 	}
 	if x.Else != nil {
-		return ev.Eval(x.Else, env)
+		return ev.eval(x.Else, sc)
 	}
 	return value.NullValue, nil
 }
 
-func (ev *Evaluator) evalListComp(x *ast.ListComprehension, env Env) (value.Value, error) {
-	src, err := ev.Eval(x.List, env)
+func (ev *Evaluator) evalListComp(x *ast.ListComprehension, sc scope) (value.Value, error) {
+	src, err := ev.eval(x.List, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -507,9 +531,9 @@ func (ev *Evaluator) evalListComp(x *ast.ListComprehension, env Env) (value.Valu
 	}
 	out := make(value.List, 0, len(lst))
 	for _, el := range lst {
-		inner := env.With(x.Var, el)
+		inner := sc.bind(x.Var, el)
 		if x.Where != nil {
-			t, err := ev.EvalBool(x.Where, inner)
+			t, err := ev.evalBool(x.Where, inner)
 			if err != nil {
 				return nil, err
 			}
@@ -518,7 +542,7 @@ func (ev *Evaluator) evalListComp(x *ast.ListComprehension, env Env) (value.Valu
 			}
 		}
 		if x.Proj != nil {
-			v, err := ev.Eval(x.Proj, inner)
+			v, err := ev.eval(x.Proj, inner)
 			if err != nil {
 				return nil, err
 			}
@@ -530,8 +554,8 @@ func (ev *Evaluator) evalListComp(x *ast.ListComprehension, env Env) (value.Valu
 	return out, nil
 }
 
-func (ev *Evaluator) evalQuantifier(x *ast.Quantifier, env Env) (value.Value, error) {
-	src, err := ev.Eval(x.List, env)
+func (ev *Evaluator) evalQuantifier(x *ast.Quantifier, sc scope) (value.Value, error) {
+	src, err := ev.eval(x.List, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -544,7 +568,7 @@ func (ev *Evaluator) evalQuantifier(x *ast.Quantifier, env Env) (value.Value, er
 	}
 	trues, unknowns := 0, 0
 	for _, el := range lst {
-		t, err := ev.EvalBool(x.Where, env.With(x.Var, el))
+		t, err := ev.evalBool(x.Where, sc.bind(x.Var, el))
 		if err != nil {
 			return nil, err
 		}
@@ -589,12 +613,12 @@ func (ev *Evaluator) evalQuantifier(x *ast.Quantifier, env Env) (value.Value, er
 	}
 }
 
-func (ev *Evaluator) evalReduce(x *ast.Reduce, env Env) (value.Value, error) {
-	acc, err := ev.Eval(x.Init, env)
+func (ev *Evaluator) evalReduce(x *ast.Reduce, sc scope) (value.Value, error) {
+	acc, err := ev.eval(x.Init, sc)
 	if err != nil {
 		return nil, err
 	}
-	src, err := ev.Eval(x.List, env)
+	src, err := ev.eval(x.List, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -606,9 +630,11 @@ func (ev *Evaluator) evalReduce(x *ast.Reduce, env Env) (value.Value, error) {
 		return nil, fmt.Errorf("type error: reduce over %s", src.Kind())
 	}
 	for _, el := range lst {
-		inner := env.With(x.Acc, acc)
-		inner[x.Var] = el
-		acc, err = ev.Eval(x.Expr, inner)
+		// The element binding is innermost: when the accumulator and
+		// element share a name, the element shadows (matching the
+		// map-based semantics this replaced).
+		inner := sc.bind(x.Acc, acc).bind(x.Var, el)
+		acc, err = ev.eval(x.Expr, inner)
 		if err != nil {
 			return nil, err
 		}

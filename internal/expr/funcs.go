@@ -2,8 +2,6 @@ package expr
 
 import (
 	"fmt"
-	"math"
-	"sort"
 	"strconv"
 	"strings"
 
@@ -12,58 +10,43 @@ import (
 	"repro/internal/value"
 )
 
-// evalFunc dispatches non-aggregate function calls.
-func (ev *Evaluator) evalFunc(f *ast.FuncCall, env Env) (value.Value, error) {
-	if f.Name == "exists" {
-		return ev.evalExists(f, env)
-	}
-	args := make([]value.Value, len(f.Args))
-	for i, a := range f.Args {
-		v, err := ev.Eval(a, env)
-		if err != nil {
-			return nil, err
-		}
-		args[i] = v
-	}
-	fn, ok := scalarFuncs[f.Name]
-	if !ok {
+// evalFunc dispatches non-aggregate function calls through the
+// registry: resolve the name (case-insensitively), validate the arity
+// before evaluating any argument so every function reports the uniform
+// registry message, then evaluate arguments left to right and apply.
+func (ev *Evaluator) evalFunc(f *ast.FuncCall, sc scope) (value.Value, error) {
+	def := LookupFunc(f.Name)
+	if def == nil {
 		if ast.AggregateFuncs[f.Name] {
 			return nil, fmt.Errorf("aggregate %s() used outside an aggregating projection", f.Name)
 		}
 		return nil, fmt.Errorf("unknown function %s()", f.Name)
 	}
-	return fn(ev, args)
-}
-
-// evalExists implements exists(n.prop): true when the entity carries the
-// property. exists() over other expressions reduces to IS NOT NULL.
-func (ev *Evaluator) evalExists(f *ast.FuncCall, env Env) (value.Value, error) {
-	if len(f.Args) != 1 {
-		return nil, fmt.Errorf("exists() expects 1 argument")
-	}
-	v, err := ev.Eval(f.Args[0], env)
-	if err != nil {
+	if err := def.CheckArity(len(f.Args)); err != nil {
 		return nil, err
 	}
-	return value.Bool(!value.IsNull(v)), nil
+	args := make([]value.Value, len(f.Args))
+	for i, a := range f.Args {
+		v, err := ev.eval(a, sc)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return def.Fn(ev, args)
 }
 
 type scalarFunc func(ev *Evaluator, args []value.Value) (value.Value, error)
 
-func arity(name string, n int, f func(ev *Evaluator, args []value.Value) (value.Value, error)) scalarFunc {
-	return func(ev *Evaluator, args []value.Value) (value.Value, error) {
-		if len(args) != n {
-			return nil, fmt.Errorf("%s() expects %d argument(s), got %d", name, n, len(args))
-		}
-		return f(ev, args)
-	}
-}
-
-// nullIn wraps a function to propagate null from its first argument.
+// nullIn wraps a function to propagate null: any null argument yields
+// a null result without invoking f. Functions that must observe nulls
+// (exists, coalesce) are registered unwrapped.
 func nullIn(f scalarFunc) scalarFunc {
 	return func(ev *Evaluator, args []value.Value) (value.Value, error) {
-		if len(args) > 0 && value.IsNull(args[0]) {
-			return value.NullValue, nil
+		for _, a := range args {
+			if value.IsNull(a) {
+				return value.NullValue, nil
+			}
 		}
 		return f(ev, args)
 	}
@@ -85,413 +68,12 @@ func strArg(name string, v value.Value) (string, error) {
 	return s, nil
 }
 
-func mathFunc(name string, f func(float64) float64) scalarFunc {
-	return arity(name, 1, nullIn(func(ev *Evaluator, args []value.Value) (value.Value, error) {
-		x, err := numArg(name, args[0])
-		if err != nil {
-			return nil, err
-		}
-		return value.Float(f(x)), nil
-	}))
+func parseFloatValue(s string) (float64, error) {
+	return strconv.ParseFloat(strings.TrimSpace(s), 64)
 }
 
-var scalarFuncs map[string]scalarFunc
-
-func init() {
-	scalarFuncs = map[string]scalarFunc{
-		"abs": arity("abs", 1, nullIn(func(ev *Evaluator, args []value.Value) (value.Value, error) {
-			switch x := args[0].(type) {
-			case value.Int:
-				if x < 0 {
-					return -x, nil
-				}
-				return x, nil
-			case value.Float:
-				return value.Float(math.Abs(float64(x))), nil
-			}
-			return nil, fmt.Errorf("abs() expects a number, got %s", args[0].Kind())
-		})),
-		"sign": arity("sign", 1, nullIn(func(ev *Evaluator, args []value.Value) (value.Value, error) {
-			x, err := numArg("sign", args[0])
-			if err != nil {
-				return nil, err
-			}
-			switch {
-			case x > 0:
-				return value.Int(1), nil
-			case x < 0:
-				return value.Int(-1), nil
-			default:
-				return value.Int(0), nil
-			}
-		})),
-		"ceil":  mathFunc("ceil", math.Ceil),
-		"floor": mathFunc("floor", math.Floor),
-		"round": mathFunc("round", math.Round),
-		"sqrt":  mathFunc("sqrt", math.Sqrt),
-		"exp":   mathFunc("exp", math.Exp),
-		"log":   mathFunc("log", math.Log),
-		"log10": mathFunc("log10", math.Log10),
-		"sin":   mathFunc("sin", math.Sin),
-		"cos":   mathFunc("cos", math.Cos),
-		"tan":   mathFunc("tan", math.Tan),
-		"asin":  mathFunc("asin", math.Asin),
-		"acos":  mathFunc("acos", math.Acos),
-		"atan":  mathFunc("atan", math.Atan),
-		"pi": arity("pi", 0, func(ev *Evaluator, args []value.Value) (value.Value, error) {
-			return value.Float(math.Pi), nil
-		}),
-
-		"toint":     arity("toInt", 1, toIntegerFunc),
-		"tointeger": arity("toInteger", 1, toIntegerFunc),
-		"tofloat": arity("toFloat", 1, nullIn(func(ev *Evaluator, args []value.Value) (value.Value, error) {
-			switch x := args[0].(type) {
-			case value.Int:
-				return value.Float(float64(x)), nil
-			case value.Float:
-				return x, nil
-			case value.String:
-				f, err := strconv.ParseFloat(strings.TrimSpace(string(x)), 64)
-				if err != nil {
-					return value.NullValue, nil
-				}
-				return value.Float(f), nil
-			}
-			return nil, fmt.Errorf("toFloat() expects a number or string")
-		})),
-		"toboolean": arity("toBoolean", 1, nullIn(func(ev *Evaluator, args []value.Value) (value.Value, error) {
-			switch x := args[0].(type) {
-			case value.Bool:
-				return x, nil
-			case value.String:
-				switch strings.ToLower(strings.TrimSpace(string(x))) {
-				case "true":
-					return value.Bool(true), nil
-				case "false":
-					return value.Bool(false), nil
-				}
-				return value.NullValue, nil
-			}
-			return nil, fmt.Errorf("toBoolean() expects a boolean or string")
-		})),
-		"tostring": arity("toString", 1, nullIn(func(ev *Evaluator, args []value.Value) (value.Value, error) {
-			switch x := args[0].(type) {
-			case value.String:
-				return x, nil
-			case value.Int, value.Float, value.Bool:
-				return value.String(strings.Trim(x.String(), "'")), nil
-			}
-			return nil, fmt.Errorf("toString() expects a scalar, got %s", args[0].Kind())
-		})),
-
-		"size": arity("size", 1, nullIn(func(ev *Evaluator, args []value.Value) (value.Value, error) {
-			switch x := args[0].(type) {
-			case value.List:
-				return value.Int(int64(len(x))), nil
-			case value.String:
-				return value.Int(int64(len([]rune(string(x))))), nil
-			case value.Map:
-				return value.Int(int64(len(x))), nil
-			}
-			return nil, fmt.Errorf("size() expects a list, string or map, got %s", args[0].Kind())
-		})),
-		"length": arity("length", 1, nullIn(func(ev *Evaluator, args []value.Value) (value.Value, error) {
-			switch x := args[0].(type) {
-			case value.Path:
-				return value.Int(int64(x.Len())), nil
-			case value.List:
-				return value.Int(int64(len(x))), nil
-			case value.String:
-				return value.Int(int64(len([]rune(string(x))))), nil
-			}
-			return nil, fmt.Errorf("length() expects a path, list or string, got %s", args[0].Kind())
-		})),
-		"head": arity("head", 1, nullIn(func(ev *Evaluator, args []value.Value) (value.Value, error) {
-			lst, ok := value.AsList(args[0])
-			if !ok {
-				return nil, fmt.Errorf("head() expects a list")
-			}
-			if len(lst) == 0 {
-				return value.NullValue, nil
-			}
-			return lst[0], nil
-		})),
-		"last": arity("last", 1, nullIn(func(ev *Evaluator, args []value.Value) (value.Value, error) {
-			lst, ok := value.AsList(args[0])
-			if !ok {
-				return nil, fmt.Errorf("last() expects a list")
-			}
-			if len(lst) == 0 {
-				return value.NullValue, nil
-			}
-			return lst[len(lst)-1], nil
-		})),
-		"tail": arity("tail", 1, nullIn(func(ev *Evaluator, args []value.Value) (value.Value, error) {
-			lst, ok := value.AsList(args[0])
-			if !ok {
-				return nil, fmt.Errorf("tail() expects a list")
-			}
-			if len(lst) == 0 {
-				return value.List{}, nil
-			}
-			out := make(value.List, len(lst)-1)
-			copy(out, lst[1:])
-			return out, nil
-		})),
-		"reverse": arity("reverse", 1, nullIn(func(ev *Evaluator, args []value.Value) (value.Value, error) {
-			switch x := args[0].(type) {
-			case value.List:
-				out := make(value.List, len(x))
-				for i, v := range x {
-					out[len(x)-1-i] = v
-				}
-				return out, nil
-			case value.String:
-				rs := []rune(string(x))
-				for i, j := 0, len(rs)-1; i < j; i, j = i+1, j-1 {
-					rs[i], rs[j] = rs[j], rs[i]
-				}
-				return value.String(rs), nil
-			}
-			return nil, fmt.Errorf("reverse() expects a list or string")
-		})),
-		"range": func(ev *Evaluator, args []value.Value) (value.Value, error) {
-			if len(args) != 2 && len(args) != 3 {
-				return nil, fmt.Errorf("range() expects 2 or 3 arguments")
-			}
-			var nums [3]int64
-			nums[2] = 1
-			for i, a := range args {
-				n, ok := value.AsInt(a)
-				if !ok {
-					return nil, fmt.Errorf("range() expects integers")
-				}
-				nums[i] = n
-			}
-			start, end, step := nums[0], nums[1], nums[2]
-			if step == 0 {
-				return nil, fmt.Errorf("range() step must not be zero")
-			}
-			var out value.List
-			if step > 0 {
-				for v := start; v <= end; v += step {
-					out = append(out, value.Int(v))
-				}
-			} else {
-				for v := start; v >= end; v += step {
-					out = append(out, value.Int(v))
-				}
-			}
-			return out, nil
-		},
-		"coalesce": func(ev *Evaluator, args []value.Value) (value.Value, error) {
-			for _, a := range args {
-				if !value.IsNull(a) {
-					return a, nil
-				}
-			}
-			return value.NullValue, nil
-		},
-		"keys": arity("keys", 1, nullIn(func(ev *Evaluator, args []value.Value) (value.Value, error) {
-			m, err := ev.entityProps(args[0], "keys")
-			if err != nil {
-				return nil, err
-			}
-			out := make(value.List, 0, len(m))
-			for _, k := range m.Keys() {
-				out = append(out, value.String(k))
-			}
-			return out, nil
-		})),
-		"properties": arity("properties", 1, nullIn(func(ev *Evaluator, args []value.Value) (value.Value, error) {
-			return ev.entityProps(args[0], "properties")
-		})),
-		"id": arity("id", 1, nullIn(func(ev *Evaluator, args []value.Value) (value.Value, error) {
-			switch x := args[0].(type) {
-			case value.Node:
-				return value.Int(x.ID), nil
-			case value.Rel:
-				return value.Int(x.ID), nil
-			}
-			return nil, fmt.Errorf("id() expects a node or relationship, got %s", args[0].Kind())
-		})),
-		"labels": arity("labels", 1, nullIn(func(ev *Evaluator, args []value.Value) (value.Value, error) {
-			n, ok := args[0].(value.Node)
-			if !ok {
-				return nil, fmt.Errorf("labels() expects a node, got %s", args[0].Kind())
-			}
-			gn := ev.Graph.Node(graph.NodeID(n.ID))
-			if gn == nil {
-				return value.NullValue, nil
-			}
-			ls := gn.SortedLabels()
-			out := make(value.List, len(ls))
-			for i, l := range ls {
-				out[i] = value.String(l)
-			}
-			return out, nil
-		})),
-		"type": arity("type", 1, nullIn(func(ev *Evaluator, args []value.Value) (value.Value, error) {
-			r, ok := args[0].(value.Rel)
-			if !ok {
-				return nil, fmt.Errorf("type() expects a relationship, got %s", args[0].Kind())
-			}
-			gr := ev.Graph.Rel(graph.RelID(r.ID))
-			if gr == nil {
-				return value.NullValue, nil
-			}
-			return value.String(gr.Type), nil
-		})),
-		"startnode": arity("startNode", 1, nullIn(func(ev *Evaluator, args []value.Value) (value.Value, error) {
-			r, ok := args[0].(value.Rel)
-			if !ok {
-				return nil, fmt.Errorf("startNode() expects a relationship")
-			}
-			gr := ev.Graph.Rel(graph.RelID(r.ID))
-			if gr == nil {
-				return value.NullValue, nil
-			}
-			return value.Node{ID: int64(gr.Src)}, nil
-		})),
-		"endnode": arity("endNode", 1, nullIn(func(ev *Evaluator, args []value.Value) (value.Value, error) {
-			r, ok := args[0].(value.Rel)
-			if !ok {
-				return nil, fmt.Errorf("endNode() expects a relationship")
-			}
-			gr := ev.Graph.Rel(graph.RelID(r.ID))
-			if gr == nil {
-				return value.NullValue, nil
-			}
-			return value.Node{ID: int64(gr.Tgt)}, nil
-		})),
-		"nodes": arity("nodes", 1, nullIn(func(ev *Evaluator, args []value.Value) (value.Value, error) {
-			p, ok := args[0].(value.Path)
-			if !ok {
-				return nil, fmt.Errorf("nodes() expects a path, got %s", args[0].Kind())
-			}
-			out := make(value.List, len(p.Nodes))
-			for i, id := range p.Nodes {
-				out[i] = value.Node{ID: id}
-			}
-			return out, nil
-		})),
-		"relationships": arity("relationships", 1, nullIn(func(ev *Evaluator, args []value.Value) (value.Value, error) {
-			p, ok := args[0].(value.Path)
-			if !ok {
-				return nil, fmt.Errorf("relationships() expects a path, got %s", args[0].Kind())
-			}
-			out := make(value.List, len(p.Rels))
-			for i, id := range p.Rels {
-				out[i] = value.Rel{ID: id}
-			}
-			return out, nil
-		})),
-
-		"toupper": stringFunc("toUpper", strings.ToUpper),
-		"tolower": stringFunc("toLower", strings.ToLower),
-		"trim":    stringFunc("trim", strings.TrimSpace),
-		"ltrim":   stringFunc("lTrim", func(s string) string { return strings.TrimLeft(s, " \t\r\n") }),
-		"rtrim":   stringFunc("rTrim", func(s string) string { return strings.TrimRight(s, " \t\r\n") }),
-		"replace": arity("replace", 3, nullIn(func(ev *Evaluator, args []value.Value) (value.Value, error) {
-			s, err := strArg("replace", args[0])
-			if err != nil {
-				return nil, err
-			}
-			if value.IsNull(args[1]) || value.IsNull(args[2]) {
-				return value.NullValue, nil
-			}
-			from, err := strArg("replace", args[1])
-			if err != nil {
-				return nil, err
-			}
-			to, err := strArg("replace", args[2])
-			if err != nil {
-				return nil, err
-			}
-			return value.String(strings.ReplaceAll(s, from, to)), nil
-		})),
-		"split": arity("split", 2, nullIn(func(ev *Evaluator, args []value.Value) (value.Value, error) {
-			s, err := strArg("split", args[0])
-			if err != nil {
-				return nil, err
-			}
-			if value.IsNull(args[1]) {
-				return value.NullValue, nil
-			}
-			sep, err := strArg("split", args[1])
-			if err != nil {
-				return nil, err
-			}
-			parts := strings.Split(s, sep)
-			out := make(value.List, len(parts))
-			for i, p := range parts {
-				out[i] = value.String(p)
-			}
-			return out, nil
-		})),
-		"left": arity("left", 2, nullIn(func(ev *Evaluator, args []value.Value) (value.Value, error) {
-			s, err := strArg("left", args[0])
-			if err != nil {
-				return nil, err
-			}
-			n, ok := value.AsInt(args[1])
-			if !ok || n < 0 {
-				return nil, fmt.Errorf("left() expects a non-negative integer")
-			}
-			rs := []rune(s)
-			if n > int64(len(rs)) {
-				n = int64(len(rs))
-			}
-			return value.String(rs[:n]), nil
-		})),
-		"right": arity("right", 2, nullIn(func(ev *Evaluator, args []value.Value) (value.Value, error) {
-			s, err := strArg("right", args[0])
-			if err != nil {
-				return nil, err
-			}
-			n, ok := value.AsInt(args[1])
-			if !ok || n < 0 {
-				return nil, fmt.Errorf("right() expects a non-negative integer")
-			}
-			rs := []rune(s)
-			if n > int64(len(rs)) {
-				n = int64(len(rs))
-			}
-			return value.String(rs[int64(len(rs))-n:]), nil
-		})),
-		"substring": func(ev *Evaluator, args []value.Value) (value.Value, error) {
-			if len(args) != 2 && len(args) != 3 {
-				return nil, fmt.Errorf("substring() expects 2 or 3 arguments")
-			}
-			if value.IsNull(args[0]) {
-				return value.NullValue, nil
-			}
-			s, err := strArg("substring", args[0])
-			if err != nil {
-				return nil, err
-			}
-			start, ok := value.AsInt(args[1])
-			if !ok || start < 0 {
-				return nil, fmt.Errorf("substring() start must be a non-negative integer")
-			}
-			rs := []rune(s)
-			if start > int64(len(rs)) {
-				start = int64(len(rs))
-			}
-			end := int64(len(rs))
-			if len(args) == 3 {
-				n, ok := value.AsInt(args[2])
-				if !ok || n < 0 {
-					return nil, fmt.Errorf("substring() length must be a non-negative integer")
-				}
-				if start+n < end {
-					end = start + n
-				}
-			}
-			return value.String(rs[start:end]), nil
-		},
-	}
-}
+func graphNodeID(n value.Node) graph.NodeID { return graph.NodeID(n.ID) }
+func graphRelID(r value.Rel) graph.RelID    { return graph.RelID(r.ID) }
 
 func toIntegerFunc(ev *Evaluator, args []value.Value) (value.Value, error) {
 	if value.IsNull(args[0]) {
@@ -515,16 +97,6 @@ func toIntegerFunc(ev *Evaluator, args []value.Value) (value.Value, error) {
 	return nil, fmt.Errorf("toInteger() expects a number or string")
 }
 
-func stringFunc(name string, f func(string) string) scalarFunc {
-	return arity(name, 1, nullIn(func(ev *Evaluator, args []value.Value) (value.Value, error) {
-		s, err := strArg(name, args[0])
-		if err != nil {
-			return nil, err
-		}
-		return value.String(f(s)), nil
-	}))
-}
-
 // entityProps returns the property map of a node, relationship or map value.
 func (ev *Evaluator) entityProps(v value.Value, fname string) (value.Map, error) {
 	switch x := v.(type) {
@@ -545,16 +117,4 @@ func (ev *Evaluator) entityProps(v value.Value, fname string) (value.Map, error)
 	default:
 		return nil, fmt.Errorf("%s() expects a node, relationship or map, got %s", fname, v.Kind())
 	}
-}
-
-// Functions returns the sorted list of available scalar function names
-// (used by the REPL for diagnostics).
-func Functions() []string {
-	out := make([]string, 0, len(scalarFuncs)+1)
-	for name := range scalarFuncs {
-		out = append(out, name)
-	}
-	out = append(out, "exists")
-	sort.Strings(out)
-	return out
 }

@@ -708,6 +708,14 @@ func NewPushdown(where ast.Expr, parts []*ast.PatternPart, outer []string) *Push
 		if !eligible(ci) {
 			continue
 		}
+		// A pushed conjunct is evaluated once to prune and again when
+		// the full WHERE re-applies, so a nondeterministic or impure
+		// function call (rand(), timestamp(), graph readers) inside it
+		// could disagree between the two evaluations and change the
+		// result multiset. Such conjuncts are never pushed.
+		if containsUnstableCall(c) {
+			continue
+		}
 		var slotVars []string
 		ok := true
 		for _, v := range ast.Variables(c) {
@@ -751,21 +759,45 @@ func NewPushdown(where ast.Expr, parts []*ast.PatternPart, outer []string) *Push
 	return pd
 }
 
+// containsUnstableCall reports whether the expression contains a
+// function call whose two evaluations on the same row could disagree:
+// nondeterministic (rand, timestamp) or impure (graph readers — safe
+// today because reads run against an immutable snapshot, but excluded
+// so the pushdown contract does not depend on that).
+func containsUnstableCall(e ast.Expr) bool {
+	unstable := false
+	ast.Walk(e, func(x ast.Expr) bool {
+		if f, ok := x.(*ast.FuncCall); ok {
+			if def := expr.LookupFunc(f.Name); def != nil && (!def.Deterministic || !def.Pure) {
+				unstable = true
+			}
+		}
+		return !unstable
+	})
+	return unstable
+}
+
 // totalBool reports whether e is statically guaranteed to evaluate via
 // EvalBool without error (yielding true/false/null) on any complete
-// match row: ternary comparisons, IS NULL, and boolean combinations
-// thereof, over total operands. Conservative by design — arithmetic,
-// function calls, string predicates, IN, indexing and parameters all
-// count as fallible.
+// match row: ternary comparisons, IS NULL, boolean combinations
+// thereof, and calls of registered boolean-valued total functions, over
+// total operands. Conservative by design — arithmetic, string
+// predicates, IN, indexing, parameters and any function the registry
+// does not vouch for (pure + total + deterministic) count as fallible.
 func totalBool(e ast.Expr, defined, entity map[string]bool) bool {
 	switch x := e.(type) {
 	case *ast.Literal:
 		_, isBool := x.Value.(bool)
 		return isBool || x.Value == nil
+	case *ast.Const:
+		_, isBool := x.Val.(value.Bool)
+		return isBool || value.IsNull(x.Val)
 	case *ast.IsNull:
 		return totalOperand(x.Expr, defined, entity)
 	case *ast.UnaryOp:
 		return x.Op == ast.OpNot && totalBool(x.Expr, defined, entity)
+	case *ast.FuncCall:
+		return totalCall(x, defined, entity, true)
 	case *ast.BinaryOp:
 		switch x.Op {
 		case ast.OpEq, ast.OpNeq, ast.OpLt, ast.OpLeq, ast.OpGt, ast.OpGeq:
@@ -777,19 +809,53 @@ func totalBool(e ast.Expr, defined, entity map[string]bool) bool {
 	return false
 }
 
+// totalCall consults the function registry: a call is total when its
+// definition is pure, total and deterministic (so pruning on it neither
+// errors nor double-draws), its arity is statically valid, and every
+// argument is a total operand. In predicate position (boolCtx) the
+// result must additionally be boolean-valued, because EvalBool errors
+// on other kinds.
+func totalCall(f *ast.FuncCall, defined, entity map[string]bool, boolCtx bool) bool {
+	if f.Distinct || f.Star {
+		return false
+	}
+	def := expr.LookupFunc(f.Name)
+	if def == nil || !def.Pure || !def.Total || !def.Deterministic {
+		return false
+	}
+	if boolCtx && !def.BoolValued {
+		return false
+	}
+	if def.CheckArity(len(f.Args)) != nil {
+		return false
+	}
+	for _, a := range f.Args {
+		if !totalOperand(a, defined, entity) {
+			return false
+		}
+	}
+	return true
+}
+
 // totalOperand reports whether e evaluates without error on any
-// complete match row: literals, defined variables, property access on a
-// variable that is guaranteed to hold an entity (property access on
-// nulls and entities is total; on scalars it type-errors).
+// complete match row: literals, plan-time constants, defined variables,
+// property access on a variable that is guaranteed to hold an entity
+// (property access on nulls and entities is total; on scalars it
+// type-errors), and calls of total registry functions over total
+// operands.
 func totalOperand(e ast.Expr, defined, entity map[string]bool) bool {
 	switch x := e.(type) {
 	case *ast.Literal:
+		return true
+	case *ast.Const:
 		return true
 	case *ast.Variable:
 		return defined[x.Name]
 	case *ast.PropAccess:
 		v, isVar := x.Expr.(*ast.Variable)
 		return isVar && entity[v.Name]
+	case *ast.FuncCall:
+		return totalCall(x, defined, entity, false)
 	}
 	return false
 }

@@ -177,6 +177,7 @@ func (b *Builder) BuildQuery(clauses []ast.Clause, src Operator) (Operator, erro
 		var err error
 		switch cl := c.(type) {
 		case *ast.MatchClause:
+			cl = b.foldMatchClause(cl)
 			newVars := freshVars(match.PatternVariables(cl.Pattern), cur.Columns())
 			if seg.alive() && seg.source == nil {
 				// A segment waiting on the unit source: this first MATCH
@@ -201,6 +202,7 @@ func (b *Builder) BuildQuery(clauses []ast.Clause, src Operator) (Operator, erro
 			if hasColumn(cur.Columns(), cl.Var) {
 				return nil, fmt.Errorf("variable `%s` already declared", cl.Var)
 			}
+			cl = b.foldUnwindClause(cl)
 			cur = NewUnwind(cur, cl, b.Ev)
 			if seg.alive() && seg.source != nil {
 				seg.stages = append(seg.stages, func(child Operator, w *workerCtx) Operator {
@@ -310,6 +312,20 @@ func (b *Builder) buildProjection(child Operator, proj *ast.Projection, where as
 	if err != nil {
 		return nil, err
 	}
+	// Constant-fold after aliasing: default column names come from the
+	// ORIGINAL expression text, so folding cannot rename a column.
+	// Items containing aggregates are skipped wholesale because the
+	// aggregation machinery keys per-group results by FuncCall node
+	// identity.
+	for i := range items {
+		if !ast.ContainsAggregate(items[i].Expr) {
+			items[i].Expr = b.fold(items[i].Expr)
+		}
+	}
+	orderBy := b.foldSortItems(proj.OrderBy)
+	if where != nil && !ast.ContainsAggregate(where) {
+		where = b.fold(where)
+	}
 	cols := make([]string, len(items))
 	seen := make(map[string]bool, len(items))
 	for i, it := range items {
@@ -358,12 +374,12 @@ func (b *Builder) buildProjection(child Operator, proj *ast.Projection, where as
 		d.budget = b.bud
 		cur = d
 	}
-	if len(proj.OrderBy) > 0 {
+	if len(orderBy) > 0 {
 		// Sort is parallel-aware: when its child ends up being an
 		// Exchange it drains it in callback mode, building per-worker
 		// sorted runs merged by the ordinary k-way merger.
 		cur = b.endSeg(seg, cur)
-		s := NewSort(cur, proj.OrderBy, b.Ev)
+		s := NewSort(cur, orderBy, b.Ev)
 		s.budget = b.bud
 		cur = s
 	}
@@ -384,6 +400,56 @@ func (b *Builder) buildProjection(child Operator, proj *ast.Projection, where as
 		cur = NewFilter(cur, where, b.Ev)
 	}
 	return cur, nil
+}
+
+// fold runs the expression constant-folding pass (see expr.Fold); the
+// result is semantically identical, with closed pure subtrees collapsed
+// to plan-time constants that EXPLAIN renders in place of the original
+// text.
+func (b *Builder) fold(e ast.Expr) ast.Expr {
+	if e == nil || b.Ev == nil {
+		return e
+	}
+	return expr.Fold(e, b.Ev)
+}
+
+// foldMatchClause folds a MATCH clause's WHERE. The folded clause is a
+// shallow copy sharing the original Pattern slice: match plan cache
+// entries key on pattern-part pointer identity, so the fold must leave
+// every pattern node untouched for cross-execution cache hits to keep
+// working.
+func (b *Builder) foldMatchClause(cl *ast.MatchClause) *ast.MatchClause {
+	folded := b.fold(cl.Where)
+	if folded == cl.Where {
+		return cl
+	}
+	return &ast.MatchClause{Optional: cl.Optional, Pattern: cl.Pattern, Where: folded}
+}
+
+func (b *Builder) foldUnwindClause(cl *ast.UnwindClause) *ast.UnwindClause {
+	folded := b.fold(cl.Expr)
+	if folded == cl.Expr {
+		return cl
+	}
+	return &ast.UnwindClause{Expr: folded, Var: cl.Var}
+}
+
+func (b *Builder) foldSortItems(items []*ast.SortItem) []*ast.SortItem {
+	out := items
+	for i, it := range items {
+		if ast.ContainsAggregate(it.Expr) {
+			continue
+		}
+		folded := b.fold(it.Expr)
+		if folded == it.Expr {
+			continue
+		}
+		if len(out) == len(items) && &out[0] == &items[0] {
+			out = append([]*ast.SortItem(nil), items...)
+		}
+		out[i] = &ast.SortItem{Expr: folded, Desc: it.Desc}
+	}
+	return out
 }
 
 // expandItems resolves * and default aliases against the columns in

@@ -24,6 +24,7 @@ func TestScriptCorpusExplain(t *testing.T) {
 		"paper_walkthrough.cypher": core.DialectCypher9,
 		"social.cypher":            core.DialectRevised,
 		"inventory.cypher":         core.DialectRevised,
+		"expressions.cypher":       core.DialectRevised,
 	}
 	dir := filepath.Join("..", "..", "scripts")
 	explained := 0

@@ -70,6 +70,7 @@ func TestScriptCorpus(t *testing.T) {
 		"paper_walkthrough.cypher": core.DialectCypher9,
 		"social.cypher":            core.DialectRevised,
 		"inventory.cypher":         core.DialectRevised,
+		"expressions.cypher":       core.DialectRevised,
 	}
 	dir := filepath.Join("..", "..", "scripts")
 	entries, err := os.ReadDir(dir)

@@ -25,6 +25,7 @@ func TestCorpusExecutorSweep(t *testing.T) {
 		"paper_walkthrough.cypher": core.DialectCypher9,
 		"social.cypher":            core.DialectRevised,
 		"inventory.cypher":         core.DialectRevised,
+		"expressions.cypher":       core.DialectRevised,
 	}
 	configs := []struct {
 		name string

@@ -1,0 +1,65 @@
+// An expression-heavy workload for the revised dialect: the function
+// registry (strings, numerics, lists, temporal), list comprehensions,
+// both CASE forms and reduce, driven through full read and update
+// statements so every executor sweep exercises the whole registry.
+
+UNWIND [
+  {handle:'ada',  joined:0,             langs:'ml,logic,math'},
+  {handle:'bob',  joined:86400000,      langs:'go'},
+  {handle:'cyd',  joined:1566777600000, langs:'cypher,sql,datalog'},
+  {handle:'dee',  joined:946684800000,  langs:''}
+] AS row
+CREATE (:Member{handle:row.handle, joined:row.joined, langs:row.langs});
+
+// String functions compute derived properties; constant subtrees in
+// the SET expressions fold at plan time.
+MATCH (m:Member)
+SET m.display = toUpper(left(m.handle, 1)) + substring(m.handle, 1),
+    m.year    = datetime(m.joined).year;
+
+// A searched CASE buckets members; a simple CASE names their cohort.
+MATCH (m:Member)
+SET m.band = CASE WHEN m.year < 1990 THEN 'epoch'
+                  WHEN m.year < 2010 THEN 'early'
+                  ELSE 'recent' END,
+    m.cohort = CASE m.year WHEN 1970 THEN 'origin' ELSE 'later' END;
+
+// Comprehensions and reduce over the split language lists; the WHERE
+// conjuncts here are pure and total, so they are pushed into the
+// match and shown under pushed= in EXPLAIN.
+MATCH (m:Member)
+WHERE exists(m.langs) AND size(m.langs) > 1 + 1
+RETURN m.display AS who,
+       [l IN split(m.langs, ',') WHERE size(l) > 2 | toUpper(l)] AS langs,
+       reduce(s = 0, l IN split(m.langs, ',') | s + size(l)) AS letters
+ORDER BY who;
+
+// Numeric and list functions in one projection; every constant
+// argument chain folds.
+UNWIND range(1, 6) AS i
+RETURN i,
+       sign(i - 3) AS s,
+       round(i / 7.0, 3) AS r,
+       tail(range(0, i)) AS t,
+       last(range(0, i * size([1, 2]))) AS l
+ORDER BY i;
+
+// Null propagation end-to-end: missing properties flow through the
+// string family to null, and coalesce recovers.
+MATCH (m:Member)
+RETURN m.handle AS who,
+       coalesce(replace(m.nickname, 'x', 'y'), 'none') AS nick,
+       rTrim(lTrim(coalesce(m.nickname, '  pad  '))) AS trimmed
+ORDER BY who;
+
+// Case-insensitive function names are part of the language: this
+// statement spells the same registry entries three ways.
+MATCH (m:Member)
+WHERE EXISTS(m.langs) AND TOUPPER(m.handle) <> tOlOwEr(m.handle)
+RETURN count(m) AS shouty;
+
+// reverse and right over computed strings, with a quantifier.
+MATCH (m:Member)
+WHERE all(l IN split(m.langs, ',') WHERE size(l) < 10)
+RETURN reverse(m.display) AS rev, right(m.display, 2) AS tail2
+ORDER BY rev;
